@@ -1,0 +1,53 @@
+#pragma once
+// Shared plumbing for the experiment harness.  Every bench binary
+// regenerates one table or figure of the paper; all of them accept
+//   --scale=smoke|default|paper   (see util/cli.hpp)
+//   --seeds=N --threads=N --out=DIR
+// and print the paper's reference values next to the measured ones so the
+// shape comparison is immediate.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "finder/tangled_logic_finder.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace gtl::bench {
+
+/// Linear size factor applied to the paper's |V| and structure sizes.
+inline double size_factor(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke: return 0.01;
+    case Scale::kPaper: return 1.0;
+    default: return 0.05;
+  }
+}
+
+/// Output directory for figures (PPM images, CSV curves).
+inline std::filesystem::path out_dir(const CliArgs& args) {
+  std::filesystem::path dir = args.get("out", "bench_out");
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Standard banner: what this binary reproduces and at what scale.
+inline void banner(const std::string& what, Scale scale) {
+  std::cout << "=================================================\n"
+            << what << "\n"
+            << "scale: " << scale_name(scale)
+            << " (paper sizes x " << size_factor(scale) << ")\n"
+            << "=================================================\n";
+}
+
+/// Paper-vs-measured footnote.
+inline void shape_note() {
+  std::cout << "\nNOTE: reproduction targets are shape-level (who wins, by\n"
+               "roughly what factor, where minima/crossovers fall), not\n"
+               "absolute numbers: the substrate is a synthetic circuit\n"
+               "generator + simulator, not the paper's testbed.\n";
+}
+
+}  // namespace gtl::bench

@@ -1,0 +1,84 @@
+#pragma once
+// Shared fixture for the Fig. 2 / Fig. 3 curve benches: the paper's
+// 250K-cell random graph with one 40K-cell planted GTL, and two cell
+// agglomerations — one seeded inside the GTL, one outside.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "finder/score_curve.hpp"
+#include "graphgen/planted_graph.hpp"
+#include "order/linear_ordering.hpp"
+
+namespace gtl::bench {
+
+struct CurveFixture {
+  PlantedGraph graph;
+  LinearOrdering inside;
+  LinearOrdering outside;
+  ScoreCurve inside_curve;
+  ScoreCurve outside_curve;
+  std::uint32_t gtl_size = 0;
+};
+
+inline CurveFixture make_curve_fixture(Scale scale) {
+  const double f = size_factor(scale);
+  PlantedGraphConfig cfg;
+  cfg.num_cells = std::max<std::uint32_t>(
+      5'000, static_cast<std::uint32_t>(250'000 * f));
+  const auto gtl_size = std::max<std::uint32_t>(
+      800, static_cast<std::uint32_t>(40'000 * f));
+  cfg.gtls.push_back({gtl_size, 1});
+  Rng rng(2468);
+
+  CurveFixture fx{generate_planted_graph(cfg, rng), {}, {}, {}, {}, gtl_size};
+  OrderingEngine engine(
+      fx.graph.netlist,
+      {.max_length = std::min<std::size_t>(cfg.num_cells, gtl_size * 3),
+       .large_net_threshold = 20});
+
+  // Inside agglomeration: like the finder, try a few member seeds — a
+  // seed on the GTL boundary (e.g. a port cell) can escape the structure
+  // (paper §3.2.3 motivates Phase III with exactly this failure mode).
+  for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+    const CellId seed =
+        fx.graph.gtl_members[0][(attempt * 7919) % gtl_size];
+    fx.inside = engine.grow(seed);
+    fx.inside_curve = compute_score_curve(fx.graph.netlist, fx.inside);
+    if (find_clear_minimum(fx.inside_curve.gtl_sd).has_value()) break;
+  }
+
+  CellId bg = 0;
+  while (std::binary_search(fx.graph.gtl_members[0].begin(),
+                            fx.graph.gtl_members[0].end(), bg)) {
+    ++bg;
+  }
+  fx.outside = engine.grow(bg);
+  fx.outside_curve = compute_score_curve(fx.graph.netlist, fx.outside);
+  return fx;
+}
+
+/// Print a curve as "k,value" rows at ~60 geometrically spaced samples.
+inline void print_curve_csv(std::ostream& os, const std::string& name,
+                            const std::vector<double>& curve) {
+  os << "# " << name << "\nk," << name << "\n";
+  std::size_t k = 1;
+  while (k <= curve.size()) {
+    os << k << ',' << curve[k - 1] << '\n';
+    k = std::max(k + 1, k * 115 / 100);
+  }
+  if (k / (115.0 / 100.0) < curve.size()) {
+    os << curve.size() << ',' << curve.back() << '\n';
+  }
+}
+
+/// Position (1-based) and value of the curve minimum for k >= 30.
+inline std::pair<std::size_t, double> curve_minimum(
+    const std::vector<double>& curve) {
+  const auto it = std::min_element(curve.begin() + 29, curve.end());
+  return {static_cast<std::size_t>(it - curve.begin()) + 1, *it};
+}
+
+}  // namespace gtl::bench

@@ -1,0 +1,58 @@
+// Reproduces Figure 2: "Example of nGTL-Score."
+//
+// A random graph with one planted GTL (paper: 250K cells, 40K GTL).  Two
+// agglomeration curves of nGTL-Score versus group size:
+//   * outside the GTL — starts ~0.3, rises, asymptotically approaches ~1
+//     (the paper quotes 0.9): never a clear minimum;
+//   * inside the GTL — rises above 1, then drops precipitously to a deep
+//     minimum (~0.1) exactly when the whole GTL has been absorbed, and
+//     rises again as outside cells are added.
+
+#include <fstream>
+#include <iostream>
+
+#include "curve_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gtl;
+  const CliArgs args(argc, argv);
+  const Scale scale = parse_scale(args);
+  bench::banner("Figure 2 — nGTL-Score vs group size", scale);
+
+  const auto fx = bench::make_curve_fixture(scale);
+  const auto dir = bench::out_dir(args);
+  {
+    std::ofstream csv(dir / "fig2_ngtl_curve.csv");
+    bench::print_curve_csv(csv, "inside_gtl_ngtl_s", fx.inside_curve.ngtl_s);
+    bench::print_curve_csv(csv, "outside_gtl_ngtl_s", fx.outside_curve.ngtl_s);
+  }
+  std::cout << "curve CSV written to " << (dir / "fig2_ngtl_curve.csv")
+            << "\n\n";
+
+  const auto [in_k, in_v] = bench::curve_minimum(fx.inside_curve.ngtl_s);
+  const auto [out_k, out_v] = bench::curve_minimum(fx.outside_curve.ngtl_s);
+  const double out_start = fx.outside_curve.ngtl_s[29];
+  const double out_end = fx.outside_curve.ngtl_s.back();
+  const double in_peak_before =
+      *std::max_element(fx.inside_curve.ngtl_s.begin() + 29,
+                        fx.inside_curve.ngtl_s.begin() + in_k);
+
+  Table t("Figure 2 (measured vs paper)");
+  t.set_header({"quantity", "measured", "paper"});
+  t.add_row({"planted GTL size", fmt_int(fx.gtl_size), "40,000"});
+  t.add_row({"outside curve at small k", fmt_double(out_start, 2), "~0.3"});
+  t.add_row({"outside curve plateau", fmt_double(out_end, 2), "~0.9"});
+  t.add_row({"outside curve min (no dip)", fmt_double(out_v, 2) + " @ k=" + fmt_int(static_cast<long long>(out_k)), "none (monotone rise)"});
+  t.add_row({"inside curve peak before dip", fmt_double(in_peak_before, 2), ">1.5"});
+  t.add_row({"inside curve min value", fmt_double(in_v, 3), "~0.1"});
+  t.add_row({"inside curve min position", fmt_int(static_cast<long long>(in_k)),
+             fmt_int(fx.gtl_size) + " (= GTL size)"});
+  t.print(std::cout);
+
+  const bool min_at_gtl =
+      in_k > fx.gtl_size * 95 / 100 && in_k < fx.gtl_size * 105 / 100;
+  std::cout << "\ninside-curve minimum lands at the GTL boundary: "
+            << (min_at_gtl ? "YES" : "NO") << "\n";
+  bench::shape_note();
+  return min_at_gtl ? 0 : 1;
+}

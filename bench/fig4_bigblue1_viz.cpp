@@ -1,0 +1,94 @@
+// Reproduces Figure 4: "GTL found by our method in Bigblue1."
+//
+// Place the bigblue1 stand-in, run the finder, and render the placement
+// with each found GTL in its own color — the paper's "clots with colors
+// different from the majority of cells".  The quantified claim: cells of
+// a found GTL crowd into a small local region, so each GTL's bounding-box
+// area share is far below a uniform spread of the same cell count.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graphgen/presets.hpp"
+#include "place/quadratic_placer.hpp"
+#include "viz/plots.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gtl;
+  const CliArgs args(argc, argv);
+  const Scale scale = parse_scale(args);
+  bench::banner("Figure 4 — GTLs found in bigblue1, shown on placement",
+                scale);
+
+  const auto cfg = ispd_like_config("bigblue1", bench::size_factor(scale));
+  Rng rng(4444);
+  const SyntheticCircuit circuit = generate_synthetic_circuit(cfg, rng);
+
+  FinderConfig fcfg;
+  fcfg.num_seeds = static_cast<std::size_t>(args.get_int("seeds", 100));
+  fcfg.max_ordering_length = std::max<std::size_t>(
+      2'000, circuit.netlist.num_cells() / 8);
+  fcfg.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  fcfg.rng_seed = 99;
+  Timer timer;
+  const FinderResult found = find_tangled_logic(circuit.netlist, fcfg);
+  std::cout << "finder: " << found.gtls.size() << " GTLs in "
+            << fmt_double(timer.seconds(), 1) << "s\n";
+
+  PlacerConfig pcfg;
+  pcfg.die = {circuit.die_width, circuit.die_height, 1.0};
+  pcfg.spreading_iterations = 10;
+  Timer place_timer;
+  const Placement placement =
+      place_quadratic(circuit.netlist, circuit.hint_x, circuit.hint_y, pcfg);
+  std::cout << "placement: HPWL " << fmt_double(placement.hpwl, 0) << " in "
+            << fmt_double(place_timer.seconds(), 1) << "s\n\n";
+
+  std::vector<std::vector<CellId>> groups;
+  for (const auto& g : found.gtls) groups.push_back(g.cells);
+
+  const auto dir = bench::out_dir(args);
+  render_placement(circuit.netlist, placement.x, placement.y, pcfg.die,
+                   groups, 900)
+      .write_ppm(dir / "fig4_bigblue1_placement.ppm");
+  std::cout << "image written to " << (dir / "fig4_bigblue1_placement.ppm")
+            << "\n\nplacement map (letters = found GTLs):\n"
+            << ascii_placement(circuit.netlist, placement.x, placement.y,
+                               pcfg.die, groups, 72, 20);
+
+  // Quantify the clotting of the strongest GTLs.
+  Table t("GTL clotting (measured)");
+  t.set_header({"GTL", "cells", "score", "cell share", "bbox area share",
+                "crowding (uniform/actual)"});
+  const double die_area = pcfg.die.width * pcfg.die.height;
+  bool all_crowded = true;
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, groups.size()); ++i) {
+    double min_x = 1e18, max_x = -1e18, min_y = 1e18, max_y = -1e18;
+    for (const CellId c : groups[i]) {
+      min_x = std::min(min_x, placement.x[c]);
+      max_x = std::max(max_x, placement.x[c]);
+      min_y = std::min(min_y, placement.y[c]);
+      max_y = std::max(max_y, placement.y[c]);
+    }
+    const double bbox_share =
+        (max_x - min_x) * (max_y - min_y) / die_area;
+    const double cell_share = static_cast<double>(groups[i].size()) /
+                              static_cast<double>(circuit.netlist.num_movable());
+    // Crowding factor: a uniformly spread group of this cell share would
+    // cover the whole die (share ~1); a clot covers ~its cell share.
+    const double crowding = bbox_share > 1e-12 ? 1.0 / bbox_share : 1e12;
+    all_crowded = all_crowded && bbox_share < 0.5;
+    t.add_row({std::to_string(i + 1),
+               fmt_int(static_cast<long long>(groups[i].size())),
+               fmt_double(found.gtls[i].score, 3), fmt_percent(cell_share),
+               fmt_percent(bbox_share), fmt_double(crowding, 1) + "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\nfound GTLs crowd into small local regions: "
+            << (all_crowded ? "YES" : "NO")
+            << "   [paper: GTL clots visible in Fig. 4]\n";
+  bench::shape_note();
+  return all_crowded ? 0 : 1;
+}

@@ -1,0 +1,204 @@
+// Performance microbenchmarks (google-benchmark) validating the paper's
+// complexity claims (Ch. IV) and the design-choice ablations DESIGN.md
+// calls out:
+//   * Phase I ordering cost ~ O(|E| ln |V|) — growth rate across sizes;
+//   * the large-net update-skip trick (paper's K=20) on fanout-heavy nets;
+//   * Phase III refinement cost vs. detection quality;
+//   * GTL metric evaluation is O(degree) per update, while the baseline
+//     connectivity metrics (edge separability / adhesion) need max-flows —
+//     the paper's Ch. II argument for why they are impractical.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "finder/tangled_logic_finder.hpp"
+#include "graphgen/planted_graph.hpp"
+#include "metrics/baselines.hpp"
+#include "metrics/group_connectivity.hpp"
+#include "order/linear_ordering.hpp"
+#include "place/congestion.hpp"
+#include "place/linear_system.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gtl;
+
+const PlantedGraph& graph_of_size(std::uint32_t n) {
+  static std::map<std::uint32_t, PlantedGraph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    PlantedGraphConfig cfg;
+    cfg.num_cells = n;
+    cfg.gtls.push_back({n / 10, 1});
+    Rng rng(n);
+    it = cache.emplace(n, generate_planted_graph(cfg, rng)).first;
+  }
+  return it->second;
+}
+
+/// Phase I throughput: cells absorbed per second at various |V|.
+void BM_OrderingGrow(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const PlantedGraph& pg = graph_of_size(n);
+  OrderingEngine engine(pg.netlist,
+                        {.max_length = n / 4, .large_net_threshold = 20});
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const LinearOrdering ord = engine.grow(pg.gtl_members[0][0]);
+    steps += ord.cells.size();
+    benchmark::DoNotOptimize(ord.prefix_cut.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_OrderingGrow)->Arg(2'000)->Arg(8'000)->Arg(32'000);
+
+/// Ablation: exact gains (threshold 0) vs the paper's large-net skip, on a
+/// graph salted with high-fanout nets.
+void BM_LargeNetThreshold(benchmark::State& state) {
+  const bool use_trick = state.range(0) != 0;
+  static const PlantedGraph* salted = [] {
+    PlantedGraphConfig cfg;
+    cfg.num_cells = 8'000;
+    cfg.gtls.push_back({800, 1});
+    Rng rng(5);
+    auto* pg = new PlantedGraph(generate_planted_graph(cfg, rng));
+    // Salt with 40-pin "bus" nets via a rebuild.
+    NetlistBuilder nb;
+    for (CellId c = 0; c < pg->netlist.num_cells(); ++c) nb.add_cell();
+    for (NetId e = 0; e < pg->netlist.num_nets(); ++e) {
+      nb.add_net(pg->netlist.pins_of(e));
+    }
+    for (int b = 0; b < 120; ++b) {
+      std::vector<CellId> pins;
+      for (int i = 0; i < 40; ++i) {
+        pins.push_back(static_cast<CellId>(rng.next_below(8'000)));
+      }
+      nb.add_net(pins);
+    }
+    pg->netlist = nb.build();
+    return pg;
+  }();
+  OrderingEngine engine(
+      salted->netlist,
+      {.max_length = 2'000,
+       .large_net_threshold = use_trick ? 20u : 0u});
+  for (auto _ : state) {
+    const LinearOrdering ord = engine.grow(salted->gtl_members[0][0]);
+    benchmark::DoNotOptimize(ord.cells.data());
+  }
+}
+BENCHMARK(BM_LargeNetThreshold)->Arg(0)->Arg(1);
+
+/// GroupConnectivity update cost (the inner loop of everything).
+void BM_GroupConnectivityAdd(benchmark::State& state) {
+  const PlantedGraph& pg = graph_of_size(8'000);
+  GroupConnectivity group(pg.netlist);
+  Rng rng(11);
+  std::vector<CellId> cells(4'000);
+  for (auto& c : cells) c = static_cast<CellId>(rng.next_below(8'000));
+  for (auto _ : state) {
+    group.clear();
+    for (const CellId c : cells) {
+      if (!group.contains(c)) group.add(c);
+    }
+    benchmark::DoNotOptimize(group.cut());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 4'000);
+}
+BENCHMARK(BM_GroupConnectivityAdd);
+
+/// Full finder, with and without Phase III refinement (ablation).
+void BM_FinderRefinementAblation(benchmark::State& state) {
+  const PlantedGraph& pg = graph_of_size(8'000);
+  FinderConfig cfg;
+  cfg.num_seeds = 20;
+  cfg.max_ordering_length = 3'200;
+  cfg.num_threads = 1;
+  cfg.refine_seeds = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const FinderResult res = find_tangled_logic(pg.netlist, cfg);
+    benchmark::DoNotOptimize(res.gtls.data());
+  }
+}
+BENCHMARK(BM_FinderRefinementAblation)->Arg(0)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+/// The paper's Ch. II argument: GTL metrics are cheap; edge separability
+/// (max-flow per pair) is not.  Same 60-cell cluster, both costs.
+void BM_ClusterScoreGtl(benchmark::State& state) {
+  const PlantedGraph& pg = graph_of_size(8'000);
+  GroupConnectivity group(pg.netlist);
+  std::vector<CellId> cluster(pg.gtl_members[0].begin(),
+                              pg.gtl_members[0].begin() + 60);
+  const ScoreContext ctx{0.7, pg.netlist.average_pins_per_cell()};
+  for (auto _ : state) {
+    group.assign(cluster);
+    const GtlScores s = score_group(group, ctx);
+    benchmark::DoNotOptimize(s.ngtl_s);
+  }
+}
+BENCHMARK(BM_ClusterScoreGtl);
+
+void BM_ClusterScoreAdhesion(benchmark::State& state) {
+  const PlantedGraph& pg = graph_of_size(8'000);
+  std::vector<CellId> cluster(pg.gtl_members[0].begin(),
+                              pg.gtl_members[0].begin() + 12);
+  for (auto _ : state) {
+    auto a = adhesion(pg.netlist, cluster, 512);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetLabel("12-cell cluster only; quadratic in cluster size");
+}
+BENCHMARK(BM_ClusterScoreAdhesion)->Unit(benchmark::kMillisecond);
+
+/// Congestion-map construction throughput.
+void BM_CongestionMap(benchmark::State& state) {
+  const PlantedGraph& pg = graph_of_size(8'000);
+  Rng rng(3);
+  std::vector<double> x(pg.netlist.num_cells()), y(pg.netlist.num_cells());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.next_double() * 100.0;
+    y[i] = rng.next_double() * 100.0;
+  }
+  const Die die{100.0, 100.0, 1.0};
+  CongestionConfig cfg;
+  for (auto _ : state) {
+    const CongestionMap m = estimate_congestion(pg.netlist, x, y, die, cfg);
+    benchmark::DoNotOptimize(m.demand.data());
+  }
+}
+BENCHMARK(BM_CongestionMap);
+
+/// Jacobi-PCG on a 2D grid Laplacian (the placer's inner solver).
+void BM_PcgSolve(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = side * side;
+  SparseMatrix a(n);
+  auto id = [side](std::size_t r, std::size_t c) { return r * side + c; };
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      double d = 1e-6;
+      const std::size_t i = id(r, c);
+      if (r > 0) { a.add(i, id(r - 1, c), -1.0); d += 1.0; }
+      if (r + 1 < side) { a.add(i, id(r + 1, c), -1.0); d += 1.0; }
+      if (c > 0) { a.add(i, id(r, c - 1), -1.0); d += 1.0; }
+      if (c + 1 < side) { a.add(i, id(r, c + 1), -1.0); d += 1.0; }
+      a.add(i, i, d);
+    }
+  }
+  a.assemble();
+  std::vector<double> b(n, 0.01), x(n, 0.0);
+  for (auto _ : state) {
+    std::fill(x.begin(), x.end(), 0.0);
+    const CgResult r = solve_pcg(a, b, x, 1e-6, 500);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_PcgSolve)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Reproduces Table 1: "Experimental results on random graphs."
+//
+// Four cases of planted random graphs (Garbers-style, see graphgen/):
+//   1:  10K nodes, one   500-cell GTL
+//   2: 100K nodes, one  2K-cell + one 15K-cell GTL
+//   3: 100K nodes, one  5K-cell GTL
+//   4: 800K nodes, six 40K-cell GTLs
+// The tangled-logic finder must rediscover every planted GTL with tiny
+// miss/over rates (paper: miss <= 0.14%, over <= 0.5%) and strong scores
+// (nGTL-S, GTL-SD well below 1).
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graphgen/planted_graph.hpp"
+
+namespace {
+
+using namespace gtl;
+using bench::size_factor;
+
+struct Case {
+  int id;
+  std::uint32_t num_cells;
+  std::vector<PlantedGtlSpec> gtls;
+  const char* paper_row;  // reference summary from the paper
+};
+
+std::uint32_t scaled(std::uint32_t v, double f, std::uint32_t floor_v) {
+  return std::max(floor_v, static_cast<std::uint32_t>(v * f));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const Scale scale = parse_scale(args);
+  bench::banner("Table 1 — random graphs with planted GTLs", scale);
+  const double f = size_factor(scale);
+
+  const std::vector<Case> cases = {
+      {1, 10'000, {{500, 1}}, "1 GTL found, size 501, nGTL-S 0.1, miss 0%, over 0.2%"},
+      {2, 100'000, {{2'000, 1}, {15'000, 1}}, "2 GTLs, nGTL-S 0.017-0.025, miss <=0.03%, over <=0.5%"},
+      {3, 100'000, {{5'000, 1}}, "1 GTL, size 5008, nGTL-S 0.023, miss 0%, over 0.16%"},
+      {4, 800'000, {{40'000, 6}}, "6 GTLs, nGTL-S 0.0095-0.0191, miss <=0.14%, over <=0.28%"},
+  };
+
+  Table t("Table 1 (measured)");
+  t.set_header({"Case", "|V|", "Synthesized GTLs", "#seeds", "#GTL found",
+                "GTL size", "nGTL-S", "GTL-SD", "Miss", "Over"});
+
+  for (const auto& c : cases) {
+    // Case 1 is small enough to run at paper size on every scale.
+    const double cf = c.id == 1 && scale != Scale::kSmoke ? 1.0 : f;
+    PlantedGraphConfig gcfg;
+    gcfg.num_cells = scaled(c.num_cells, cf, 2'000);
+    std::string synth;
+    std::uint32_t largest = 0;
+    for (const auto& spec : c.gtls) {
+      PlantedGtlSpec s{scaled(spec.size, cf, 100), spec.count};
+      largest = std::max(largest, s.size);
+      if (!synth.empty()) synth += "+";
+      synth += fmt_int(s.size) + "x" + std::to_string(s.count);
+      gcfg.gtls.push_back(s);
+    }
+    Rng rng(1000 + c.id);
+    const PlantedGraph pg = generate_planted_graph(gcfg, rng);
+
+    FinderConfig fcfg;
+    fcfg.num_seeds = static_cast<std::size_t>(args.get_int("seeds", 100));
+    fcfg.max_ordering_length =
+        std::min<std::size_t>(gcfg.num_cells, largest * 4);
+    fcfg.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    fcfg.rng_seed = 42 + c.id;
+    Timer timer;
+    const FinderResult res = find_tangled_logic(pg.netlist, fcfg);
+
+    bool first_row = true;
+    for (const auto& g : res.gtls) {
+      // Match each found GTL to its best ground-truth structure.
+      RecoveryStats best;
+      for (const auto& truth : pg.gtl_members) {
+        const auto rec = recovery_stats(truth, g.cells);
+        if (rec.overlap > best.overlap) best = rec;
+      }
+      t.add_row({first_row ? std::to_string(c.id) : "",
+                 first_row ? fmt_int(gcfg.num_cells) : "",
+                 first_row ? synth : "",
+                 first_row ? std::to_string(fcfg.num_seeds) : "",
+                 first_row ? std::to_string(res.gtls.size()) : "",
+                 fmt_int(static_cast<long long>(g.size())),
+                 fmt_double(g.ngtl_s, 4), fmt_double(g.gtl_sd, 4),
+                 fmt_percent(best.miss_fraction), fmt_percent(best.over_fraction)});
+      first_row = false;
+    }
+    if (res.gtls.empty()) {
+      t.add_row({std::to_string(c.id), fmt_int(gcfg.num_cells), synth,
+                 std::to_string(fcfg.num_seeds), "0", "-", "-", "-", "-", "-"});
+    }
+    std::cout << "case " << c.id << " done in " << fmt_double(timer.seconds(), 1)
+              << "s   [paper: " << c.paper_row << "]\n";
+  }
+
+  std::cout << '\n';
+  t.print(std::cout);
+  bench::shape_note();
+  return 0;
+}

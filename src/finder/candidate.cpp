@@ -1,0 +1,94 @@
+#include "finder/candidate.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace gtl {
+
+Candidate score_members(std::span<const CellId> members,
+                        GroupConnectivity& group, const ScoreContext& ctx,
+                        ScoreKind kind) {
+  GTL_REQUIRE(!members.empty(), "cannot score an empty group");
+  group.assign(members);
+
+  Candidate c;
+  c.cells.assign(members.begin(), members.end());
+  std::sort(c.cells.begin(), c.cells.end());
+  c.cut = group.cut();
+  c.avg_pins = group.avg_pins_per_cell();
+  const auto cut = static_cast<double>(c.cut);
+  const auto size = static_cast<double>(members.size());
+  c.ngtl_s = ngtl_score(cut, size, ctx);
+  c.gtl_sd = gtl_sd_score(cut, size, c.avg_pins, ctx);
+  c.score = kind == ScoreKind::kNgtlS ? c.ngtl_s : c.gtl_sd;
+  c.rent_exponent_used = ctx.rent_exponent;
+  return c;
+}
+
+std::optional<Candidate> extract_candidate(const Netlist& nl,
+                                           const LinearOrdering& ordering,
+                                           ScoreKind kind,
+                                           const CurveConfig& curve_cfg,
+                                           const MinimumConfig& min_cfg) {
+  if (ordering.cells.size() < min_cfg.min_size) return std::nullopt;
+  const ScoreCurve curve = compute_score_curve(nl, ordering, curve_cfg);
+  const auto minimum = find_clear_minimum(curve.values(kind), min_cfg);
+  if (!minimum) return std::nullopt;
+
+  const std::size_t k = minimum->prefix_size;
+  Candidate c;
+  c.cells.assign(ordering.cells.begin(),
+                 ordering.cells.begin() + static_cast<std::ptrdiff_t>(k));
+  std::sort(c.cells.begin(), c.cells.end());
+  c.cut = ordering.prefix_cut[k - 1];
+  c.avg_pins = static_cast<double>(ordering.prefix_pins[k - 1]) /
+               static_cast<double>(k);
+  c.ngtl_s = curve.ngtl_s[k - 1];
+  c.gtl_sd = curve.gtl_sd[k - 1];
+  c.score = curve.values(kind)[k - 1];
+  c.seed = ordering.seed;
+  c.rent_exponent_used = curve.rent_exponent;
+  return c;
+}
+
+std::vector<CellId> set_union(std::span<const CellId> a,
+                              std::span<const CellId> b) {
+  std::vector<CellId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<CellId> set_intersection(std::span<const CellId> a,
+                                     std::span<const CellId> b) {
+  std::vector<CellId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<CellId> set_difference(std::span<const CellId> a,
+                                   std::span<const CellId> b) {
+  std::vector<CellId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+bool sets_overlap(std::span<const CellId> a, std::span<const CellId> b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return false;
+}
+
+}  // namespace gtl

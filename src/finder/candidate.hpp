@@ -1,0 +1,58 @@
+#pragma once
+// Candidate GTLs: extraction from a linear ordering (Phase II, steps
+// II.1-II.4) and scoring of explicit member sets — including the set
+// algebra (union / intersection / difference) that Phase III's genetic
+// refinement needs.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "finder/score_curve.hpp"
+#include "metrics/group_connectivity.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gtl {
+
+/// A (candidate or final) group of tangled logic.
+struct Candidate {
+  /// Member cells, sorted by id.
+  std::vector<CellId> cells;
+  std::int64_t cut = 0;     ///< T(C)
+  double avg_pins = 0.0;    ///< A_C
+  double ngtl_s = 0.0;
+  double gtl_sd = 0.0;
+  double score = 0.0;       ///< the selected Φ (per FinderConfig::score)
+  CellId seed = kInvalidCell;        ///< seed of the ordering it came from
+  double rent_exponent_used = 0.0;   ///< p the scores were computed with
+
+  [[nodiscard]] std::size_t size() const { return cells.size(); }
+};
+
+/// Score an explicit member set under `ctx`, filling every Candidate
+/// field except `seed`.  `group` is scratch space (cleared and reused).
+[[nodiscard]] Candidate score_members(std::span<const CellId> members,
+                                      GroupConnectivity& group,
+                                      const ScoreContext& ctx,
+                                      ScoreKind kind);
+
+/// Phase II: extract a candidate from an ordering, or nullopt when its
+/// score curve has no clear minimum (seed was outside any GTL).
+/// The candidate's scores use the ordering's own Rent exponent estimate.
+[[nodiscard]] std::optional<Candidate> extract_candidate(
+    const Netlist& nl, const LinearOrdering& ordering, ScoreKind kind,
+    const CurveConfig& curve_cfg = {}, const MinimumConfig& min_cfg = {});
+
+// --- sorted-vector set algebra (member lists are sorted by id) ---
+
+[[nodiscard]] std::vector<CellId> set_union(std::span<const CellId> a,
+                                            std::span<const CellId> b);
+[[nodiscard]] std::vector<CellId> set_intersection(std::span<const CellId> a,
+                                                   std::span<const CellId> b);
+[[nodiscard]] std::vector<CellId> set_difference(std::span<const CellId> a,
+                                                 std::span<const CellId> b);
+/// True iff the sorted lists share at least one cell.
+[[nodiscard]] bool sets_overlap(std::span<const CellId> a,
+                                std::span<const CellId> b);
+
+}  // namespace gtl

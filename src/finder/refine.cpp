@@ -1,0 +1,78 @@
+#include "finder/refine.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace gtl {
+
+Candidate refine_candidate(const Netlist& nl, const Candidate& initial,
+                           OrderingEngine& engine, const ScoreContext& ctx,
+                           ScoreKind kind, const RefineConfig& cfg,
+                           const MinimumConfig& min_cfg,
+                           const CurveConfig& curve_cfg, Rng& rng) {
+  GTL_REQUIRE(!initial.cells.empty(), "cannot refine an empty candidate");
+  GroupConnectivity group(nl);
+
+  // T in the paper's pseudocode: the base family of grown candidates.
+  std::vector<std::vector<CellId>> base;
+  base.push_back(initial.cells);
+  for (std::size_t i = 0; i < cfg.extra_seeds; ++i) {
+    const CellId inner_seed =
+        initial.cells[rng.next_below(initial.cells.size())];
+    const LinearOrdering ordering = engine.grow(inner_seed);
+    auto cand = extract_candidate(nl, ordering, kind, curve_cfg, min_cfg);
+    if (cand) base.push_back(std::move(cand->cells));
+  }
+
+  // F: base members plus pairwise union / intersection / differences.
+  std::vector<std::vector<CellId>> family = base;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (std::size_t j = i + 1; j < base.size(); ++j) {
+      auto inter = set_intersection(base[i], base[j]);
+      family.push_back(set_union(base[i], base[j]));
+      family.push_back(set_difference(base[i], base[j]));  // Z_i − Z_i∩Z_j
+      family.push_back(set_difference(base[j], base[i]));  // Z_j − Z_i∩Z_j
+      family.push_back(std::move(inter));
+    }
+  }
+
+  // Pick the family member with minimum Φ (respecting the size floor).
+  Candidate best = score_members(initial.cells, group, ctx, kind);
+  best.seed = initial.seed;
+  for (const auto& members : family) {
+    if (members.size() < cfg.min_size) continue;
+    Candidate cand = score_members(members, group, ctx, kind);
+    if (cand.score < best.score) {
+      cand.seed = initial.seed;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+std::vector<Candidate> prune_overlapping(std::vector<Candidate> candidates,
+                                         std::size_t num_cells) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.cells < b.cells;  // deterministic tie-break
+            });
+  std::vector<bool> claimed(num_cells, false);
+  std::vector<Candidate> kept;
+  for (auto& cand : candidates) {
+    bool overlaps = false;
+    for (const CellId c : cand.cells) {
+      if (claimed[c]) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    for (const CellId c : cand.cells) claimed[c] = true;
+    kept.push_back(std::move(cand));
+  }
+  return kept;
+}
+
+}  // namespace gtl

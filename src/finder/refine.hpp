@@ -1,0 +1,50 @@
+#pragma once
+// Phase III (paper §3.2.3, Algorithm steps III.1-III.21):
+//
+// Refinement — a candidate grown from a random seed can be slightly off
+// (e.g. a boundary seed drags outside cells in).  Re-grow from
+// `extra_seeds` cells inside the candidate, then form the genetic family
+// {B, B1..Bl} plus all pairwise unions, intersections and differences,
+// and keep the member with the best Φ.
+//
+// Pruning — refined candidates from different initial seeds often describe
+// the same structure.  The paper keeps a candidate iff it overlaps no
+// better-scoring candidate (sort by non-increasing Φ; keep P_i if it is
+// disjoint from everything after it).  We implement the equivalent
+// best-first greedy: sort by Φ ascending and keep candidates disjoint
+// from everything already kept.
+
+#include <vector>
+
+#include "finder/candidate.hpp"
+#include "order/linear_ordering.hpp"
+#include "util/rng.hpp"
+
+namespace gtl {
+
+struct RefineConfig {
+  /// l: number of inner re-growths per candidate (paper uses 3).
+  std::size_t extra_seeds = 3;
+  /// Candidates below this size are dropped after refinement.
+  std::size_t min_size = 30;
+};
+
+/// Refine one candidate. `engine` supplies Phase I re-growths; `ctx` is
+/// the shared scoring context so family members are comparable.
+[[nodiscard]] Candidate refine_candidate(const Netlist& nl,
+                                         const Candidate& initial,
+                                         OrderingEngine& engine,
+                                         const ScoreContext& ctx,
+                                         ScoreKind kind,
+                                         const RefineConfig& cfg,
+                                         const MinimumConfig& min_cfg,
+                                         const CurveConfig& curve_cfg,
+                                         Rng& rng);
+
+/// Prune overlapping candidates: returns the best-score-first maximal
+/// disjoint set (see header comment for the equivalence to the paper's
+/// ordering-based rule).
+[[nodiscard]] std::vector<Candidate> prune_overlapping(
+    std::vector<Candidate> candidates, std::size_t num_cells);
+
+}  // namespace gtl

@@ -1,0 +1,96 @@
+#include "finder/score_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace gtl {
+
+ScoreCurve compute_score_curve(const Netlist& nl,
+                               const LinearOrdering& ordering,
+                               const CurveConfig& cfg) {
+  GTL_REQUIRE(!ordering.cells.empty(), "ordering is empty");
+  const std::size_t n = ordering.cells.size();
+  GTL_REQUIRE(ordering.prefix_cut.size() == n &&
+                  ordering.prefix_pins.size() == n,
+              "ordering prefix arrays inconsistent");
+
+  ScoreCurve out;
+  out.context.avg_pins_per_cell = nl.average_pins_per_cell();
+
+  // Rent exponent: mean over prefixes of the paper's per-group estimate.
+  double p_sum = 0.0;
+  std::size_t p_count = 0;
+  for (std::size_t k = std::max<std::size_t>(cfg.rent_min_k, 2); k <= n; ++k) {
+    const auto cut = static_cast<double>(ordering.prefix_cut[k - 1]);
+    const double a_c = static_cast<double>(ordering.prefix_pins[k - 1]) /
+                       static_cast<double>(k);
+    p_sum += group_rent_exponent(cut, static_cast<double>(k), a_c);
+    ++p_count;
+  }
+  out.rent_exponent = p_count > 0 ? p_sum / static_cast<double>(p_count) : 0.6;
+  out.rent_exponent = std::clamp(out.rent_exponent, 0.1, 1.0);
+  out.context.rent_exponent = out.rent_exponent;
+
+  out.ngtl_s.resize(n);
+  out.gtl_sd.resize(n);
+  out.ratio_cut.resize(n);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const auto cut = static_cast<double>(ordering.prefix_cut[k - 1]);
+    const auto size = static_cast<double>(k);
+    const double a_c =
+        static_cast<double>(ordering.prefix_pins[k - 1]) / size;
+    out.ngtl_s[k - 1] = ngtl_score(cut, size, out.context);
+    out.gtl_sd[k - 1] = gtl_sd_score(cut, size, a_c, out.context);
+    out.ratio_cut[k - 1] = ratio_cut(cut, size);
+  }
+  return out;
+}
+
+std::optional<ClearMinimum> find_clear_minimum(const std::vector<double>& curve,
+                                               const MinimumConfig& cfg) {
+  const std::size_t n = curve.size();
+  if (n < cfg.min_size || cfg.min_size == 0) return std::nullopt;
+
+  // Right-edge guard: a minimum in the final stretch means the curve was
+  // still falling when the ordering ended.
+  const auto last_valid = static_cast<std::size_t>(
+      std::floor(static_cast<double>(n) * (1.0 - cfg.edge_fraction)));
+  if (last_valid < cfg.min_size) return std::nullopt;
+
+  std::size_t best_k = 0;
+  double best_v = 0.0;
+  for (std::size_t k = cfg.min_size; k <= last_valid; ++k) {
+    const double v = curve[k - 1];
+    if (best_k == 0 || v < best_v) {
+      best_k = k;
+      best_v = v;
+    }
+  }
+  if (best_k == 0) return std::nullopt;
+  if (best_v >= cfg.accept_threshold) return std::nullopt;
+
+  // Drop test: the curve must have risen well above the minimum earlier
+  // (a monotone-rising background curve, Fig. 2, has no such drop).
+  double max_before = 0.0;
+  for (std::size_t k = cfg.min_size; k <= best_k; ++k) {
+    max_before = std::max(max_before, curve[k - 1]);
+  }
+  if (max_before < cfg.drop_factor * std::max(best_v, 1e-12)) {
+    return std::nullopt;
+  }
+  // Rise test: after absorbing the whole GTL, adding outside cells must
+  // push the score back up (paper §3.1).  A curve still falling at its
+  // end means the ordering ended inside a structure — no boundary found.
+  double max_after = 0.0;
+  for (std::size_t k = best_k; k <= n; ++k) {
+    max_after = std::max(max_after, curve[k - 1]);
+  }
+  if (max_after < cfg.rise_factor * std::max(best_v, 1e-12)) {
+    return std::nullopt;
+  }
+  return ClearMinimum{best_k, best_v};
+}
+
+}  // namespace gtl

@@ -1,0 +1,80 @@
+#pragma once
+// Phase II support (paper §3.2.2): turn a linear ordering into score
+// curves  Φ(C_k)  over its prefixes C_k, estimate the Rent exponent from
+// the ordering itself, and detect a "clear minimum" — the signature of a
+// discovered GTL (paper Figs. 2, 3, 5).
+//
+// The paper's criterion is informal ("if there is a clear minimum in this
+// function, the corresponding cell group is selected").  We make it
+// precise with three checks, each motivated by the curve shapes in Figs.
+// 2-3: the minimum must (a) be deep in absolute terms (score below
+// `accept_threshold`; average logic ≈ 1, strong GTLs « 1), (b) come after
+// a pronounced drop (max-before-min / min >= `drop_factor` — the outside-
+// GTL curve of Fig. 2 rises monotonically and never drops), and (c) not
+// sit at the right edge of the curve (a still-falling curve means the
+// ordering ran out of length before leaving the structure).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "metrics/scores.hpp"
+#include "order/linear_ordering.hpp"
+
+namespace gtl {
+
+/// Which Φ drives candidate selection and pruning.
+enum class ScoreKind {
+  kNgtlS,   ///< normalized GTL-Score
+  kGtlSd,   ///< density-aware GTL-Score (paper's final metric)
+};
+
+/// Score curves over every prefix of one linear ordering.
+struct ScoreCurve {
+  /// Per-prefix values, index k-1 for prefix size k.
+  std::vector<double> ngtl_s;
+  std::vector<double> gtl_sd;
+  std::vector<double> ratio_cut;  ///< baseline, for Fig. 5
+  /// Rent exponent estimated from this ordering: the mean over prefixes of
+  /// (ln T(C_k) − ln A_Ck)/ln k  (paper §3.2.2), k >= rent_min_k.
+  double rent_exponent = 0.6;
+  /// The context the curves were computed with (A_G plus the above p).
+  ScoreContext context;
+
+  [[nodiscard]] const std::vector<double>& values(ScoreKind kind) const {
+    return kind == ScoreKind::kNgtlS ? ngtl_s : gtl_sd;
+  }
+};
+
+struct CurveConfig {
+  /// Smallest prefix used for Rent-exponent estimation.
+  std::size_t rent_min_k = 10;
+};
+
+/// Compute the score curves of an ordering.  A_G is taken from the
+/// netlist; the Rent exponent is estimated from the ordering itself.
+[[nodiscard]] ScoreCurve compute_score_curve(const Netlist& nl,
+                                             const LinearOrdering& ordering,
+                                             const CurveConfig& cfg = {});
+
+/// Parameters of the clear-minimum test.
+struct MinimumConfig {
+  std::size_t min_size = 30;       ///< ignore tiny prefixes (paper §3.1)
+  double accept_threshold = 0.75;  ///< minimum must score below this
+  double drop_factor = 1.6;        ///< max-before-min / min must exceed this
+  double rise_factor = 1.3;        ///< max-after-min / min must exceed this
+  double edge_fraction = 0.02;     ///< reject minima in the last 2% of curve
+};
+
+/// A detected clear minimum.
+struct ClearMinimum {
+  std::size_t prefix_size = 0;  ///< k*: candidate GTL = first k* cells
+  double value = 0.0;           ///< Φ(C_{k*})
+};
+
+/// Find the clear minimum of `curve` (one of ScoreCurve's value vectors),
+/// or nullopt if no prefix passes the three checks.
+[[nodiscard]] std::optional<ClearMinimum> find_clear_minimum(
+    const std::vector<double>& curve, const MinimumConfig& cfg = {});
+
+}  // namespace gtl

@@ -1,0 +1,125 @@
+#include "graphgen/planted_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graphgen/regular_nets.hpp"
+#include <unordered_set>
+
+namespace gtl {
+namespace {
+
+/// Background net size: 2 with prob 1-multi_pin_fraction, else geometric
+/// tail in [3, max_net_size].
+std::uint32_t draw_background_net_size(const PlantedGraphConfig& cfg,
+                                       Rng& rng) {
+  if (!rng.next_bool(cfg.multi_pin_fraction) || cfg.max_net_size <= 2) {
+    return 2;
+  }
+  std::uint32_t size = 3;
+  while (size < cfg.max_net_size && rng.next_bool(0.45)) ++size;
+  return size;
+}
+
+/// Internal net size: mean internal_avg_net_size, min 2.
+std::uint32_t draw_internal_net_size(const PlantedGraphConfig& cfg,
+                                     Rng& rng) {
+  const double mean = std::max(2.0, cfg.internal_avg_net_size);
+  // 2 + geometric with success 1/(mean-1): expectation == mean.
+  std::uint32_t size = 2;
+  const double cont = 1.0 - 1.0 / (mean - 1.0);
+  while (size < 12 && rng.next_bool(cont)) ++size;
+  return size;
+}
+
+}  // namespace
+
+PlantedGraph generate_planted_graph(const PlantedGraphConfig& cfg, Rng& rng) {
+  std::size_t planted_total = 0;
+  for (const auto& spec : cfg.gtls) {
+    planted_total += static_cast<std::size_t>(spec.size) * spec.count;
+  }
+  if (planted_total > cfg.num_cells) {
+    throw std::invalid_argument("planted GTLs larger than the graph");
+  }
+  for (const auto& spec : cfg.gtls) {
+    if (spec.size < 2) throw std::invalid_argument("GTL size must be >= 2");
+  }
+
+  // Assign cells to GTLs: shuffle all ids, slice off each GTL.
+  std::vector<CellId> ids(cfg.num_cells);
+  for (std::uint32_t i = 0; i < cfg.num_cells; ++i) ids[i] = i;
+  rng.shuffle(ids);
+
+  PlantedGraph out;
+  std::vector<bool> in_gtl(cfg.num_cells, false);
+  std::size_t cursor = 0;
+  for (const auto& spec : cfg.gtls) {
+    for (std::uint32_t rep = 0; rep < spec.count; ++rep) {
+      std::vector<CellId> members(ids.begin() + cursor,
+                                  ids.begin() + cursor + spec.size);
+      cursor += spec.size;
+      for (const CellId c : members) in_gtl[c] = true;
+      std::sort(members.begin(), members.end());
+      out.gtl_members.push_back(std::move(members));
+    }
+  }
+  std::vector<CellId> background;
+  background.reserve(cfg.num_cells - planted_total);
+  for (CellId c = 0; c < cfg.num_cells; ++c) {
+    if (!in_gtl[c]) background.push_back(c);
+  }
+  if (background.size() < 2) {
+    throw std::invalid_argument("background too small for external nets");
+  }
+
+  NetlistBuilder nb;
+  for (CellId c = 0; c < cfg.num_cells; ++c) nb.add_cell();
+
+  // --- background nets over background cells only ---
+  const auto n_background_nets = static_cast<std::size_t>(
+      cfg.background_nets_per_cell * static_cast<double>(background.size()));
+  detail::emit_regular_nets(background, n_background_nets, rng, nb,
+                    [&] { return draw_background_net_size(cfg, rng); });
+
+  // --- planted structures ---
+  for (const auto& members : out.gtl_members) {
+    // Dense internal nets with near-uniform internal degrees.
+    const auto n_internal = static_cast<std::size_t>(
+        cfg.internal_nets_per_cell * static_cast<double>(members.size()));
+    detail::emit_regular_nets(members, n_internal, rng, nb,
+                      [&] { return draw_internal_net_size(cfg, rng); });
+    // A few ports talking to the background (address/data lines of a
+    // dissolved ROM): 2-pin nets from port cells to background cells.
+    const std::uint32_t n_ports = std::min<std::uint32_t>(
+        cfg.ports_per_gtl, static_cast<std::uint32_t>(members.size()));
+    for (std::uint32_t p = 0; p < n_ports; ++p) {
+      const CellId port = members[rng.next_below(members.size())];
+      for (std::uint32_t t = 0; t < cfg.nets_per_port; ++t) {
+        const CellId other = background[rng.next_below(background.size())];
+        const CellId net_pins[2] = {port, other};
+        nb.add_net(net_pins);
+      }
+    }
+  }
+
+  out.netlist = nb.build();
+  return out;
+}
+
+RecoveryStats recovery_stats(std::span<const CellId> truth,
+                             std::span<const CellId> found) {
+  RecoveryStats st;
+  if (truth.empty()) return st;
+  std::unordered_set<CellId> truth_set(truth.begin(), truth.end());
+  std::size_t overlap = 0;
+  for (const CellId c : found) overlap += truth_set.count(c);
+  st.overlap = overlap;
+  st.miss_fraction = static_cast<double>(truth.size() - overlap) /
+                     static_cast<double>(truth.size());
+  st.over_fraction = static_cast<double>(found.size() - overlap) /
+                     static_cast<double>(truth.size());
+  return st;
+}
+
+}  // namespace gtl

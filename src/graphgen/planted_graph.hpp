@@ -1,0 +1,78 @@
+#pragma once
+// Random hypergraphs with planted tangled-logic structures, "generated
+// based on [Garbers et al. 1990]" (paper §5.1.1, Table 1): a background
+// random hypergraph in which selected disjoint cell groups are made much
+// more connected internally and only weakly connected externally, so the
+// ground-truth GTLs are known a priori.
+//
+// Calibration targets (so that scores land in the paper's bands):
+//   * GTL cells carry complex-gate pin profiles (A_C > A_G), giving the
+//     density-aware score its contrast (paper Fig. 3);
+//   * each GTL talks to the outside through a handful of "port" cells
+//     only, so T(GTL) is tens of nets even for 40K-cell structures
+//     (paper Table 3 reports cuts of 28-36 for 32K-cell structures).
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace gtl {
+
+/// One planted structure request: `count` disjoint GTLs of `size` cells.
+struct PlantedGtlSpec {
+  std::uint32_t size = 0;
+  std::uint32_t count = 1;
+};
+
+struct PlantedGraphConfig {
+  std::uint32_t num_cells = 10'000;
+  std::vector<PlantedGtlSpec> gtls;
+
+  // --- background graph ---
+  /// Background nets per background cell.
+  double background_nets_per_cell = 1.3;
+  /// Probability that a background net has more than 2 pins.
+  double multi_pin_fraction = 0.3;
+  /// Cap on background net sizes (tail is geometric).
+  std::uint32_t max_net_size = 8;
+
+  // --- planted structures ---
+  /// Internal nets per GTL cell (drives internal pin density).
+  double internal_nets_per_cell = 1.5;
+  /// Mean internal net size (>= 2).
+  double internal_avg_net_size = 3.0;
+  /// Number of port cells per GTL through which all external nets pass.
+  /// 12 ports x 2 nets reproduces the paper's Table 1 score band
+  /// (nGTL-S ≈ 0.1 at 500 cells down to ≈ 0.01 at 40K cells).
+  std::uint32_t ports_per_gtl = 12;
+  /// External 2-pin nets attached to each port cell.
+  std::uint32_t nets_per_port = 2;
+};
+
+/// A generated graph plus its ground truth.
+struct PlantedGraph {
+  Netlist netlist;
+  /// Ground-truth member lists, one per planted GTL, sorted by cell id.
+  std::vector<std::vector<CellId>> gtl_members;
+};
+
+/// Generate a planted random graph. Throws std::invalid_argument if the
+/// requested GTLs do not fit in num_cells. Deterministic given `rng`.
+[[nodiscard]] PlantedGraph generate_planted_graph(
+    const PlantedGraphConfig& config, Rng& rng);
+
+/// Recovery quality of a found group vs a ground-truth group
+/// (Table 1's "Miss" and "Over" columns).
+struct RecoveryStats {
+  double miss_fraction = 1.0;  ///< |truth − found| / |truth|
+  double over_fraction = 0.0;  ///< |found − truth| / |truth|
+  std::size_t overlap = 0;     ///< |found ∩ truth|
+};
+
+/// Compare a found member list against ground truth.
+[[nodiscard]] RecoveryStats recovery_stats(std::span<const CellId> truth,
+                                           std::span<const CellId> found);
+
+}  // namespace gtl

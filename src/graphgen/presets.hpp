@@ -1,0 +1,37 @@
+#pragma once
+// Workload presets matching the paper's evaluation section:
+//   - the six ISPD 2005/2006 benchmarks of Table 2 (bigblue1-3,
+//     adaptec1-3) with the paper's exact |V| at scale 1.0, and
+//   - the industrial 65nm design of Table 3 / Figs 1, 6, 7 with its five
+//     dissolved-ROM structures of 31880/31914/31754/32002/10932 cells.
+//
+// `scale` in (0, 1] shrinks |V| and structure sizes proportionally so the
+// same experiment runs in seconds (smoke) / minutes (default) instead of
+// the paper's hours; all reported quantities keep their ratios.
+
+#include <string>
+#include <vector>
+
+#include "graphgen/synthetic_circuit.hpp"
+
+namespace gtl {
+
+/// Names accepted by ispd_like_config().
+[[nodiscard]] const std::vector<std::string>& ispd_benchmark_names();
+
+/// Synthetic stand-in for one ISPD benchmark ("bigblue1", ..., "adaptec3").
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] SyntheticCircuitConfig ispd_like_config(const std::string& name,
+                                                      double scale = 1.0);
+
+/// Synthetic stand-in for the industrial design: five ROM-like structures
+/// with the paper's Table 3 sizes, clustered in the upper half of the die
+/// (mirroring Fig. 1's hotspot locations).
+[[nodiscard]] SyntheticCircuitConfig industrial_config(double scale = 1.0);
+
+/// Ground-truth structure sizes of the industrial preset at `scale`
+/// (paper Table 3, column "Size of GTL in design").
+[[nodiscard]] std::vector<std::uint32_t> industrial_gtl_sizes(
+    double scale = 1.0);
+
+}  // namespace gtl

@@ -1,0 +1,42 @@
+#pragma once
+// Shared generator helper: near-degree-regular net emission.
+//
+// Nets are built by consuming shuffled copies of a cell pool in chunks, so
+// every full pass adds exactly one net membership per cell.  This is the
+// construction style of the Garbers et al. random graphs the paper cites;
+// it also keeps background cell degrees tight, so a greedy agglomeration
+// cannot collect a high-degree tail that would masquerade as a dense
+// structure.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace gtl::detail {
+
+/// Emit `target_nets` nets over `pool` with sizes drawn from `draw_size`.
+template <typename SizeFn>
+void emit_regular_nets(const std::vector<CellId>& pool,
+                       std::size_t target_nets, Rng& rng, NetlistBuilder& nb,
+                       SizeFn&& draw_size) {
+  if (pool.size() < 2 || target_nets == 0) return;
+  std::vector<CellId> walk(pool.begin(), pool.end());
+  std::size_t emitted = 0;
+  while (emitted < target_nets) {
+    rng.shuffle(walk);
+    std::size_t pos = 0;
+    while (pos < walk.size() && emitted < target_nets) {
+      const std::uint32_t size = std::min<std::uint32_t>(
+          draw_size(), static_cast<std::uint32_t>(walk.size() - pos));
+      if (size < 2) break;  // tail too short for a net; next pass
+      nb.add_net(std::span<const CellId>(walk.data() + pos, size));
+      pos += size;
+      ++emitted;
+    }
+  }
+}
+
+}  // namespace gtl::detail

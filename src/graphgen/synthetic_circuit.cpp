@@ -1,0 +1,259 @@
+#include "graphgen/synthetic_circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graphgen/regular_nets.hpp"
+
+namespace gtl {
+namespace {
+
+struct Grid {
+  std::uint32_t width = 0;   // columns
+  std::uint32_t height = 0;  // rows
+  std::uint32_t num_cells = 0;
+
+  [[nodiscard]] bool valid(std::int64_t col, std::int64_t row) const {
+    if (col < 0 || row < 0 || col >= width || row >= height) return false;
+    return static_cast<std::uint64_t>(row) * width + col < num_cells;
+  }
+  [[nodiscard]] CellId at(std::uint32_t col, std::uint32_t row) const {
+    return static_cast<CellId>(row * width + col);
+  }
+  [[nodiscard]] std::uint32_t col_of(CellId c) const { return c % width; }
+  [[nodiscard]] std::uint32_t row_of(CellId c) const { return c / width; }
+};
+
+std::uint32_t draw_net_size(const SyntheticCircuitConfig& cfg, Rng& rng) {
+  if (!rng.next_bool(cfg.multi_pin_fraction) || cfg.max_net_size <= 2) {
+    return 2;
+  }
+  std::uint32_t size = 3;
+  // Geometric tail; rare large fan-out nets up to max_net_size.
+  while (size < cfg.max_net_size && rng.next_bool(0.42)) ++size;
+  return size;
+}
+
+std::uint32_t draw_internal_net_size(double mean, Rng& rng) {
+  mean = std::max(2.0, mean);
+  std::uint32_t size = 2;
+  const double cont = 1.0 - 1.0 / (mean - 1.0);
+  while (size < 12 && rng.next_bool(cont)) ++size;
+  return size;
+}
+
+/// Pareto-distributed net radius in grid units (>= 1).
+double draw_radius(double alpha, double cap, Rng& rng) {
+  const double u = rng.next_double();
+  const double r = std::pow(1.0 - u, -1.0 / alpha);
+  return std::min(r, cap);
+}
+
+/// Standard-cell width profile (in row-height units): mostly small gates.
+double draw_cell_width(Rng& rng) {
+  const double u = rng.next_double();
+  if (u < 0.45) return 1.0;
+  if (u < 0.80) return 2.0;
+  if (u < 0.95) return 3.0;
+  return 4.0;
+}
+
+}  // namespace
+
+SyntheticCircuit generate_synthetic_circuit(const SyntheticCircuitConfig& cfg,
+                                            Rng& rng) {
+  if (cfg.num_cells < 16) {
+    throw std::invalid_argument("synthetic circuit needs >= 16 cells");
+  }
+  Grid grid;
+  grid.width = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(cfg.num_cells))));
+  grid.height = static_cast<std::uint32_t>(
+      (cfg.num_cells + grid.width - 1) / grid.width);
+  grid.num_cells = cfg.num_cells;
+
+  SyntheticCircuit out;
+  const double pitch_x = 2.5;  // horizontal pitch leaves ~30% whitespace
+  const double pitch_y = 1.0;  // rows abut
+  out.die_width = grid.width * pitch_x;
+  out.die_height = grid.height * pitch_y;
+
+  // --- carve out rectangular patches for the planted structures ---
+  std::vector<bool> claimed(cfg.num_cells, false);
+  for (const auto& spec : cfg.structures) {
+    if (spec.size < 4) throw std::invalid_argument("structure size < 4");
+    const auto ws = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(spec.size))));
+    const auto hs = static_cast<std::uint32_t>((spec.size + ws - 1) / ws);
+    if (ws >= grid.width || hs >= grid.height) {
+      throw std::invalid_argument("structure does not fit on the die");
+    }
+    bool placed = false;
+    for (int attempt = 0; attempt < 200 && !placed; ++attempt) {
+      std::uint32_t col0, row0;
+      if (attempt == 0 && spec.center_x >= 0.0 && spec.center_y >= 0.0) {
+        col0 = static_cast<std::uint32_t>(std::clamp<double>(
+            spec.center_x * grid.width - ws / 2.0, 0.0,
+            static_cast<double>(grid.width - ws)));
+        row0 = static_cast<std::uint32_t>(std::clamp<double>(
+            spec.center_y * grid.height - hs / 2.0, 0.0,
+            static_cast<double>(grid.height - hs)));
+      } else {
+        col0 = static_cast<std::uint32_t>(
+            rng.next_below(grid.width - ws + 1));
+        row0 = static_cast<std::uint32_t>(
+            rng.next_below(grid.height - hs + 1));
+      }
+      // Check the patch is free and fully on valid cells.
+      std::vector<CellId> members;
+      members.reserve(spec.size);
+      bool ok = true;
+      for (std::uint32_t r = row0; r < row0 + hs && ok; ++r) {
+        for (std::uint32_t c = col0; c < col0 + ws && ok; ++c) {
+          if (!grid.valid(c, r) || claimed[grid.at(c, r)]) ok = false;
+        }
+      }
+      if (!ok) continue;
+      for (std::uint32_t r = row0; r < row0 + hs && members.size() < spec.size;
+           ++r) {
+        for (std::uint32_t c = col0;
+             c < col0 + ws && members.size() < spec.size; ++c) {
+          members.push_back(grid.at(c, r));
+        }
+      }
+      for (const CellId c : members) claimed[c] = true;
+      std::sort(members.begin(), members.end());
+      out.planted.push_back(std::move(members));
+      placed = true;
+    }
+    if (!placed) {
+      throw std::invalid_argument(
+          "could not place structure patch (die too crowded)");
+    }
+  }
+
+  // --- cells ---
+  NetlistBuilder nb;
+  nb.reserve(cfg.num_cells + cfg.num_pads,
+             static_cast<std::size_t>(cfg.background_nets_per_cell *
+                                      cfg.num_cells) +
+                 cfg.num_pads,
+             static_cast<std::size_t>(3.6 * cfg.num_cells));
+  out.hint_x.reserve(cfg.num_cells + cfg.num_pads);
+  out.hint_y.reserve(cfg.num_cells + cfg.num_pads);
+  for (CellId c = 0; c < cfg.num_cells; ++c) {
+    nb.add_cell(cfg.with_names ? "o" + std::to_string(c) : std::string{},
+                draw_cell_width(rng), 1.0, /*fixed=*/false);
+    out.hint_x.push_back((grid.col_of(c) + 0.5) * pitch_x);
+    out.hint_y.push_back((grid.row_of(c) + 0.5) * pitch_y);
+  }
+
+  // --- fixed I/O pads around the periphery ---
+  std::vector<CellId> pads;
+  pads.reserve(cfg.num_pads);
+  for (std::uint32_t p = 0; p < cfg.num_pads; ++p) {
+    const CellId id =
+        nb.add_cell(cfg.with_names ? "p" + std::to_string(p) : std::string{},
+                    1.0, 1.0, /*fixed=*/true);
+    pads.push_back(id);
+    // Walk the perimeter: fraction t of the full boundary length.
+    const double t = static_cast<double>(p) / cfg.num_pads * 4.0;
+    double px = 0.0, py = 0.0;
+    if (t < 1.0) {
+      px = t * out.die_width;
+    } else if (t < 2.0) {
+      px = out.die_width;
+      py = (t - 1.0) * out.die_height;
+    } else if (t < 3.0) {
+      px = (3.0 - t) * out.die_width;
+      py = out.die_height;
+    } else {
+      py = (4.0 - t) * out.die_height;
+    }
+    out.hint_x.push_back(px);
+    out.hint_y.push_back(py);
+  }
+
+  // --- background nets with power-law locality ---
+  std::vector<CellId> background;
+  background.reserve(cfg.num_cells);
+  for (CellId c = 0; c < cfg.num_cells; ++c) {
+    if (!claimed[c]) background.push_back(c);
+  }
+  if (background.size() < 8) {
+    throw std::invalid_argument("structures consume the whole die");
+  }
+  const double radius_cap =
+      std::max<double>(grid.width, grid.height);
+  const auto n_background_nets = static_cast<std::size_t>(
+      cfg.background_nets_per_cell * static_cast<double>(background.size()));
+
+  // Net centers walk a shuffled round-robin over the background so every
+  // cell drives a near-equal number of nets (degree-regularized; see
+  // graphgen/regular_nets.hpp for why this matters).
+  std::vector<CellId> center_walk(background.begin(), background.end());
+  std::size_t center_pos = center_walk.size();
+
+  std::vector<CellId> pins;
+  std::unordered_set<CellId> pin_set;
+  for (std::size_t i = 0; i < n_background_nets; ++i) {
+    if (center_pos >= center_walk.size()) {
+      rng.shuffle(center_walk);
+      center_pos = 0;
+    }
+    const CellId center = center_walk[center_pos++];
+    const std::uint32_t size = draw_net_size(cfg, rng);
+    const double radius = draw_radius(cfg.locality_alpha, radius_cap, rng);
+    const auto ccol = static_cast<std::int64_t>(grid.col_of(center));
+    const auto crow = static_cast<std::int64_t>(grid.row_of(center));
+    pins.clear();
+    pin_set.clear();
+    pins.push_back(center);
+    pin_set.insert(center);
+    int tries = 0;
+    while (pins.size() < size && tries < 40) {
+      ++tries;
+      const auto ir = static_cast<std::int64_t>(std::ceil(radius));
+      const std::int64_t dx = rng.next_int(-ir, ir);
+      const std::int64_t dy = rng.next_int(-ir, ir);
+      const std::int64_t col = ccol + dx, row = crow + dy;
+      if (!grid.valid(col, row)) continue;
+      const CellId c = grid.at(static_cast<std::uint32_t>(col),
+                               static_cast<std::uint32_t>(row));
+      if (claimed[c]) continue;  // structures reachable via ports only
+      if (pin_set.insert(c).second) pins.push_back(c);
+    }
+    if (pins.size() >= 2) nb.add_net(pins);
+  }
+
+  // --- planted structure internals and ports ---
+  for (std::size_t s = 0; s < out.planted.size(); ++s) {
+    const auto& spec = cfg.structures[s];
+    const auto& members = out.planted[s];
+    const auto n_internal = static_cast<std::size_t>(
+        spec.internal_nets_per_cell * static_cast<double>(members.size()));
+    detail::emit_regular_nets(members, n_internal, rng, nb, [&] {
+      return draw_internal_net_size(spec.internal_avg_net_size, rng);
+    });
+    for (std::uint32_t p = 0; p < spec.ports; ++p) {
+      const CellId inside = members[rng.next_below(members.size())];
+      const CellId outside = background[rng.next_below(background.size())];
+      const CellId net_pins[2] = {inside, outside};
+      nb.add_net(net_pins);
+    }
+  }
+
+  // --- pad nets ---
+  for (const CellId pad : pads) {
+    const CellId a = background[rng.next_below(background.size())];
+    const CellId net_pins[2] = {pad, a};
+    nb.add_net(net_pins);
+  }
+
+  out.netlist = nb.build();
+  return out;
+}
+
+}  // namespace gtl

@@ -1,0 +1,279 @@
+#include "metrics/baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace gtl {
+namespace {
+
+/// Distinct graph neighbors of `c` via nets of size <= max_clique_net.
+void for_each_neighbor(const Netlist& nl, CellId c,
+                       std::uint32_t max_clique_net, auto&& fn) {
+  for (const NetId e : nl.nets_of(c)) {
+    if (nl.net_size(e) > max_clique_net) continue;
+    for (const CellId w : nl.pins_of(e)) {
+      if (w != c) fn(w, e);
+    }
+  }
+}
+
+/// All index pairs of a cluster, or a random sample when the count exceeds
+/// `sample_pairs`.
+std::vector<std::pair<std::size_t, std::size_t>> cluster_pairs(
+    std::size_t n, std::size_t sample_pairs, Rng& rng) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  const std::size_t total = n * (n - 1) / 2;
+  if (total <= sample_pairs) {
+    pairs.reserve(total);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+    }
+    return pairs;
+  }
+  pairs.reserve(sample_pairs);
+  for (std::size_t s = 0; s < sample_pairs; ++s) {
+    const std::size_t i = rng.next_below(n);
+    std::size_t j = rng.next_below(n - 1);
+    if (j >= i) ++j;
+    pairs.emplace_back(std::min(i, j), std::max(i, j));
+  }
+  return pairs;
+}
+
+/// Local max-flow graph: clique expansion of the BFS ball around sources.
+struct LocalGraph {
+  std::unordered_map<CellId, std::uint32_t> index;  // cell -> local id
+  std::vector<CellId> cells;
+  // adjacency as flat arrays of (to, reverse-edge-slot); unit capacities.
+  struct Edge {
+    std::uint32_t to;
+    std::uint32_t rev;
+    std::int32_t cap;
+  };
+  std::vector<std::vector<Edge>> adj;
+  bool truncated = false;
+
+  std::uint32_t intern(CellId c) {
+    const auto [it, inserted] =
+        index.emplace(c, static_cast<std::uint32_t>(cells.size()));
+    if (inserted) {
+      cells.push_back(c);
+      adj.emplace_back();
+    }
+    return it->second;
+  }
+
+  void add_edge(std::uint32_t a, std::uint32_t b) {
+    adj[a].push_back({b, static_cast<std::uint32_t>(adj[b].size()), 1});
+    adj[b].push_back({a, static_cast<std::uint32_t>(adj[a].size()) - 1, 1});
+  }
+};
+
+LocalGraph build_ball(const Netlist& nl, CellId u, CellId v,
+                      std::size_t node_limit, std::uint32_t max_clique_net) {
+  LocalGraph g;
+  std::queue<CellId> bfs;
+  g.intern(u);
+  g.intern(v);
+  bfs.push(u);
+  bfs.push(v);
+
+  while (!bfs.empty()) {
+    const CellId c = bfs.front();
+    bfs.pop();
+    const std::uint32_t ci = g.index.at(c);
+    for_each_neighbor(nl, c, max_clique_net, [&](CellId w, NetId) {
+      if (g.index.count(w) == 0) {
+        if (g.cells.size() >= node_limit) {
+          g.truncated = true;
+          return;
+        }
+        g.intern(w);
+        bfs.push(w);
+      }
+      const std::uint32_t wi = g.index.at(w);
+      // Cells are dequeued in intern order, so each adjacent pair is
+      // handled exactly when its lower-id endpoint is processed; a pair
+      // sharing several nets gets parallel unit edges (capacity adds up).
+      if (ci < wi) g.add_edge(ci, wi);
+    });
+  }
+  return g;
+}
+
+/// Edmonds-Karp max-flow with unit capacities.
+std::size_t max_flow(LocalGraph& g, std::uint32_t s, std::uint32_t t) {
+  std::size_t flow = 0;
+  const std::uint32_t n = static_cast<std::uint32_t>(g.adj.size());
+  std::vector<std::int32_t> prev_node(n), prev_edge(n);
+  for (;;) {
+    std::fill(prev_node.begin(), prev_node.end(), -1);
+    std::queue<std::uint32_t> q;
+    q.push(s);
+    prev_node[s] = static_cast<std::int32_t>(s);
+    while (!q.empty() && prev_node[t] < 0) {
+      const std::uint32_t a = q.front();
+      q.pop();
+      for (std::size_t i = 0; i < g.adj[a].size(); ++i) {
+        const auto& e = g.adj[a][i];
+        if (e.cap > 0 && prev_node[e.to] < 0) {
+          prev_node[e.to] = static_cast<std::int32_t>(a);
+          prev_edge[e.to] = static_cast<std::int32_t>(i);
+          q.push(e.to);
+        }
+      }
+    }
+    if (prev_node[t] < 0) break;
+    // Unit capacities: augment by 1 along the path.
+    for (std::uint32_t x = t; x != s;
+         x = static_cast<std::uint32_t>(prev_node[x])) {
+      auto& e = g.adj[prev_node[x]][prev_edge[x]];
+      e.cap -= 1;
+      g.adj[x][e.rev].cap += 1;
+    }
+    ++flow;
+  }
+  return flow;
+}
+
+}  // namespace
+
+DegreeSeparation degree_separation(const Netlist& nl,
+                                   std::span<const CellId> cluster, Rng& rng,
+                                   std::size_t sample_pairs,
+                                   std::uint32_t max_clique_net) {
+  DegreeSeparation out;
+  if (cluster.empty()) return out;
+
+  double deg_sum = 0.0;
+  std::unordered_map<CellId, std::uint32_t> local;
+  local.reserve(cluster.size() * 2);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    deg_sum += nl.cell_degree(cluster[i]);
+    local.emplace(cluster[i], static_cast<std::uint32_t>(i));
+  }
+  out.degree = deg_sum / static_cast<double>(cluster.size());
+  if (cluster.size() < 2) {
+    out.separation = 1.0;
+    out.ds = out.degree;
+    return out;
+  }
+
+  // Cluster-induced adjacency.
+  std::vector<std::vector<std::uint32_t>> adj(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    for_each_neighbor(nl, cluster[i], max_clique_net, [&](CellId w, NetId) {
+      const auto it = local.find(w);
+      if (it != local.end() && it->second != i) adj[i].push_back(it->second);
+    });
+    std::sort(adj[i].begin(), adj[i].end());
+    adj[i].erase(std::unique(adj[i].begin(), adj[i].end()), adj[i].end());
+  }
+
+  const auto pairs = cluster_pairs(cluster.size(), sample_pairs, rng);
+  // Group pairs by source to share BFS runs.
+  std::vector<std::vector<std::size_t>> targets(cluster.size());
+  for (const auto& [i, j] : pairs) targets[i].push_back(j);
+
+  double sep_sum = 0.0;
+  std::size_t sep_count = 0;
+  std::vector<std::int32_t> dist(cluster.size());
+  for (std::size_t src = 0; src < cluster.size(); ++src) {
+    if (targets[src].empty()) continue;
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<std::uint32_t> q;
+    dist[src] = 0;
+    q.push(static_cast<std::uint32_t>(src));
+    while (!q.empty()) {
+      const auto a = q.front();
+      q.pop();
+      for (const auto b : adj[a]) {
+        if (dist[b] < 0) {
+          dist[b] = dist[a] + 1;
+          q.push(b);
+        }
+      }
+    }
+    for (const std::size_t j : targets[src]) {
+      sep_sum += dist[j] >= 0 ? static_cast<double>(dist[j])
+                              : static_cast<double>(cluster.size());
+      ++sep_count;
+    }
+  }
+  out.separation = sep_count == 0 ? 1.0 : sep_sum / static_cast<double>(sep_count);
+  out.ds = out.separation > 0.0 ? out.degree / out.separation : out.degree;
+  return out;
+}
+
+std::size_t edge_disjoint_paths_len2(const Netlist& nl, CellId u, CellId v,
+                                     std::uint32_t max_clique_net) {
+  GTL_REQUIRE(u != v, "need two distinct cells");
+  // Direct parallel edges: one per shared (small) net.
+  std::size_t direct = 0;
+  std::unordered_set<CellId> nbr_u;
+  for (const NetId e : nl.nets_of(u)) {
+    if (nl.net_size(e) > max_clique_net) continue;
+    bool has_v = false;
+    for (const CellId w : nl.pins_of(e)) {
+      if (w == v) has_v = true;
+      if (w != u) nbr_u.insert(w);
+    }
+    if (has_v) ++direct;
+  }
+  // Length-2 paths through distinct intermediates (edge-disjoint by
+  // construction: each uses its own pair of edges).
+  std::size_t via = 0;
+  std::unordered_set<CellId> counted;
+  for_each_neighbor(nl, v, max_clique_net, [&](CellId w, NetId) {
+    if (w != u && nbr_u.count(w) && counted.insert(w).second) ++via;
+  });
+  return direct + via;
+}
+
+bool is_k2_connected_cluster(const Netlist& nl,
+                             std::span<const CellId> cluster, std::size_t k,
+                             Rng& rng, std::size_t sample_pairs,
+                             std::uint32_t max_clique_net) {
+  if (cluster.size() < 2) return true;
+  const auto pairs = cluster_pairs(cluster.size(), sample_pairs, rng);
+  for (const auto& [i, j] : pairs) {
+    if (edge_disjoint_paths_len2(nl, cluster[i], cluster[j], max_clique_net) <
+        k) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::size_t> edge_separability(const Netlist& nl, CellId u,
+                                             CellId v, std::size_t node_limit,
+                                             std::uint32_t max_clique_net) {
+  GTL_REQUIRE(u != v, "need two distinct cells");
+  LocalGraph g = build_ball(nl, u, v, node_limit, max_clique_net);
+  if (g.truncated) return std::nullopt;
+  return max_flow(g, g.index.at(u), g.index.at(v));
+}
+
+std::optional<std::size_t> adhesion(const Netlist& nl,
+                                    std::span<const CellId> cluster,
+                                    std::size_t node_limit,
+                                    std::uint32_t max_clique_net) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    for (std::size_t j = i + 1; j < cluster.size(); ++j) {
+      const auto cut =
+          edge_separability(nl, cluster[i], cluster[j], node_limit,
+                            max_clique_net);
+      if (!cut) return std::nullopt;
+      total += *cut;
+    }
+  }
+  return total;
+}
+
+}  // namespace gtl

@@ -1,0 +1,65 @@
+#pragma once
+// Baseline cluster-quality measures surveyed in Ch. II of the paper, each
+// with the weakness the paper points out.  They are implemented here (a)
+// to serve as experimental baselines and (b) so the perf microbenches can
+// reproduce the paper's observation that the connectivity-based ones
+// ((K,L), edge separability, adhesion) are too slow to be practical.
+//
+// All of them view the netlist as a graph whose edges connect cells that
+// share a net.  Nets larger than `max_clique_net` are skipped during
+// clique expansion (standard practice: giant nets carry no locality).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace gtl {
+
+/// Hagen-Kahng degree/separation quality of one cluster.
+struct DegreeSeparation {
+  double degree = 0.0;      ///< average #nets incident per member cell
+  double separation = 0.0;  ///< average shortest-path length between members
+  double ds = 0.0;          ///< degree / separation (higher = denser cluster)
+};
+
+/// Compute Degree and Separation for a cluster.  Shortest paths run inside
+/// the cluster-induced subgraph; for clusters with more than
+/// `sample_pairs` implied pairs, pair sampling keeps this tractable.
+/// Unreachable pairs contribute `|C|` (a conservative finite penalty).
+[[nodiscard]] DegreeSeparation degree_separation(
+    const Netlist& nl, std::span<const CellId> cluster, Rng& rng,
+    std::size_t sample_pairs = 512, std::uint32_t max_clique_net = 16);
+
+/// Number of edge-disjoint paths of length <= 2 between u and v in the
+/// clique-expanded graph (the quantity of Garbers et al.'s (K,2)-connected
+/// clusters): multiedges u-v plus one per distinct intermediate vertex.
+[[nodiscard]] std::size_t edge_disjoint_paths_len2(
+    const Netlist& nl, CellId u, CellId v, std::uint32_t max_clique_net = 16);
+
+/// True iff every (sampled) pair of cluster cells is (K,2)-connected.
+[[nodiscard]] bool is_k2_connected_cluster(const Netlist& nl,
+                                           std::span<const CellId> cluster,
+                                           std::size_t k, Rng& rng,
+                                           std::size_t sample_pairs = 256,
+                                           std::uint32_t max_clique_net = 16);
+
+/// Cong-Lim edge separability: the u-v min-cut in the clique-expanded
+/// graph with unit edge capacities, computed by Edmonds-Karp restricted to
+/// a BFS ball of `node_limit` cells around {u, v}.  Returns nullopt when
+/// the ball had to be truncated (value would be unreliable).
+[[nodiscard]] std::optional<std::size_t> edge_separability(
+    const Netlist& nl, CellId u, CellId v, std::size_t node_limit = 4096,
+    std::uint32_t max_clique_net = 16);
+
+/// Kudva et al. adhesion: sum of pairwise min-cuts over all cluster pairs.
+/// O(|C|^2 · maxflow) — practical only for small clusters, exactly the
+/// criticism in the paper.  Returns nullopt if any pairwise cut failed.
+[[nodiscard]] std::optional<std::size_t> adhesion(
+    const Netlist& nl, std::span<const CellId> cluster,
+    std::size_t node_limit = 4096, std::uint32_t max_clique_net = 16);
+
+}  // namespace gtl

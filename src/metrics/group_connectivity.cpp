@@ -1,0 +1,99 @@
+#include "metrics/group_connectivity.hpp"
+
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace gtl {
+
+GroupConnectivity::GroupConnectivity(const Netlist& nl)
+    : nl_(&nl),
+      pins_in_(nl.num_nets(), 0),
+      in_group_(nl.num_cells(), false) {}
+
+void GroupConnectivity::add(CellId c) {
+  GTL_REQUIRE(!in_group_[c], "cell already in group");
+  in_group_[c] = true;
+  members_.push_back(c);
+  pins_in_group_ += nl_->cell_degree(c);
+  for (const NetId e : nl_->nets_of(c)) {
+    const std::uint32_t size = nl_->net_size(e);
+    const std::uint32_t k = pins_in_[e];
+    if (k == 0) {
+      touched_nets_.push_back(e);
+      if (size > 1) ++cut_;  // first pin inside: net becomes cut
+    } else if (size > 1) {
+      absorption_ += 1.0 / static_cast<double>(size - 1);
+    }
+    if (k + 1 == size && size > 1) --cut_;  // fully absorbed: no longer cut
+    pins_in_[e] = k + 1;
+  }
+}
+
+void GroupConnectivity::remove(CellId c) {
+  GTL_REQUIRE(in_group_[c], "cell not in group");
+  in_group_[c] = false;
+  // Swap-erase from the member list.
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == c) {
+      members_[i] = members_.back();
+      members_.pop_back();
+      break;
+    }
+  }
+  pins_in_group_ -= nl_->cell_degree(c);
+  for (const NetId e : nl_->nets_of(c)) {
+    const std::uint32_t size = nl_->net_size(e);
+    const std::uint32_t k = pins_in_[e];
+    if (k == size && size > 1) ++cut_;  // was fully inside: becomes cut
+    pins_in_[e] = k - 1;
+    if (k == 1) {
+      if (size > 1) --cut_;  // last pin left: no longer cut
+    } else if (size > 1) {
+      absorption_ -= 1.0 / static_cast<double>(size - 1);
+    }
+  }
+}
+
+void GroupConnectivity::clear() {
+  for (const NetId e : touched_nets_) pins_in_[e] = 0;
+  touched_nets_.clear();
+  for (const CellId c : members_) in_group_[c] = false;
+  members_.clear();
+  cut_ = 0;
+  pins_in_group_ = 0;
+  absorption_ = 0.0;
+}
+
+void GroupConnectivity::assign(std::span<const CellId> members) {
+  clear();
+  for (const CellId c : members) add(c);
+}
+
+std::int64_t GroupConnectivity::cut_delta_if_added(CellId c) const {
+  std::int64_t delta = 0;
+  for (const NetId e : nl_->nets_of(c)) {
+    const std::uint32_t size = nl_->net_size(e);
+    if (size <= 1) continue;
+    const std::uint32_t k = pins_in_[e];
+    if (k == 0) ++delta;            // becomes newly cut
+    if (k + 1 == size) --delta;     // becomes fully absorbed
+  }
+  return delta;
+}
+
+std::int64_t net_cut(const Netlist& nl, std::span<const CellId> members) {
+  std::unordered_set<CellId> in(members.begin(), members.end());
+  std::int64_t cut = 0;
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    bool inside = false, outside = false;
+    for (const CellId c : nl.pins_of(e)) {
+      (in.count(c) ? inside : outside) = true;
+      if (inside && outside) break;
+    }
+    if (inside && outside) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace gtl

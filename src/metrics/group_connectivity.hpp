@@ -1,0 +1,88 @@
+#pragma once
+// Incremental connectivity bookkeeping for a growing/shrinking group of
+// cells C ⊆ V.  This is the workhorse underneath every metric and under
+// Phase I of the finder: it maintains, under add/remove of single cells,
+//
+//   T(C)      — the net cut  |{e : e∩C ≠ ∅ and e∩(V−C) ≠ ∅}|
+//   pins(C)   — Σ_{c∈C} degree(c), so  A_C = pins(C)/|C|
+//   absorb(C) — Alpert-Kahng absorption  Σ_e (|e∩C|−1)/(|e|−1)
+//   |e∩C|     — per-net pin-in-group counts
+//
+// in O(degree(c)) per update.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gtl {
+
+class GroupConnectivity {
+ public:
+  /// Track groups over `nl`. The netlist must outlive this object.
+  explicit GroupConnectivity(const Netlist& nl);
+
+  /// Add a cell to the group. Precondition: not already in the group.
+  void add(CellId c);
+
+  /// Remove a cell from the group. Precondition: currently in the group.
+  void remove(CellId c);
+
+  /// Empty the group in O(|touched nets| + |C|).
+  void clear();
+
+  /// Rebuild the group from an explicit member list (clears first).
+  void assign(std::span<const CellId> members);
+
+  [[nodiscard]] bool contains(CellId c) const { return in_group_[c]; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] std::span<const CellId> members() const { return members_; }
+
+  /// T(C): number of nets with pins both inside and outside the group.
+  [[nodiscard]] std::int64_t cut() const { return cut_; }
+
+  /// Σ degree(c) over members; numerator of A_C.
+  [[nodiscard]] std::size_t pins_in_group() const { return pins_in_group_; }
+
+  /// A_C = pins(C)/|C|; 0 for the empty group.
+  [[nodiscard]] double avg_pins_per_cell() const {
+    return members_.empty() ? 0.0
+                            : static_cast<double>(pins_in_group_) /
+                                  static_cast<double>(members_.size());
+  }
+
+  /// Absorption  Σ_e (|e∩C|−1)/(|e|−1)  over nets with |e|>1, |e∩C|≥1.
+  [[nodiscard]] double absorption() const { return absorption_; }
+
+  /// |e ∩ C| for net e.
+  [[nodiscard]] std::uint32_t pins_in(NetId e) const { return pins_in_[e]; }
+
+  /// λ(e) = |e| − |e∩C|: pins of net e outside the group (paper, §3.2.1).
+  [[nodiscard]] std::uint32_t pins_out(NetId e) const {
+    return netlist().net_size(e) - pins_in_[e];
+  }
+
+  /// Change of T(C) if `c` were added, without modifying the group.
+  [[nodiscard]] std::int64_t cut_delta_if_added(CellId c) const;
+
+  [[nodiscard]] const Netlist& netlist() const { return *nl_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<std::uint32_t> pins_in_;
+  std::vector<bool> in_group_;
+  std::vector<CellId> members_;
+  std::vector<NetId> touched_nets_;  // nets that ever had pins_in > 0
+  std::int64_t cut_ = 0;
+  std::size_t pins_in_group_ = 0;
+  double absorption_ = 0.0;
+};
+
+/// One-shot T(C) for an explicit member list (reference implementation for
+/// tests and small scripts; O(Σ net sizes) — prefer GroupConnectivity for
+/// repeated queries).
+[[nodiscard]] std::int64_t net_cut(const Netlist& nl,
+                                   std::span<const CellId> members);
+
+}  // namespace gtl

@@ -1,0 +1,45 @@
+#include "metrics/select_aware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace gtl {
+
+SelectAwareScore select_aware_score(const GroupConnectivity& group,
+                                    const ScoreContext& ctx,
+                                    const SelectAwareConfig& cfg) {
+  GTL_REQUIRE(group.size() > 0, "cannot score an empty group");
+  const Netlist& nl = group.netlist();
+
+  SelectAwareScore out;
+  out.raw_cut = group.cut();
+
+  const double coverage_floor =
+      cfg.min_group_coverage * static_cast<double>(group.size());
+  std::unordered_set<NetId> seen;
+  for (const CellId c : group.members()) {
+    for (const NetId e : nl.nets_of(c)) {
+      if (!seen.insert(e).second) continue;
+      const std::uint32_t inside = group.pins_in(e);
+      const std::uint32_t size = nl.net_size(e);
+      if (inside == 0 || inside == size || size < 2) continue;  // not cut
+      if (inside < cfg.min_pins_in_group) continue;
+      if (static_cast<double>(inside) < coverage_floor) continue;
+      out.select_nets.push_back(e);
+    }
+  }
+  std::sort(out.select_nets.begin(), out.select_nets.end());
+  out.select_lines = static_cast<std::int64_t>(out.select_nets.size());
+  out.effective_cut = std::max<std::int64_t>(0, out.raw_cut - out.select_lines);
+
+  const auto size = static_cast<double>(group.size());
+  out.ngtl_s = ngtl_score(static_cast<double>(out.raw_cut), size, ctx);
+  out.select_aware =
+      ngtl_score(static_cast<double>(out.effective_cut), size, ctx);
+  return out;
+}
+
+}  // namespace gtl

@@ -1,0 +1,50 @@
+#pragma once
+// Select-line-aware GTL scoring — the paper's future-work direction
+// ("Future work seeks to expand the metrics to handle more specialized
+// structures driven by select lines", Ch. VI).
+//
+// A MUX farm or register-file slice is internally tangled, but every cell
+// also hangs off a handful of high-fanout control nets (select lines,
+// enables, clocks) whose drivers sit outside the group.  Each such net
+// adds +1 to T(C) even though it carries no routing-local data demand, so
+// plain GTL scores under-rate exactly the structures the paper's intro
+// motivates (MUX functions synthesized to complex-gate clumps).
+//
+// The select-aware score discounts cut nets that cover a large fraction
+// of the group: a net with |e∩C| >= coverage * |C| that still crosses the
+// boundary is classified as a select line and removed from the effective
+// cut before scoring.
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/group_connectivity.hpp"
+#include "metrics/scores.hpp"
+
+namespace gtl {
+
+struct SelectAwareConfig {
+  /// A cut net covering at least this fraction of the group's cells is a
+  /// select-line candidate.
+  double min_group_coverage = 0.3;
+  /// ...and it must touch at least this many member cells (guards tiny
+  /// groups where one 2-pin net trivially covers 50%).
+  std::uint32_t min_pins_in_group = 8;
+};
+
+struct SelectAwareScore {
+  std::int64_t raw_cut = 0;        ///< T(C)
+  std::int64_t select_lines = 0;   ///< cut nets classified as select lines
+  std::int64_t effective_cut = 0;  ///< T(C) − select_lines
+  double ngtl_s = 0.0;             ///< nGTL-S with the raw cut
+  double select_aware = 0.0;       ///< nGTL-S with the effective cut
+  std::vector<NetId> select_nets;  ///< the classified nets
+};
+
+/// Score the tracked group with select-line discounting.  The group must
+/// be non-empty.
+[[nodiscard]] SelectAwareScore select_aware_score(
+    const GroupConnectivity& group, const ScoreContext& ctx,
+    const SelectAwareConfig& cfg = {});
+
+}  // namespace gtl

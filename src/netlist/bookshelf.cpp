@@ -1,0 +1,287 @@
+#include "netlist/bookshelf.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gtl {
+namespace {
+
+[[noreturn]] void fail(const std::filesystem::path& file, std::size_t line,
+                       const std::string& what) {
+  throw std::runtime_error("bookshelf: " + file.string() + ":" +
+                           std::to_string(line) + ": " + what);
+}
+
+/// Split a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;
+    toks.push_back(std::move(t));
+  }
+  return toks;
+}
+
+/// Reads lines, skipping blanks/comments and the "UCLA ..." header line.
+class LineReader {
+ public:
+  explicit LineReader(const std::filesystem::path& path)
+      : path_(path), in_(path) {
+    if (!in_) throw std::runtime_error("bookshelf: cannot open " + path.string());
+  }
+
+  /// Next non-empty token list, or empty when EOF.
+  std::vector<std::string> next() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++lineno_;
+      auto toks = tokenize(line);
+      if (toks.empty()) continue;
+      if (toks[0] == "UCLA") continue;  // format header
+      return toks;
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::size_t lineno() const { return lineno_; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  std::ifstream in_;
+  std::size_t lineno_ = 0;
+};
+
+double to_double(const LineReader& r, const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    fail(r.path(), r.lineno(), "expected number, got '" + s + "'");
+  }
+}
+
+std::size_t to_size(const LineReader& r, const std::string& s) {
+  try {
+    return static_cast<std::size_t>(std::stoull(s));
+  } catch (const std::exception&) {
+    fail(r.path(), r.lineno(), "expected count, got '" + s + "'");
+  }
+}
+
+struct NodesData {
+  std::vector<std::string> names;
+  std::vector<double> widths, heights;
+  std::vector<bool> fixed;
+  std::unordered_map<std::string, CellId> index;
+};
+
+NodesData read_nodes(const std::filesystem::path& path) {
+  LineReader r(path);
+  NodesData d;
+  std::size_t expected = 0;
+  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
+    if (toks[0] == "NumNodes") {
+      expected = to_size(r, toks.back());
+      d.names.reserve(expected);
+      d.widths.reserve(expected);
+      d.heights.reserve(expected);
+      d.fixed.reserve(expected);
+      continue;
+    }
+    if (toks[0] == "NumTerminals") continue;
+    // "<name> <width> <height> [terminal]"
+    if (toks.size() < 3) fail(path, r.lineno(), "node line needs name w h");
+    const bool terminal = toks.size() >= 4 && toks[3] == "terminal";
+    d.index.emplace(toks[0], static_cast<CellId>(d.names.size()));
+    d.names.push_back(toks[0]);
+    d.widths.push_back(std::max(1e-9, to_double(r, toks[1])));
+    d.heights.push_back(std::max(1e-9, to_double(r, toks[2])));
+    d.fixed.push_back(terminal);
+  }
+  if (expected != 0 && d.names.size() != expected) {
+    throw std::runtime_error("bookshelf: " + path.string() + ": NumNodes=" +
+                             std::to_string(expected) + " but parsed " +
+                             std::to_string(d.names.size()));
+  }
+  return d;
+}
+
+void read_nets(const std::filesystem::path& path, const NodesData& nodes,
+               NetlistBuilder& nb) {
+  LineReader r(path);
+  std::size_t expected_nets = 0;
+  std::vector<CellId> pins;
+  std::size_t degree_left = 0;
+  std::string net_name;
+  std::size_t nets_done = 0;
+
+  auto flush_net = [&] {
+    if (!pins.empty()) {
+      nb.add_net(pins, net_name);
+      ++nets_done;
+      pins.clear();
+    }
+  };
+
+  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
+    if (toks[0] == "NumNets") {
+      expected_nets = to_size(r, toks.back());
+      continue;
+    }
+    if (toks[0] == "NumPins") continue;
+    if (toks[0] == "NetDegree") {
+      flush_net();
+      // "NetDegree : <d> [name]"
+      if (toks.size() < 3) fail(path, r.lineno(), "malformed NetDegree");
+      degree_left = to_size(r, toks[2]);
+      net_name = toks.size() >= 4 ? toks[3] : std::string{};
+      pins.reserve(degree_left);
+      continue;
+    }
+    // Pin line: "<cellname> <I|O|B> [: x y]"
+    if (degree_left == 0) fail(path, r.lineno(), "pin outside a net");
+    const auto it = nodes.index.find(toks[0]);
+    if (it == nodes.index.end()) {
+      fail(path, r.lineno(), "pin references unknown node '" + toks[0] + "'");
+    }
+    pins.push_back(it->second);
+    --degree_left;
+  }
+  flush_net();
+  if (expected_nets != 0 && nets_done != expected_nets) {
+    throw std::runtime_error("bookshelf: " + path.string() + ": NumNets=" +
+                             std::to_string(expected_nets) + " but parsed " +
+                             std::to_string(nets_done));
+  }
+}
+
+void read_pl(const std::filesystem::path& path, const NodesData& nodes,
+             std::vector<double>& x, std::vector<double>& y) {
+  LineReader r(path);
+  x.assign(nodes.names.size(), 0.0);
+  y.assign(nodes.names.size(), 0.0);
+  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
+    // "<name> <x> <y> : <orient> [/FIXED]"
+    if (toks.size() < 3) fail(path, r.lineno(), "pl line needs name x y");
+    const auto it = nodes.index.find(toks[0]);
+    if (it == nodes.index.end()) continue;  // tolerate extra rows
+    x[it->second] = to_double(r, toks[1]);
+    y[it->second] = to_double(r, toks[2]);
+  }
+}
+
+}  // namespace
+
+BookshelfDesign read_bookshelf_files(const std::filesystem::path& nodes_path,
+                                     const std::filesystem::path& nets_path,
+                                     const std::filesystem::path& pl_path) {
+  const NodesData nodes = read_nodes(nodes_path);
+  NetlistBuilder nb;
+  for (std::size_t i = 0; i < nodes.names.size(); ++i) {
+    nb.add_cell(nodes.names[i], nodes.widths[i], nodes.heights[i],
+                nodes.fixed[i]);
+  }
+  read_nets(nets_path, nodes, nb);
+
+  BookshelfDesign d;
+  if (!pl_path.empty() && std::filesystem::exists(pl_path)) {
+    read_pl(pl_path, nodes, d.x, d.y);
+  }
+  d.netlist = nb.build();
+  return d;
+}
+
+BookshelfDesign read_bookshelf(const std::filesystem::path& aux) {
+  LineReader r(aux);
+  std::filesystem::path nodes, nets, pl;
+  const auto dir = aux.parent_path();
+  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
+    for (const auto& t : toks) {
+      std::filesystem::path p = dir / t;
+      if (t.size() > 6 && t.substr(t.size() - 6) == ".nodes") nodes = p;
+      if (t.size() > 5 && t.substr(t.size() - 5) == ".nets") nets = p;
+      if (t.size() > 3 && t.substr(t.size() - 3) == ".pl") pl = p;
+    }
+  }
+  if (nodes.empty() || nets.empty()) {
+    throw std::runtime_error("bookshelf: " + aux.string() +
+                             ": aux file does not name .nodes and .nets");
+  }
+  return read_bookshelf_files(nodes, nets, pl);
+}
+
+void write_bookshelf(const BookshelfDesign& design,
+                     const std::filesystem::path& dir,
+                     const std::string& stem) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  const Netlist& nl = design.netlist;
+
+  auto open = [&](const std::string& ext) {
+    std::ofstream out(dir / (stem + ext));
+    if (!out) {
+      throw std::runtime_error("bookshelf: cannot write " +
+                               (dir / (stem + ext)).string());
+    }
+    return out;
+  };
+  auto node_name = [&](CellId c) {
+    if (nl.has_names() && !nl.cell_name(c).empty()) {
+      return std::string(nl.cell_name(c));
+    }
+    return "o" + std::to_string(c);
+  };
+
+  {
+    auto out = open(".aux");
+    out << "RowBasedPlacement : " << stem << ".nodes " << stem << ".nets "
+        << stem << ".pl\n";
+  }
+  {
+    auto out = open(".nodes");
+    std::size_t terminals = 0;
+    for (CellId c = 0; c < nl.num_cells(); ++c) {
+      if (nl.is_fixed(c)) ++terminals;
+    }
+    out << "UCLA nodes 1.0\n";
+    out << "NumNodes : " << nl.num_cells() << "\n";
+    out << "NumTerminals : " << terminals << "\n";
+    for (CellId c = 0; c < nl.num_cells(); ++c) {
+      out << node_name(c) << ' ' << nl.cell_width(c) << ' '
+          << nl.cell_height(c);
+      if (nl.is_fixed(c)) out << " terminal";
+      out << '\n';
+    }
+  }
+  {
+    auto out = open(".nets");
+    out << "UCLA nets 1.0\n";
+    out << "NumNets : " << nl.num_nets() << "\n";
+    out << "NumPins : " << nl.num_pins() << "\n";
+    for (NetId e = 0; e < nl.num_nets(); ++e) {
+      out << "NetDegree : " << nl.net_size(e);
+      if (!nl.net_name(e).empty()) out << ' ' << nl.net_name(e);
+      out << '\n';
+      for (const CellId c : nl.pins_of(e)) {
+        out << '\t' << node_name(c) << " B\n";
+      }
+    }
+  }
+  if (!design.x.empty()) {
+    auto out = open(".pl");
+    out << "UCLA pl 1.0\n";
+    for (CellId c = 0; c < nl.num_cells(); ++c) {
+      out << node_name(c) << ' ' << design.x[c] << ' ' << design.y[c]
+          << " : N";
+      if (nl.is_fixed(c)) out << " /FIXED";
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace gtl

@@ -1,0 +1,41 @@
+#pragma once
+// Bookshelf placement format I/O (the format of the ISPD 2005/2006
+// placement benchmarks the paper evaluates on: .aux / .nodes / .nets / .pl).
+//
+// The real benchmark files drop straight into this reader; since they are
+// not redistributable, graphgen/ synthesizes circuits with matched
+// statistics and this writer emits them in the same format (see DESIGN.md,
+// substitution table).
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gtl {
+
+/// A netlist plus (optional) placement coordinates, as stored on disk.
+struct BookshelfDesign {
+  Netlist netlist;
+  /// Lower-left placement coordinates per cell; empty if no .pl file.
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Load a design from a Bookshelf .aux file (which names the .nodes, .nets
+/// and .pl files).  Throws std::runtime_error on malformed input.
+[[nodiscard]] BookshelfDesign read_bookshelf(const std::filesystem::path& aux);
+
+/// Load from explicit .nodes/.nets paths (and optional .pl).
+[[nodiscard]] BookshelfDesign read_bookshelf_files(
+    const std::filesystem::path& nodes, const std::filesystem::path& nets,
+    const std::filesystem::path& pl = {});
+
+/// Write `design` as <stem>.aux/.nodes/.nets/.pl in `dir`.
+/// Placement files are written only when design.x/y are non-empty.
+void write_bookshelf(const BookshelfDesign& design,
+                     const std::filesystem::path& dir,
+                     const std::string& stem);
+
+}  // namespace gtl

@@ -1,0 +1,111 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace gtl {
+
+std::string_view Netlist::cell_name(CellId c) const {
+  if (cell_names_.empty()) return {};
+  return cell_names_[c];
+}
+
+std::string_view Netlist::net_name(NetId e) const {
+  if (net_names_.empty()) return {};
+  return net_names_[e];
+}
+
+std::optional<CellId> Netlist::find_cell(std::string_view name) const {
+  const auto it = name_to_cell_.find(std::string(name));
+  if (it == name_to_cell_.end()) return std::nullopt;
+  return it->second;
+}
+
+void NetlistBuilder::reserve(std::size_t cells, std::size_t nets,
+                             std::size_t pins) {
+  widths_.reserve(cells);
+  heights_.reserve(cells);
+  fixed_.reserve(cells);
+  net_offset_.reserve(nets + 1);
+  net_pins_.reserve(pins);
+}
+
+CellId NetlistBuilder::add_cell(std::string name, double width, double height,
+                                bool fixed) {
+  GTL_REQUIRE(width > 0.0 && height > 0.0, "cell dimensions must be positive");
+  const auto id = static_cast<CellId>(widths_.size());
+  widths_.push_back(width);
+  heights_.push_back(height);
+  fixed_.push_back(fixed);
+  if (!name.empty()) any_cell_named_ = true;
+  cell_names_.push_back(std::move(name));
+  return id;
+}
+
+NetId NetlistBuilder::add_net(std::span<const CellId> cells,
+                              std::string name) {
+  GTL_REQUIRE(!cells.empty(), "net must have at least one pin");
+  const auto id = static_cast<NetId>(net_offset_.size() - 1);
+  const std::size_t begin = net_pins_.size();
+  for (const CellId c : cells) {
+    GTL_REQUIRE(c < widths_.size(), "net references unknown cell");
+    net_pins_.push_back(c);
+  }
+  // Deduplicate the pins of this net (hyperedge is a set of cells).
+  const auto first = net_pins_.begin() + static_cast<std::ptrdiff_t>(begin);
+  std::sort(first, net_pins_.end());
+  net_pins_.erase(std::unique(first, net_pins_.end()), net_pins_.end());
+  net_offset_.push_back(net_pins_.size());
+  if (!name.empty()) any_net_named_ = true;
+  net_names_.push_back(std::move(name));
+  return id;
+}
+
+Netlist NetlistBuilder::build() {
+  Netlist nl;
+  const std::size_t n_cells = widths_.size();
+  const std::size_t n_nets = net_offset_.size() - 1;
+
+  nl.cell_width_ = std::move(widths_);
+  nl.cell_height_ = std::move(heights_);
+  nl.cell_fixed_ = std::move(fixed_);
+  nl.num_movable_ = static_cast<std::size_t>(
+      std::count(nl.cell_fixed_.begin(), nl.cell_fixed_.end(), false));
+  nl.net_pin_offset_ = std::move(net_offset_);
+  nl.net_pins_ = std::move(net_pins_);
+
+  // Build the transposed CSR: cell -> nets, via counting sort.
+  nl.cell_net_offset_.assign(n_cells + 1, 0);
+  for (const CellId c : nl.net_pins_) ++nl.cell_net_offset_[c + 1];
+  for (std::size_t i = 1; i <= n_cells; ++i) {
+    nl.cell_net_offset_[i] += nl.cell_net_offset_[i - 1];
+  }
+  nl.cell_nets_.resize(nl.net_pins_.size());
+  std::vector<std::size_t> cursor(nl.cell_net_offset_.begin(),
+                                  nl.cell_net_offset_.end() - 1);
+  for (std::size_t e = 0; e < n_nets; ++e) {
+    for (std::size_t p = nl.net_pin_offset_[e]; p < nl.net_pin_offset_[e + 1];
+         ++p) {
+      nl.cell_nets_[cursor[nl.net_pins_[p]]++] =
+          static_cast<NetId>(e);
+    }
+  }
+
+  if (any_cell_named_) {
+    nl.cell_names_ = std::move(cell_names_);
+    nl.name_to_cell_.reserve(n_cells);
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      if (!nl.cell_names_[c].empty()) {
+        nl.name_to_cell_.emplace(nl.cell_names_[c], static_cast<CellId>(c));
+      }
+    }
+  }
+  if (any_net_named_) nl.net_names_ = std::move(net_names_);
+
+  // Reset builder to a pristine state.
+  *this = NetlistBuilder{};
+  return nl;
+}
+
+}  // namespace gtl

@@ -1,0 +1,148 @@
+#pragma once
+// The netlist hypergraph  G = (V, E):  V is a set of cells, E a set of nets,
+// each net connected to a subset of V (paper, Ch. II).  This is the single
+// data structure every phase of the tangled-logic finder consumes.
+//
+// Storage is CSR (compressed sparse row) in both directions:
+//   cell -> incident nets   and   net -> member cells (pins).
+// Pins are deduplicated per net (a hyperedge is a *set* of cells), so
+// cell_degree(c) == number of distinct nets touching c, and
+// num_pins() == sum over nets of net_size() == sum over cells of degree.
+//
+// Cells carry physical width/height and a fixed flag so the same object
+// feeds both the connectivity algorithms (finder) and the placer.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gtl {
+
+using CellId = std::uint32_t;
+using NetId = std::uint32_t;
+
+inline constexpr CellId kInvalidCell = static_cast<CellId>(-1);
+inline constexpr NetId kInvalidNet = static_cast<NetId>(-1);
+
+class NetlistBuilder;
+
+/// Immutable netlist hypergraph. Construct via NetlistBuilder.
+class Netlist {
+ public:
+  [[nodiscard]] std::size_t num_cells() const { return cell_net_offset_.size() - 1; }
+  [[nodiscard]] std::size_t num_nets() const { return net_pin_offset_.size() - 1; }
+  /// Total pin count = sum of net sizes (after per-net deduplication).
+  [[nodiscard]] std::size_t num_pins() const { return net_pins_.size(); }
+
+  /// Nets incident to a cell.
+  [[nodiscard]] std::span<const NetId> nets_of(CellId c) const {
+    return {cell_nets_.data() + cell_net_offset_[c],
+            cell_net_offset_[c + 1] - cell_net_offset_[c]};
+  }
+
+  /// Cells on a net (the net's pins), deduplicated.
+  [[nodiscard]] std::span<const CellId> pins_of(NetId e) const {
+    return {net_pins_.data() + net_pin_offset_[e],
+            net_pin_offset_[e + 1] - net_pin_offset_[e]};
+  }
+
+  /// |e| — number of distinct cells on net e.
+  [[nodiscard]] std::uint32_t net_size(NetId e) const {
+    return static_cast<std::uint32_t>(net_pin_offset_[e + 1] -
+                                      net_pin_offset_[e]);
+  }
+
+  /// Number of distinct nets incident to cell c (its pin count).
+  [[nodiscard]] std::uint32_t cell_degree(CellId c) const {
+    return static_cast<std::uint32_t>(cell_net_offset_[c + 1] -
+                                      cell_net_offset_[c]);
+  }
+
+  /// A(G): average pin count per cell — the normalization constant of
+  /// nGTL-Score (expected value of GTL-S for an average-quality group).
+  [[nodiscard]] double average_pins_per_cell() const {
+    return num_cells() == 0
+               ? 0.0
+               : static_cast<double>(num_pins()) /
+                     static_cast<double>(num_cells());
+  }
+
+  [[nodiscard]] double cell_width(CellId c) const { return cell_width_[c]; }
+  [[nodiscard]] double cell_height(CellId c) const { return cell_height_[c]; }
+  [[nodiscard]] double cell_area(CellId c) const {
+    return cell_width_[c] * cell_height_[c];
+  }
+  /// Fixed cells (I/O pads, macros) do not move during placement and are
+  /// never absorbed into a GTL.
+  [[nodiscard]] bool is_fixed(CellId c) const { return cell_fixed_[c]; }
+
+  /// Number of movable (non-fixed) cells.
+  [[nodiscard]] std::size_t num_movable() const { return num_movable_; }
+
+  /// Cell name ("" when the netlist was built without names).
+  [[nodiscard]] std::string_view cell_name(CellId c) const;
+  /// Net name ("" when unnamed).
+  [[nodiscard]] std::string_view net_name(NetId e) const;
+  /// Lookup a cell by name; nullopt if names absent or not found.
+  [[nodiscard]] std::optional<CellId> find_cell(std::string_view name) const;
+
+  [[nodiscard]] bool has_names() const { return !cell_names_.empty(); }
+
+ private:
+  friend class NetlistBuilder;
+
+  std::vector<std::size_t> cell_net_offset_;  // size num_cells+1
+  std::vector<NetId> cell_nets_;
+  std::vector<std::size_t> net_pin_offset_;  // size num_nets+1
+  std::vector<CellId> net_pins_;
+  std::vector<double> cell_width_;
+  std::vector<double> cell_height_;
+  std::vector<bool> cell_fixed_;
+  std::size_t num_movable_ = 0;
+  std::vector<std::string> cell_names_;
+  std::vector<std::string> net_names_;
+  std::unordered_map<std::string, CellId> name_to_cell_;
+};
+
+/// Incremental construction of a Netlist.
+/// Usage: add all cells, then all nets, then call build() exactly once.
+class NetlistBuilder {
+ public:
+  /// Reserve internal storage (optional, for large netlists).
+  void reserve(std::size_t cells, std::size_t nets, std::size_t pins);
+
+  /// Add a cell; returns its id (ids are dense, in insertion order).
+  CellId add_cell(std::string name = {}, double width = 1.0,
+                  double height = 1.0, bool fixed = false);
+
+  /// Add a net over the given cells. Duplicate cells within the net are
+  /// removed. Nets with fewer than 1 distinct pin are rejected.
+  NetId add_net(std::span<const CellId> cells, std::string name = {});
+  NetId add_net(std::initializer_list<CellId> cells, std::string name = {}) {
+    return add_net(std::span<const CellId>(cells.begin(), cells.size()),
+                   std::move(name));
+  }
+
+  [[nodiscard]] std::size_t num_cells() const { return widths_.size(); }
+  [[nodiscard]] std::size_t num_nets() const { return net_offset_.size() - 1; }
+
+  /// Finalize. The builder is left empty afterwards.
+  [[nodiscard]] Netlist build();
+
+ private:
+  std::vector<double> widths_;
+  std::vector<double> heights_;
+  std::vector<bool> fixed_;
+  std::vector<std::string> cell_names_;
+  std::vector<std::string> net_names_;
+  std::vector<std::size_t> net_offset_ = {0};
+  std::vector<CellId> net_pins_;
+  bool any_cell_named_ = false;
+  bool any_net_named_ = false;
+};
+
+}  // namespace gtl

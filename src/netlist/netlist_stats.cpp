@@ -1,0 +1,130 @@
+#include "netlist/netlist_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/stats.hpp"
+
+namespace gtl {
+
+NetlistSummary summarize(const Netlist& nl) {
+  NetlistSummary s;
+  s.num_cells = nl.num_cells();
+  s.num_nets = nl.num_nets();
+  s.num_pins = nl.num_pins();
+  s.avg_pins_per_cell = nl.average_pins_per_cell();
+  s.avg_net_size = s.num_nets == 0 ? 0.0
+                                   : static_cast<double>(s.num_pins) /
+                                         static_cast<double>(s.num_nets);
+  for (NetId e = 0; e < s.num_nets; ++e) {
+    s.max_net_size = std::max(s.max_net_size, nl.net_size(e));
+  }
+  for (CellId c = 0; c < s.num_cells; ++c) {
+    s.max_cell_degree = std::max(s.max_cell_degree, nl.cell_degree(c));
+    if (nl.is_fixed(c)) {
+      ++s.num_fixed;
+    } else {
+      s.total_movable_area += nl.cell_area(c);
+    }
+  }
+  return s;
+}
+
+std::vector<std::size_t> net_size_histogram(const Netlist& nl) {
+  std::uint32_t max_size = 0;
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    max_size = std::max(max_size, nl.net_size(e));
+  }
+  std::vector<std::size_t> hist(max_size + 1, 0);
+  for (NetId e = 0; e < nl.num_nets(); ++e) ++hist[nl.net_size(e)];
+  return hist;
+}
+
+namespace {
+
+/// Grow a BFS region from `seed` up to `max_region` cells, recording the
+/// net cut T at geometrically spaced sizes into (ks, ts).
+void sample_bfs_region(const Netlist& nl, CellId seed, std::size_t max_region,
+                       std::vector<double>& ks, std::vector<double>& ts,
+                       std::vector<std::uint32_t>& pins_in,
+                       std::vector<bool>& in_region,
+                       std::vector<CellId>& touched_cells,
+                       std::vector<NetId>& touched_nets) {
+  std::queue<CellId> frontier;
+  frontier.push(seed);
+  in_region[seed] = true;
+  touched_cells.push_back(seed);
+  std::size_t size = 0;
+  std::int64_t cut = 0;
+  std::size_t next_record = 4;  // skip tiny-k noise
+
+  while (!frontier.empty() && size < max_region) {
+    const CellId c = frontier.front();
+    frontier.pop();
+    ++size;
+    for (const NetId e : nl.nets_of(c)) {
+      if (pins_in[e] == 0) {
+        touched_nets.push_back(e);
+        if (nl.net_size(e) > 1) ++cut;  // net becomes cut
+      }
+      ++pins_in[e];
+      if (pins_in[e] == nl.net_size(e) && nl.net_size(e) > 1) {
+        --cut;  // fully absorbed
+      }
+      // Enqueue unvisited neighbors (bounded fan-out on huge nets).
+      if (pins_in[e] == 1 && nl.net_size(e) <= 64) {
+        for (const CellId w : nl.pins_of(e)) {
+          if (!in_region[w]) {
+            in_region[w] = true;
+            touched_cells.push_back(w);
+            frontier.push(w);
+          }
+        }
+      }
+    }
+    if (size == next_record && cut > 0) {
+      ks.push_back(static_cast<double>(size));
+      ts.push_back(static_cast<double>(cut));
+      next_record = next_record * 3 / 2 + 1;
+    }
+  }
+
+  for (const CellId c : touched_cells) in_region[c] = false;
+  for (const NetId e : touched_nets) pins_in[e] = 0;
+  touched_cells.clear();
+  touched_nets.clear();
+}
+
+}  // namespace
+
+RentEstimate estimate_rent_exponent(const Netlist& nl, Rng& rng,
+                                    std::size_t samples,
+                                    std::size_t max_region) {
+  RentEstimate est;
+  if (nl.num_cells() < 8 || nl.num_nets() == 0) return est;
+  max_region = std::min(max_region, nl.num_cells() / 2);
+  if (max_region < 8) max_region = std::min<std::size_t>(8, nl.num_cells());
+
+  std::vector<double> ks, ts;
+  std::vector<std::uint32_t> pins_in(nl.num_nets(), 0);
+  std::vector<bool> in_region(nl.num_cells(), false);
+  std::vector<CellId> touched_cells;
+  std::vector<NetId> touched_nets;
+
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto seed = static_cast<CellId>(rng.next_below(nl.num_cells()));
+    sample_bfs_region(nl, seed, max_region, ks, ts, pins_in, in_region,
+                      touched_cells, touched_nets);
+  }
+  if (ks.size() < 2) return est;
+
+  const LineFit fit = fit_power_law(ks, ts);
+  est.exponent = std::clamp(fit.slope, 0.0, 1.0);
+  est.coefficient = std::exp(fit.intercept);
+  est.r2 = fit.r2;
+  est.samples = ks.size();
+  return est;
+}
+
+}  // namespace gtl

@@ -1,0 +1,54 @@
+#pragma once
+// Whole-netlist statistics: pin-count profile and an empirical Rent
+// exponent estimate.  The Rent exponent p drives GTL-Score's |C|^p
+// denominator; the paper estimates p from the prefix groups of a linear
+// ordering (finder/), while this header provides an *independent* global
+// estimate from BFS-grown regions — used for validation, generator
+// calibration, and the stats example.
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace gtl {
+
+/// Summary statistics of a netlist.
+struct NetlistSummary {
+  std::size_t num_cells = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_pins = 0;
+  double avg_pins_per_cell = 0.0;  ///< A(G)
+  double avg_net_size = 0.0;
+  std::uint32_t max_net_size = 0;
+  std::uint32_t max_cell_degree = 0;
+  std::size_t num_fixed = 0;
+  double total_movable_area = 0.0;
+};
+
+/// Compute the summary in one pass.
+[[nodiscard]] NetlistSummary summarize(const Netlist& nl);
+
+/// Histogram of net sizes; index i = number of nets with exactly i pins
+/// (index 0 unused, sized max_net_size+1).
+[[nodiscard]] std::vector<std::size_t> net_size_histogram(const Netlist& nl);
+
+/// Result of a global Rent-exponent estimation.
+struct RentEstimate {
+  double exponent = 0.0;   ///< p in T = A * k^p
+  double coefficient = 0;  ///< A
+  double r2 = 0.0;         ///< fit quality
+  std::size_t samples = 0; ///< number of (k, T) points fitted
+};
+
+/// Estimate the Rent exponent by growing `samples` BFS regions from random
+/// seeds up to `max_region` cells, recording (region size k, cut T) points
+/// at geometrically spaced sizes, and fitting ln T = ln A + p ln k.
+/// BFS regions approximate the "physical partitions" of classical Rent
+/// studies.  Deterministic given the Rng state.
+[[nodiscard]] RentEstimate estimate_rent_exponent(const Netlist& nl, Rng& rng,
+                                                  std::size_t samples = 32,
+                                                  std::size_t max_region = 4096);
+
+}  // namespace gtl

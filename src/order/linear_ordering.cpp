@@ -1,0 +1,158 @@
+#include "order/linear_ordering.hpp"
+
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace gtl {
+namespace {
+
+/// Contribution of net `e` (with `k` pins in the group) to an outside
+/// pin's connection gain.  Inactive (above-threshold or 1-pin) nets
+/// contribute nothing — the paper's large-net trick.
+struct NetContribution {
+  double conn = 0.0;
+  std::int32_t cut_delta = 0;
+};
+
+NetContribution contribution(std::uint32_t net_size, std::uint32_t k,
+                             std::uint32_t threshold) {
+  NetContribution out;
+  if (net_size < 2) return out;
+  const std::uint32_t lambda = net_size - k;
+  const bool active = threshold == 0 || lambda < threshold;
+  if (!active) return out;
+  if (k > 0) out.conn = 1.0 / static_cast<double>(lambda + 1);
+  if (k == 0) {
+    out.cut_delta = 1;  // absorbing an outside pin would newly cut the net
+  } else if (k == net_size - 1) {
+    out.cut_delta = -1;  // absorbing the last outside pin uncuts it
+  }
+  return out;
+}
+
+}  // namespace
+
+OrderingEngine::OrderingEngine(const Netlist& nl, OrderingConfig cfg)
+    : nl_(&nl),
+      cfg_(cfg),
+      conn_(nl.num_cells(), 0.0),
+      cut_delta_(nl.num_cells(), 0),
+      state_(nl.num_cells(), 0),
+      pins_in_(nl.num_nets(), 0),
+      frontier_(FrontierCompare{cfg.min_cut_first}) {}
+
+void OrderingEngine::reset() {
+  for (const CellId c : touched_cells_) {
+    conn_[c] = 0.0;
+    cut_delta_[c] = 0;
+    state_[c] = 0;
+  }
+  touched_cells_.clear();
+  for (const NetId e : touched_nets_) pins_in_[e] = 0;
+  touched_nets_.clear();
+  frontier_.clear();
+  cut_ = 0;
+  pins_in_group_ = 0;
+}
+
+void OrderingEngine::touch_cell(CellId c) {
+  if (state_[c] == 0) touched_cells_.push_back(c);
+}
+
+void OrderingEngine::frontier_update(CellId c, double new_conn,
+                                     std::int32_t new_delta) {
+  frontier_.erase(FrontierKey{conn_[c], cut_delta_[c], c});
+  conn_[c] = new_conn;
+  cut_delta_[c] = new_delta;
+  frontier_.insert(FrontierKey{new_conn, new_delta, c});
+}
+
+void OrderingEngine::absorb(CellId u) {
+  if (state_[u] == 1) {
+    frontier_.erase(FrontierKey{conn_[u], cut_delta_[u], u});
+  }
+  touch_cell(u);
+  state_[u] = 2;
+  pins_in_group_ += nl_->cell_degree(u);
+
+  const std::uint32_t threshold = cfg_.large_net_threshold;
+  for (const NetId e : nl_->nets_of(u)) {
+    const std::uint32_t size = nl_->net_size(e);
+    const std::uint32_t k_old = pins_in_[e];
+    if (k_old == 0) touched_nets_.push_back(e);
+
+    // Exact cut maintenance (the reported T(C_k) is never approximated).
+    if (size > 1) {
+      if (k_old == 0) ++cut_;
+      if (k_old + 1 == size) --cut_;
+    }
+
+    const NetContribution before = contribution(size, k_old, threshold);
+    pins_in_[e] = k_old + 1;
+    const NetContribution after = contribution(size, k_old + 1, threshold);
+
+    // If the net contributes nothing before and after (inactive large net
+    // or fully interior), its outside pins need no attention.
+    const bool discover = after.conn != 0.0 || after.cut_delta != 0;
+    const bool changed = before.conn != after.conn ||
+                         before.cut_delta != after.cut_delta;
+    if (!discover && !changed) continue;
+
+    for (const CellId w : nl_->pins_of(e)) {
+      if (w == u || state_[w] == 2 || nl_->is_fixed(w)) continue;
+      if (state_[w] == 0) {
+        // Lazy initialization: compute exact current gains from scratch
+        // (sees the already-updated pins_in_[e], so no delta is applied).
+        touch_cell(w);
+        state_[w] = 1;
+        double conn = 0.0;
+        std::int32_t delta = 0;
+        for (const NetId f : nl_->nets_of(w)) {
+          const NetContribution cf =
+              contribution(nl_->net_size(f), pins_in_[f], threshold);
+          conn += cf.conn;
+          delta += cf.cut_delta;
+        }
+        conn_[w] = conn;
+        cut_delta_[w] = delta;
+        frontier_.insert(FrontierKey{conn, delta, w});
+      } else if (changed) {
+        frontier_update(w, conn_[w] + after.conn - before.conn,
+                        cut_delta_[w] + after.cut_delta - before.cut_delta);
+      }
+    }
+  }
+}
+
+LinearOrdering OrderingEngine::grow(CellId seed) {
+  GTL_REQUIRE(seed < nl_->num_cells(), "seed out of range");
+  if (nl_->is_fixed(seed)) {
+    throw std::invalid_argument("ordering seed must be a movable cell");
+  }
+  reset();
+
+  LinearOrdering out;
+  out.seed = seed;
+  const std::size_t z =
+      std::min<std::size_t>(cfg_.max_length, nl_->num_movable());
+  out.cells.reserve(z);
+  out.prefix_cut.reserve(z);
+  out.prefix_pins.reserve(z);
+
+  absorb(seed);
+  out.cells.push_back(seed);
+  out.prefix_cut.push_back(cut_);
+  out.prefix_pins.push_back(pins_in_group_);
+
+  while (out.cells.size() < z && !frontier_.empty()) {
+    const CellId u = frontier_.begin()->cell;
+    absorb(u);
+    out.cells.push_back(u);
+    out.prefix_cut.push_back(cut_);
+    out.prefix_pins.push_back(pins_in_group_);
+  }
+  return out;
+}
+
+}  // namespace gtl

@@ -1,0 +1,156 @@
+#include "place/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace gtl {
+namespace {
+
+struct TileRange {
+  std::size_t x0, x1, y0, y1;  // inclusive tile index ranges
+};
+
+struct Bbox {
+  double min_x, max_x, min_y, max_y;
+  bool valid = false;
+};
+
+Bbox net_bbox(const Netlist& nl, NetId e, std::span<const double> x,
+              std::span<const double> y) {
+  Bbox b;
+  const auto pins = nl.pins_of(e);
+  if (pins.size() < 2) return b;
+  b.min_x = b.max_x = x[pins[0]];
+  b.min_y = b.max_y = y[pins[0]];
+  for (const CellId c : pins.subspan(1)) {
+    b.min_x = std::min(b.min_x, x[c]);
+    b.max_x = std::max(b.max_x, x[c]);
+    b.min_y = std::min(b.min_y, y[c]);
+    b.max_y = std::max(b.max_y, y[c]);
+  }
+  b.valid = true;
+  return b;
+}
+
+TileRange tiles_of(const Bbox& b, const CongestionMap& m) {
+  auto clamp_tile = [](double v, double tile, std::size_t count) {
+    const double t = std::floor(v / tile);
+    return static_cast<std::size_t>(
+        std::clamp(t, 0.0, static_cast<double>(count - 1)));
+  };
+  TileRange r;
+  r.x0 = clamp_tile(b.min_x, m.tile_w, m.tiles_x);
+  r.x1 = clamp_tile(b.max_x, m.tile_w, m.tiles_x);
+  r.y0 = clamp_tile(b.min_y, m.tile_h, m.tiles_y);
+  r.y1 = clamp_tile(b.max_y, m.tile_h, m.tiles_y);
+  return r;
+}
+
+}  // namespace
+
+double CongestionMap::max_utilization() const {
+  double best = 0.0;
+  for (const double d : demand) {
+    best = std::max(best, d / capacity_per_tile);
+  }
+  return best;
+}
+
+CongestionMap estimate_congestion(const Netlist& nl,
+                                  std::span<const double> x,
+                                  std::span<const double> y, const Die& die,
+                                  const CongestionConfig& cfg) {
+  GTL_REQUIRE(cfg.tiles_x > 0 && cfg.tiles_y > 0, "need a non-empty grid");
+  GTL_REQUIRE(x.size() == nl.num_cells() && y.size() == nl.num_cells(),
+              "coordinate arrays must cover all cells");
+  CongestionMap m;
+  m.tiles_x = cfg.tiles_x;
+  m.tiles_y = cfg.tiles_y;
+  m.tile_w = die.width / static_cast<double>(cfg.tiles_x);
+  m.tile_h = die.height / static_cast<double>(cfg.tiles_y);
+  m.capacity_per_tile = cfg.capacity_per_area * m.tile_w * m.tile_h;
+  m.demand.assign(cfg.tiles_x * cfg.tiles_y, 0.0);
+
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    if (nl.net_size(e) > cfg.max_routed_net) continue;
+    const Bbox b = net_bbox(nl, e, x, y);
+    if (!b.valid) continue;
+    // RUDY: demand density = HPWL / bbox area, with the bbox padded to at
+    // least one tile so point-like nets still register.
+    const double w = std::max(b.max_x - b.min_x, m.tile_w);
+    const double h = std::max(b.max_y - b.min_y, m.tile_h);
+    const double density = ((b.max_x - b.min_x) + (b.max_y - b.min_y) +
+                            m.tile_w) /  // min demand: local pin access
+                           (w * h);
+    const TileRange r = tiles_of(b, m);
+    for (std::size_t ty = r.y0; ty <= r.y1; ++ty) {
+      const double oy =
+          std::min(b.max_y, (ty + 1) * m.tile_h) -
+          std::max(b.min_y, static_cast<double>(ty) * m.tile_h);
+      const double oy_eff = std::max(oy, r.y0 == r.y1 ? m.tile_h : 0.0);
+      for (std::size_t tx = r.x0; tx <= r.x1; ++tx) {
+        const double ox =
+            std::min(b.max_x, (tx + 1) * m.tile_w) -
+            std::max(b.min_x, static_cast<double>(tx) * m.tile_w);
+        const double ox_eff = std::max(ox, r.x0 == r.x1 ? m.tile_w : 0.0);
+        m.demand[ty * m.tiles_x + tx] +=
+            density * std::max(0.0, ox_eff) * std::max(0.0, oy_eff);
+      }
+    }
+  }
+  return m;
+}
+
+CongestionReport analyze_congestion(const CongestionMap& map,
+                                    const Netlist& nl,
+                                    std::span<const double> x,
+                                    std::span<const double> y,
+                                    const CongestionConfig& cfg) {
+  CongestionReport rep;
+  rep.max_tile_utilization = map.max_utilization();
+  for (const double d : map.demand) {
+    if (d / map.capacity_per_tile >= 1.0) ++rep.full_tiles;
+  }
+
+  std::vector<double> per_net_congestion;
+  per_net_congestion.reserve(nl.num_nets());
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    if (nl.net_size(e) > cfg.max_routed_net) continue;
+    const Bbox b = net_bbox(nl, e, x, y);
+    if (!b.valid) continue;
+    ++rep.nets_total;
+    const TileRange r = tiles_of(b, map);
+    double sum = 0.0;
+    std::size_t count = 0;
+    bool full = false, ninety = false;
+    for (std::size_t ty = r.y0; ty <= r.y1; ++ty) {
+      for (std::size_t tx = r.x0; tx <= r.x1; ++tx) {
+        const double u = map.utilization(tx, ty);
+        sum += u;
+        ++count;
+        if (u >= 1.0) full = true;
+        if (u >= 0.9) ninety = true;
+      }
+    }
+    if (full) ++rep.nets_through_full;
+    if (ninety) ++rep.nets_through_90;
+    per_net_congestion.push_back(count ? sum / static_cast<double>(count)
+                                       : 0.0);
+  }
+
+  // Average congestion of the worst 20% of nets (paper's footnote metric).
+  if (!per_net_congestion.empty()) {
+    std::sort(per_net_congestion.begin(), per_net_congestion.end());
+    const std::size_t start = per_net_congestion.size() * 4 / 5;
+    std::vector<double> worst(per_net_congestion.begin() +
+                                  static_cast<std::ptrdiff_t>(start),
+                              per_net_congestion.end());
+    rep.avg_congestion_worst20 = mean(worst);
+  }
+  return rep;
+}
+
+}  // namespace gtl

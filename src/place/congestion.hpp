@@ -1,0 +1,73 @@
+#pragma once
+// Routing congestion estimation over a placed netlist — the substrate for
+// the paper's Fig. 1 (hotspot map), Fig. 7 (map after cell inflation) and
+// the three headline numbers of §5.1.3 (nets through 100%/90% congested
+// tiles, average congestion of the worst 20% of nets).
+//
+// Estimator: RUDY (Rectangular Uniform wire DensitY, Spindler &
+// Johannes).  Each net spreads a wire demand of HPWL(net) uniformly over
+// its bounding box; tile demand is the sum of overlapping net densities;
+// utilization = demand / (tile routing capacity).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "place/quadratic_placer.hpp"
+
+namespace gtl {
+
+struct CongestionConfig {
+  std::size_t tiles_x = 64;
+  std::size_t tiles_y = 64;
+  /// Routing track supply per unit die area (demand is wirelength per
+  /// area, so this is in the same units).  Calibrate so the design's
+  /// background sits below 1.0.
+  double capacity_per_area = 1.0;
+  /// Nets with more pins than this are skipped (global nets are routed on
+  /// dedicated layers and would swamp the bbox model).
+  std::uint32_t max_routed_net = 64;
+};
+
+/// A tile grid of routing demand vs capacity.
+struct CongestionMap {
+  std::size_t tiles_x = 0, tiles_y = 0;
+  double tile_w = 0.0, tile_h = 0.0;
+  std::vector<double> demand;  ///< row-major [ty * tiles_x + tx]
+  double capacity_per_tile = 0.0;
+
+  [[nodiscard]] double utilization(std::size_t tx, std::size_t ty) const {
+    return demand[ty * tiles_x + tx] / capacity_per_tile;
+  }
+  [[nodiscard]] double max_utilization() const;
+};
+
+/// Build the RUDY map for a placement.
+[[nodiscard]] CongestionMap estimate_congestion(const Netlist& nl,
+                                                std::span<const double> x,
+                                                std::span<const double> y,
+                                                const Die& die,
+                                                const CongestionConfig& cfg);
+
+/// The paper's §5.1.3 congestion statistics.
+struct CongestionReport {
+  std::size_t nets_total = 0;          ///< nets considered for routing
+  std::size_t nets_through_full = 0;   ///< nets touching a >=100% tile
+  std::size_t nets_through_90 = 0;     ///< nets touching a >=90% tile
+  /// Mean utilization over all tiles touched by the worst 20% of nets
+  /// (per-net congestion = mean utilization of its bbox tiles).
+  double avg_congestion_worst20 = 0.0;
+  double max_tile_utilization = 0.0;
+  std::size_t full_tiles = 0;          ///< tiles at >=100%
+};
+
+/// Score each net against the map and aggregate the paper's metrics.
+[[nodiscard]] CongestionReport analyze_congestion(const CongestionMap& map,
+                                                  const Netlist& nl,
+                                                  std::span<const double> x,
+                                                  std::span<const double> y,
+                                                  const CongestionConfig& cfg);
+
+}  // namespace gtl

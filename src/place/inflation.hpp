@@ -1,0 +1,21 @@
+#pragma once
+// Cell inflation (paper §5.1.3): "all the cells inside the GTLs found are
+// inflated by four times, and placement was re-performed to spread these
+// cells."  Inflation multiplies cell *area* by widening the cell; the
+// spreader then has to allocate proportionally more room to the GTL,
+// which dissolves its routing hotspot.
+
+#include <span>
+
+#include "netlist/netlist.hpp"
+
+namespace gtl {
+
+/// Return a copy of `nl` with the given cells' widths multiplied by
+/// `area_factor` (height is the fixed row height, so area scales by the
+/// same factor).  Fixed cells are never inflated.
+[[nodiscard]] Netlist inflate_cells(const Netlist& nl,
+                                    std::span<const CellId> cells,
+                                    double area_factor = 4.0);
+
+}  // namespace gtl

@@ -1,0 +1,144 @@
+#include "place/linear_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace gtl {
+
+void SparseMatrix::add(std::size_t r, std::size_t c, double v) {
+  GTL_REQUIRE(!assembled_, "matrix already assembled");
+  GTL_REQUIRE(r < n_ && c < n_, "index out of range");
+  triplets_.push_back({r, c, v});
+}
+
+void SparseMatrix::assemble() {
+  GTL_REQUIRE(!assembled_, "matrix already assembled");
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.r != b.r ? a.r < b.r : a.c < b.c;
+            });
+  row_offset_.assign(n_ + 1, 0);
+  col_.clear();
+  val_.clear();
+  col_.reserve(triplets_.size());
+  val_.reserve(triplets_.size());
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    while (i < triplets_.size() && triplets_[i].r == r) {
+      const std::size_t c = triplets_[i].c;
+      double v = 0.0;
+      while (i < triplets_.size() && triplets_[i].r == r &&
+             triplets_[i].c == c) {
+        v += triplets_[i].v;
+        ++i;
+      }
+      if (v != 0.0) {
+        col_.push_back(c);
+        val_.push_back(v);
+      }
+    }
+    row_offset_[r + 1] = col_.size();
+  }
+  triplets_.clear();
+  triplets_.shrink_to_fit();
+
+  diag_.assign(n_, 0.0);
+  diag_pos_.assign(n_, static_cast<std::size_t>(-1));
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_offset_[r]; k < row_offset_[r + 1]; ++k) {
+      if (col_[k] == r) {
+        diag_[r] = val_[k];
+        diag_pos_[r] = k;
+      }
+    }
+  }
+  assembled_ = true;
+}
+
+void SparseMatrix::add_to_diagonal(std::size_t i, double v) {
+  GTL_REQUIRE(assembled_, "assemble() first");
+  GTL_REQUIRE(i < n_, "index out of range");
+  GTL_REQUIRE(diag_pos_[i] != static_cast<std::size_t>(-1),
+              "no diagonal entry at this row");
+  val_[diag_pos_[i]] += v;
+  diag_[i] += v;
+}
+
+void SparseMatrix::multiply(std::span<const double> x,
+                            std::span<double> y) const {
+  GTL_REQUIRE(assembled_, "assemble() first");
+  GTL_REQUIRE(x.size() == n_ && y.size() == n_, "dimension mismatch");
+  for (std::size_t r = 0; r < n_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_offset_[r]; k < row_offset_[r + 1]; ++k) {
+      s += val_[k] * x[col_[k]];
+    }
+    y[r] = s;
+  }
+}
+
+CgResult solve_pcg(const SparseMatrix& a, std::span<const double> b,
+                   std::span<double> x, double tolerance,
+                   std::size_t max_iterations) {
+  const std::size_t n = a.size();
+  GTL_REQUIRE(b.size() == n && x.size() == n, "dimension mismatch");
+  CgResult out;
+
+  auto dot = [n](std::span<const double> u, std::span<const double> v) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += u[i] * v[i];
+    return s;
+  };
+
+  const double b_norm = std::sqrt(dot(b, b));
+  if (b_norm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    out.converged = true;
+    return out;
+  }
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a.multiply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+  const auto& diag = a.diagonal();
+  auto precondition = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] = diag[i] > 1e-12 ? r[i] / diag[i] : r[i];
+    }
+  };
+
+  precondition();
+  p.assign(z.begin(), z.end());
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    const double res = std::sqrt(dot(r, r)) / b_norm;
+    out.residual = res;
+    out.iterations = it;
+    if (res < tolerance) {
+      out.converged = true;
+      return out;
+    }
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // matrix not SPD on this subspace
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    precondition();
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  out.residual = std::sqrt(dot(r, r)) / b_norm;
+  out.converged = out.residual < tolerance;
+  return out;
+}
+
+}  // namespace gtl

@@ -1,0 +1,69 @@
+#pragma once
+// Sparse symmetric-positive-definite linear algebra for quadratic
+// placement: triplet assembly -> CSR, and a Jacobi-preconditioned
+// conjugate-gradient solver.  The placement matrices are graph Laplacians
+// plus diagonal anchor terms, so SPD holds whenever at least one fixed
+// connection or anchor exists per connected component.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gtl {
+
+/// Compressed-sparse-row symmetric matrix built from (row, col, value)
+/// triplets; duplicate entries are summed.
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(std::size_t n) : n_(n) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Accumulate A[r][c] += v (call for both (r,c) and (c,r) on symmetric
+  /// off-diagonals).
+  void add(std::size_t r, std::size_t c, double v);
+
+  /// Finalize into CSR; call once after all add()s.
+  void assemble();
+
+  /// y = A x  (requires assemble()).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Diagonal entries (requires assemble()).
+  [[nodiscard]] const std::vector<double>& diagonal() const { return diag_; }
+
+  /// A[i][i] += v after assembly (the diagonal entry must exist).  Used to
+  /// re-weight spreading anchors between placement rounds without
+  /// reassembling the matrix.
+  void add_to_diagonal(std::size_t i, double v);
+
+  [[nodiscard]] bool assembled() const { return assembled_; }
+
+ private:
+  std::size_t n_;
+  struct Triplet {
+    std::size_t r, c;
+    double v;
+  };
+  std::vector<Triplet> triplets_;
+  std::vector<std::size_t> row_offset_;
+  std::vector<std::size_t> col_;
+  std::vector<double> val_;
+  std::vector<double> diag_;
+  std::vector<std::size_t> diag_pos_;  // index into val_ per row, or npos
+  bool assembled_ = false;
+};
+
+struct CgResult {
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< final ||Ax-b|| / ||b||
+  bool converged = false;
+};
+
+/// Solve A x = b by Jacobi-PCG, starting from the passed-in x (warm
+/// start).  Stops at relative residual `tolerance` or `max_iterations`.
+CgResult solve_pcg(const SparseMatrix& a, std::span<const double> b,
+                   std::span<double> x, double tolerance = 1e-6,
+                   std::size_t max_iterations = 500);
+
+}  // namespace gtl

@@ -1,0 +1,335 @@
+#include "place/quadratic_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "place/linear_system.hpp"
+#include "util/require.hpp"
+
+namespace gtl {
+namespace {
+
+constexpr double kCenterAnchor = 1e-6;  // keeps every row SPD
+
+struct MovableIndex {
+  std::vector<std::size_t> of_cell;  // cell -> movable slot or npos
+  std::vector<CellId> cells;         // movable slot -> cell
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+MovableIndex index_movable(const Netlist& nl) {
+  MovableIndex m;
+  m.of_cell.assign(nl.num_cells(), MovableIndex::npos);
+  m.cells.reserve(nl.num_movable());
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (!nl.is_fixed(c)) {
+      m.of_cell[c] = m.cells.size();
+      m.cells.push_back(c);
+    }
+  }
+  return m;
+}
+
+/// Slab-wise 1D density-capped spreading along one axis.  `primary` is
+/// the axis being spread, `secondary` selects the slab.  Cells of a slab
+/// are remapped to uniform density inside a window just wide enough to
+/// hit `target_density`, centered on their area-weighted mean — overfull
+/// clusters relax, already-spread regions barely move (FastPlace-style
+/// cell shifting, not global flattening).  Returns target positions.
+std::vector<double> spread_axis(const Netlist& nl, const MovableIndex& mov,
+                                const std::vector<double>& primary,
+                                const std::vector<double>& secondary,
+                                double primary_extent, double secondary_extent,
+                                std::size_t slabs, double strength,
+                                double target_density) {
+  std::vector<double> target = primary;
+  if (slabs == 0 || primary_extent <= 0.0) return target;
+  const double slab_h = secondary_extent / static_cast<double>(slabs);
+
+  // Bucket movable slots by slab.
+  std::vector<std::vector<std::size_t>> bucket(slabs);
+  for (std::size_t s = 0; s < mov.cells.size(); ++s) {
+    const double sec = std::clamp(secondary[s], 0.0, secondary_extent);
+    auto b = static_cast<std::size_t>(sec / slab_h);
+    if (b >= slabs) b = slabs - 1;
+    bucket[b].push_back(s);
+  }
+
+  std::vector<std::size_t> order;
+  for (auto& slab : bucket) {
+    if (slab.empty()) continue;
+    order.assign(slab.begin(), slab.end());
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return primary[a] != primary[b] ? primary[a] < primary[b]
+                                                : a < b;
+              });
+    double total_area = 0.0;
+    double weighted_mean = 0.0;
+    for (const std::size_t s : order) {
+      const double area = nl.cell_area(mov.cells[s]);
+      total_area += area;
+      weighted_mean += area * primary[s];
+    }
+    if (total_area <= 0.0) continue;
+    weighted_mean /= total_area;
+
+    // Window width: enough for target density, but never narrower than
+    // the core (10th-90th area percentile) span — sparse-but-spread slabs
+    // must not be sucked toward their mean.
+    const double density_cap = std::max(target_density, 1e-3);
+    const double needed = total_area / (slab_h * density_cap);
+    double x10 = primary[order.front()], x90 = primary[order.back()];
+    {
+      double cum = 0.0;
+      bool got10 = false;
+      for (const std::size_t s : order) {
+        cum += nl.cell_area(mov.cells[s]);
+        if (!got10 && cum >= 0.1 * total_area) {
+          x10 = primary[s];
+          got10 = true;
+        }
+        if (cum >= 0.9 * total_area) {
+          x90 = primary[s];
+          break;
+        }
+      }
+    }
+    const double core_span = (x90 - x10) * 1.25;
+    const double window =
+        std::clamp(std::max(needed, core_span), 1e-9, primary_extent);
+    double lo = weighted_mean - window * 0.5;
+    lo = std::clamp(lo, 0.0, primary_extent - window);
+
+    double cum = 0.0;
+    for (const std::size_t s : order) {
+      const double area = nl.cell_area(mov.cells[s]);
+      const double uniform = lo + window * (cum + area * 0.5) / total_area;
+      cum += area;
+      target[s] = strength * uniform + (1.0 - strength) * primary[s];
+    }
+  }
+  return target;
+}
+
+/// Row-based legalization (Abacus-lite, two phases):
+///   A. assign cells (in x order) to rows near their ideal row, under a
+///      per-row width budget;
+///   B. per row, place cells at their desired x and smooth overlaps with
+///      a forward (push right) then backward (pull left) pass — legal
+///      whenever the row's total cell width fits, with no cursor-gap
+///      waste a plain Tetris sweep would accumulate.
+void legalize(const Netlist& nl, const MovableIndex& mov, const Die& die,
+              std::vector<double>& x, std::vector<double>& y) {
+  const auto n_rows = static_cast<std::size_t>(
+      std::max(1.0, std::floor(die.height / die.row_height)));
+  std::vector<double> load(n_rows, 0.0);       // assigned width per row
+  std::vector<double> tail_end(n_rows, 0.0);   // desired end of last cell
+  std::vector<std::vector<std::size_t>> row_cells(n_rows);
+
+  std::vector<std::size_t> order(mov.cells.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return x[a] != x[b] ? x[a] < x[b] : y[a] < y[b];
+  });
+
+  // --- Phase A: row assignment under width budget ---
+  for (const std::size_t s : order) {
+    const CellId c = mov.cells[s];
+    const double w = nl.cell_width(c);
+    auto ideal = static_cast<std::ptrdiff_t>(y[s] / die.row_height);
+    ideal = std::clamp<std::ptrdiff_t>(ideal, 0,
+                                       static_cast<std::ptrdiff_t>(n_rows) - 1);
+    std::size_t best_row = n_rows;  // invalid
+    double best_cost = 0.0;
+    for (std::ptrdiff_t d = 0; d <= static_cast<std::ptrdiff_t>(n_rows);
+         ++d) {
+      for (const std::ptrdiff_t r : {ideal - d, ideal + d}) {
+        if (r < 0 || r >= static_cast<std::ptrdiff_t>(n_rows)) continue;
+        if (d != 0 && r == ideal) continue;
+        const auto row = static_cast<std::size_t>(r);
+        if (load[row] + w > die.width + 1e-9) continue;  // budget spent
+        const double row_y = (static_cast<double>(row) + 0.5) * die.row_height;
+        // Estimated x penalty: overlap with the previous cell's desired
+        // span in this row (phase B resolves it by shifting).
+        const double x_pen = std::max(0.0, tail_end[row] - (x[s] - w * 0.5));
+        const double cost = std::abs(row_y - y[s]) + x_pen;
+        if (best_row == n_rows || cost < best_cost) {
+          best_row = row;
+          best_cost = cost;
+        }
+      }
+      if (best_row != n_rows && d >= 2) break;  // good enough nearby
+    }
+    if (best_row == n_rows) continue;  // die truly full: leave as is
+    load[best_row] += w;
+    tail_end[best_row] = std::max(tail_end[best_row], x[s] + w * 0.5);
+    row_cells[best_row].push_back(s);
+  }
+
+  // --- Phase B: per-row overlap smoothing ---
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    auto& cells = row_cells[r];
+    if (cells.empty()) continue;
+    // Appended in ascending desired x already; positions as left edges.
+    std::vector<double> px(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const double w = nl.cell_width(mov.cells[cells[i]]);
+      px[i] = std::clamp(x[cells[i]] - w * 0.5, 0.0, die.width - w);
+    }
+    // Forward: push right to clear overlaps.
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+      const double prev_w = nl.cell_width(mov.cells[cells[i - 1]]);
+      px[i] = std::max(px[i], px[i - 1] + prev_w);
+    }
+    // Backward: pull left anything pushed past the die edge.
+    {
+      const std::size_t last = cells.size() - 1;
+      const double w_last = nl.cell_width(mov.cells[cells[last]]);
+      px[last] = std::min(px[last], die.width - w_last);
+      for (std::size_t i = last; i-- > 0;) {
+        const double w_i = nl.cell_width(mov.cells[cells[i]]);
+        px[i] = std::min(px[i], px[i + 1] - w_i);
+      }
+    }
+    const double row_y = (static_cast<double>(r) + 0.5) * die.row_height;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const double w = nl.cell_width(mov.cells[cells[i]]);
+      x[cells[i]] = px[i] + w * 0.5;
+      y[cells[i]] = row_y;
+    }
+  }
+}
+
+}  // namespace
+
+double total_hpwl(const Netlist& nl, std::span<const double> x,
+                  std::span<const double> y) {
+  GTL_REQUIRE(x.size() == nl.num_cells() && y.size() == nl.num_cells(),
+              "coordinate arrays must cover all cells");
+  double hpwl = 0.0;
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    const auto pins = nl.pins_of(e);
+    if (pins.size() < 2) continue;
+    double min_x = x[pins[0]], max_x = x[pins[0]];
+    double min_y = y[pins[0]], max_y = y[pins[0]];
+    for (const CellId c : pins.subspan(1)) {
+      min_x = std::min(min_x, x[c]);
+      max_x = std::max(max_x, x[c]);
+      min_y = std::min(min_y, y[c]);
+      max_y = std::max(max_y, y[c]);
+    }
+    hpwl += (max_x - min_x) + (max_y - min_y);
+  }
+  return hpwl;
+}
+
+Placement place_quadratic(const Netlist& nl, std::span<const double> fixed_x,
+                          std::span<const double> fixed_y,
+                          const PlacerConfig& cfg) {
+  if (cfg.die.width <= 0.0 || cfg.die.height <= 0.0) {
+    throw std::invalid_argument("die must have positive dimensions");
+  }
+  GTL_REQUIRE(fixed_x.size() == nl.num_cells() &&
+                  fixed_y.size() == nl.num_cells(),
+              "fixed position arrays must cover all cells");
+
+  const MovableIndex mov = index_movable(nl);
+  const std::size_t n = mov.cells.size();
+
+  Placement out;
+  out.x.assign(fixed_x.begin(), fixed_x.end());
+  out.y.assign(fixed_y.begin(), fixed_y.end());
+  if (n == 0) {
+    out.hpwl = total_hpwl(nl, out.x, out.y);
+    return out;
+  }
+
+  // --- assemble the connectivity Laplacian (shared by x and y) ---
+  const double cx = cfg.die.width * 0.5, cy = cfg.die.height * 0.5;
+  SparseMatrix a(n);
+  std::vector<double> base_bx(n, kCenterAnchor * cx);
+  std::vector<double> base_by(n, kCenterAnchor * cy);
+  for (std::size_t i = 0; i < n; ++i) a.add(i, i, kCenterAnchor);
+
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    const auto pins = nl.pins_of(e);
+    if (pins.size() < 2 || pins.size() > cfg.max_clique_net) continue;
+    const double w = 1.0 / static_cast<double>(pins.size() - 1);
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      const std::size_t mi = mov.of_cell[pins[i]];
+      for (std::size_t j = i + 1; j < pins.size(); ++j) {
+        const std::size_t mj = mov.of_cell[pins[j]];
+        if (mi != MovableIndex::npos && mj != MovableIndex::npos) {
+          a.add(mi, mi, w);
+          a.add(mj, mj, w);
+          a.add(mi, mj, -w);
+          a.add(mj, mi, -w);
+        } else if (mi != MovableIndex::npos) {  // j fixed
+          a.add(mi, mi, w);
+          base_bx[mi] += w * fixed_x[pins[j]];
+          base_by[mi] += w * fixed_y[pins[j]];
+        } else if (mj != MovableIndex::npos) {  // i fixed
+          a.add(mj, mj, w);
+          base_bx[mj] += w * fixed_x[pins[i]];
+          base_by[mj] += w * fixed_y[pins[i]];
+        }
+      }
+    }
+  }
+  a.assemble();
+
+  // --- initial unconstrained solve ---
+  std::vector<double> px(n, cx), py(n, cy);
+  solve_pcg(a, base_bx, px, cfg.cg_tolerance, cfg.cg_max_iterations);
+  solve_pcg(a, base_by, py, cfg.cg_tolerance, cfg.cg_max_iterations);
+
+  // --- spreading rounds with growing anchors ---
+  double anchor_w = cfg.anchor_weight;
+  double applied_anchor = 0.0;
+  std::vector<double> bx(n), by(n);
+  for (std::size_t round = 0; round < cfg.spreading_iterations; ++round) {
+    const std::vector<double> tx =
+        spread_axis(nl, mov, px, py, cfg.die.width, cfg.die.height,
+                    cfg.bins_y, cfg.spreading_strength, cfg.target_density);
+    const std::vector<double> ty =
+        spread_axis(nl, mov, py, px, cfg.die.height, cfg.die.width,
+                    cfg.bins_x, cfg.spreading_strength, cfg.target_density);
+
+    // Shift anchor weight on the diagonal to the new value.
+    const double delta = anchor_w - applied_anchor;
+    for (std::size_t i = 0; i < n; ++i) a.add_to_diagonal(i, delta);
+    applied_anchor = anchor_w;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      bx[i] = base_bx[i] + anchor_w * tx[i];
+      by[i] = base_by[i] + anchor_w * ty[i];
+    }
+    solve_pcg(a, bx, px, cfg.cg_tolerance, cfg.cg_max_iterations);
+    solve_pcg(a, by, py, cfg.cg_tolerance, cfg.cg_max_iterations);
+    anchor_w *= cfg.anchor_growth;
+    ++out.rounds;
+  }
+
+  // Clamp into the die.
+  for (std::size_t i = 0; i < n; ++i) {
+    const CellId c = mov.cells[i];
+    const double hw = nl.cell_width(c) * 0.5;
+    const double hh = nl.cell_height(c) * 0.5;
+    px[i] = std::clamp(px[i], hw, cfg.die.width - hw);
+    py[i] = std::clamp(py[i], hh, cfg.die.height - hh);
+  }
+
+  if (cfg.legalize) legalize(nl, mov, cfg.die, px, py);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.x[mov.cells[i]] = px[i];
+    out.y[mov.cells[i]] = py[i];
+  }
+  out.hpwl = total_hpwl(nl, out.x, out.y);
+  return out;
+}
+
+}  // namespace gtl

@@ -1,0 +1,44 @@
+#pragma once
+// Soft-block placement constraints from GTLs — the paper's floorplanning
+// application (Ch. I: "the designer may wish to form a soft block for the
+// gates in the GTL. Then during placement, the soft block can be
+// translated into placement constraints (like attractions, forces, or
+// move bounds) to drive placement to a higher quality solution").
+//
+// Implementation: each group gets a movable zero-area anchor cell; every
+// member is tied to it by `attraction` parallel 2-pin pseudo-nets.  The
+// quadratic placer then solves the augmented netlist — the anchor settles
+// at the group centroid and pulls the members together.  Pseudo-cells and
+// pseudo-nets are stripped from the returned placement.
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "place/quadratic_placer.hpp"
+
+namespace gtl {
+
+struct SoftBlockConfig {
+  /// Number of parallel attraction pseudo-nets per member cell (each has
+  /// clique weight 1, so this is the attraction strength).
+  std::uint32_t attraction = 2;
+};
+
+/// Place `nl` with attraction constraints for each cell group.
+/// `fixed_x`/`fixed_y` cover all real cells (fixed entries read, as in
+/// place_quadratic).  Returns a placement over the real cells only.
+[[nodiscard]] Placement place_with_soft_blocks(
+    const Netlist& nl, std::span<const double> fixed_x,
+    std::span<const double> fixed_y, const PlacerConfig& placer_cfg,
+    std::span<const std::vector<CellId>> groups,
+    const SoftBlockConfig& cfg = {});
+
+/// RMS distance of `cells` from their placed centroid (spread measure
+/// used to evaluate soft-block effectiveness; also handy for Fig. 4-style
+/// "clotting" statistics).
+[[nodiscard]] double group_rms_spread(std::span<const CellId> cells,
+                                      std::span<const double> x,
+                                      std::span<const double> y);
+
+}  // namespace gtl

@@ -1,0 +1,63 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace gtl {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      kv_.emplace(std::string(arg), "true");
+    } else {
+      kv_.emplace(std::string(arg.substr(0, eq)),
+                  std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? v : fallback;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? v : fallback;
+}
+
+bool CliArgs::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+Scale parse_scale(const CliArgs& args) {
+  const std::string s = args.get("scale", "default");
+  if (s == "smoke") return Scale::kSmoke;
+  if (s == "paper") return Scale::kPaper;
+  return Scale::kDefault;
+}
+
+const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::kSmoke: return "smoke";
+    case Scale::kPaper: return "paper";
+    default: return "default";
+  }
+}
+
+}  // namespace gtl

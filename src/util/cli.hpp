@@ -1,0 +1,47 @@
+#pragma once
+// Minimal command-line option parsing shared by bench/ and examples/.
+// Supports  --key=value  and  --flag  forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gtl {
+
+/// Parsed command line: --key=value pairs plus bare --flags (value "true").
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  /// Value of --key, or `fallback` if absent.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = {}) const;
+
+  /// Integer value of --key, or `fallback` if absent/unparseable.
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+
+  /// Double value of --key, or `fallback` if absent/unparseable.
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  /// True if --key was given (as flag or with truthy value).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// Standard experiment scale selector used by every bench binary.
+/// "smoke"  — seconds-scale sanity run;
+/// "default"— minutes-scale run with paper-shaped ratios (the default);
+/// "paper"  — full paper sizes (hours on laptop hardware).
+enum class Scale { kSmoke, kDefault, kPaper };
+
+/// Parse --scale=smoke|default|paper (defaults to kDefault).
+[[nodiscard]] Scale parse_scale(const CliArgs& args);
+
+/// Human-readable name of a scale value.
+[[nodiscard]] const char* scale_name(Scale s);
+
+}  // namespace gtl

@@ -1,0 +1,35 @@
+#pragma once
+// Precondition / invariant checking in the spirit of the Core Guidelines'
+// Expects()/Ensures().  Violations throw std::logic_error with location
+// context rather than aborting, so library users get a diagnosable error.
+
+#include <stdexcept>
+#include <string>
+
+namespace gtl::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::string what = "requirement failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " (";
+    what += msg;
+    what += ')';
+  }
+  throw std::logic_error(what);
+}
+
+}  // namespace gtl::detail
+
+/// Check a precondition; throws std::logic_error on failure.
+#define GTL_REQUIRE(expr, msg)                                       \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::gtl::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gtl {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound == 0");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::next_int: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+std::vector<std::uint32_t> Rng::sample_distinct(std::uint32_t n,
+                                                std::uint32_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_distinct: k > n");
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint32_t j =
+          i + static_cast<std::uint32_t>(next_below(n - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const auto v = static_cast<std::uint32_t>(next_below(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xA3C59AC2F0EED5B1ULL); }
+
+}  // namespace gtl

@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gtl {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 0.5); }
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q not in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_line: need >= 2 paired points");
+  }
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LineFit f;
+  if (std::abs(denom) < 1e-12) {
+    f.slope = 0.0;
+    f.intercept = sy / n;
+    f.r2 = 0.0;
+    return f;
+  }
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (f.intercept + f.slope * xs[i]);
+    ss_res += r * r;
+  }
+  f.r2 = ss_tot > 1e-12 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+LineFit fit_power_law(std::span<const double> ks, std::span<const double> ts) {
+  if (ks.size() != ts.size() || ks.size() < 2) {
+    throw std::invalid_argument("fit_power_law: need >= 2 paired points");
+  }
+  std::vector<double> lx, ly;
+  lx.reserve(ks.size());
+  ly.reserve(ts.size());
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    if (ks[i] > 0.0 && ts[i] > 0.0) {
+      lx.push_back(std::log(ks[i]));
+      ly.push_back(std::log(ts[i]));
+    }
+  }
+  if (lx.size() < 2) throw std::invalid_argument("fit_power_law: need >= 2 positive points");
+  return fit_line(lx, ly);
+}
+
+}  // namespace gtl

@@ -1,0 +1,37 @@
+#pragma once
+// Small statistics helpers used by the metrics and the experiment harness:
+// mean / median / percentile, and least-squares line fitting in log-log
+// space (Rent's rule  T = A * k^p  fits a line  ln T = ln A + p * ln k).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gtl {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Median (average of middle two for even sizes). Returns 0 if empty.
+[[nodiscard]] double median(std::vector<double> xs);
+
+/// q-th percentile with linear interpolation, q in [0,1]. Returns 0 if empty.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+/// Result of an ordinary least-squares fit y = intercept + slope * x.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Least-squares fit; xs and ys must be the same length (>= 2).
+[[nodiscard]] LineFit fit_line(std::span<const double> xs,
+                               std::span<const double> ys);
+
+/// Fit  T = A * k^p  through points (k_i, T_i) with k_i, T_i > 0 via the
+/// log-log line fit.  slope = p (Rent exponent), exp(intercept) = A.
+[[nodiscard]] LineFit fit_power_law(std::span<const double> ks,
+                                    std::span<const double> ts);
+
+}  // namespace gtl

@@ -1,0 +1,47 @@
+#pragma once
+// Console table rendering for the experiment harness (bench/).  Each bench
+// binary regenerates one paper table/figure and prints it in the same
+// row/column structure the paper reports.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gtl {
+
+/// A simple aligned text table with an optional title.
+/// Cells are strings; use the fmt_* helpers for numbers.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row (column names).
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row. Rows may be ragged; missing cells print empty.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with box-drawing alignment to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render as comma-separated values (header first).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant decimal places.
+[[nodiscard]] std::string fmt_double(double v, int digits = 3);
+
+/// Format a double as a percentage ("1.25%").
+[[nodiscard]] std::string fmt_percent(double fraction, int digits = 2);
+
+/// Format an integer with thousands separators ("1,096,812").
+[[nodiscard]] std::string fmt_int(long long v);
+
+}  // namespace gtl

@@ -1,0 +1,88 @@
+#include "viz/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace gtl {
+
+Image::Image(std::size_t width, std::size_t height, Color fill)
+    : width_(width), height_(height), rgb_(width * height * 3) {
+  for (std::size_t i = 0; i < width_ * height_; ++i) {
+    rgb_[i * 3 + 0] = fill.r;
+    rgb_[i * 3 + 1] = fill.g;
+    rgb_[i * 3 + 2] = fill.b;
+  }
+}
+
+void Image::set(std::ptrdiff_t x, std::ptrdiff_t y, Color c) {
+  if (x < 0 || y < 0 || x >= static_cast<std::ptrdiff_t>(width_) ||
+      y >= static_cast<std::ptrdiff_t>(height_)) {
+    return;
+  }
+  const std::size_t i =
+      (static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)) * 3;
+  rgb_[i + 0] = c.r;
+  rgb_[i + 1] = c.g;
+  rgb_[i + 2] = c.b;
+}
+
+void Image::fill_rect(std::ptrdiff_t x0, std::ptrdiff_t y0, std::ptrdiff_t x1,
+                      std::ptrdiff_t y1, Color c) {
+  for (std::ptrdiff_t y = std::max<std::ptrdiff_t>(y0, 0);
+       y <= y1 && y < static_cast<std::ptrdiff_t>(height_); ++y) {
+    for (std::ptrdiff_t x = std::max<std::ptrdiff_t>(x0, 0);
+         x <= x1 && x < static_cast<std::ptrdiff_t>(width_); ++x) {
+      set(x, y, c);
+    }
+  }
+}
+
+Color Image::get(std::size_t x, std::size_t y) const {
+  const std::size_t i = (y * width_ + x) * 3;
+  return {rgb_[i], rgb_[i + 1], rgb_[i + 2]};
+}
+
+void Image::write_ppm(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(rgb_.data()),
+            static_cast<std::streamsize>(rgb_.size()));
+  if (!out) throw std::runtime_error("short write to " + path.string());
+}
+
+Color heat_color(double value, double hi) {
+  const double t = std::clamp(value / hi, 0.0, 1.0);
+  // Piecewise ramp: blue (cold) -> cyan -> green -> yellow -> red (hot).
+  auto lerp = [](double a, double b, double f) {
+    return static_cast<std::uint8_t>(std::lround(a + (b - a) * f));
+  };
+  if (t < 0.25) {
+    const double f = t / 0.25;
+    return {0, lerp(0, 200, f), 255};
+  }
+  if (t < 0.5) {
+    const double f = (t - 0.25) / 0.25;
+    return {0, lerp(200, 220, f), lerp(255, 60, f)};
+  }
+  if (t < 0.75) {
+    const double f = (t - 0.5) / 0.25;
+    return {lerp(0, 255, f), 220, lerp(60, 0, f)};
+  }
+  const double f = (t - 0.75) / 0.25;
+  return {255, lerp(220, 30, f), 0};
+}
+
+Color category_color(std::size_t index) {
+  static constexpr Color kPalette[] = {
+      {230, 25, 75},  {60, 180, 75},   {255, 225, 25}, {0, 130, 200},
+      {245, 130, 48}, {145, 30, 180},  {70, 240, 240}, {240, 50, 230},
+      {210, 245, 60}, {250, 190, 212}, {0, 128, 128},  {220, 190, 255},
+      {170, 110, 40}, {128, 0, 0},     {170, 255, 195}, {128, 128, 0},
+  };
+  return kPalette[index % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+}  // namespace gtl

@@ -1,0 +1,47 @@
+#pragma once
+// Minimal RGB raster + binary PPM (P6) writer — enough to regenerate the
+// paper's placement and congestion figures (Figs. 1, 4, 6, 7) as image
+// files without external dependencies.
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+namespace gtl {
+
+struct Color {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+class Image {
+ public:
+  Image(std::size_t width, std::size_t height, Color fill = {255, 255, 255});
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+
+  /// Set one pixel; out-of-range coordinates are ignored (clipping).
+  void set(std::ptrdiff_t x, std::ptrdiff_t y, Color c);
+
+  /// Filled axis-aligned rectangle (clipped).
+  void fill_rect(std::ptrdiff_t x0, std::ptrdiff_t y0, std::ptrdiff_t x1,
+                 std::ptrdiff_t y1, Color c);
+
+  [[nodiscard]] Color get(std::size_t x, std::size_t y) const;
+
+  /// Write binary PPM; throws std::runtime_error on I/O failure.
+  void write_ppm(const std::filesystem::path& path) const;
+
+ private:
+  std::size_t width_, height_;
+  std::vector<std::uint8_t> rgb_;
+};
+
+/// Blue→green→yellow→red ramp for utilization in [0, hi]; values above hi
+/// saturate to dark red.  Matches the usual congestion-map palette.
+[[nodiscard]] Color heat_color(double value, double hi = 1.2);
+
+/// Qualitative palette for structure ids (wraps around).
+[[nodiscard]] Color category_color(std::size_t index);
+
+}  // namespace gtl

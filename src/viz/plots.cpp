@@ -1,0 +1,157 @@
+#include "viz/plots.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace gtl {
+namespace {
+
+/// Map die coordinates to pixel coordinates (y flipped: die origin is
+/// bottom-left, image origin top-left).
+struct PixelMapper {
+  double sx, sy;
+  std::size_t img_h;
+  [[nodiscard]] std::ptrdiff_t px(double x) const {
+    return static_cast<std::ptrdiff_t>(x * sx);
+  }
+  [[nodiscard]] std::ptrdiff_t py(double y) const {
+    return static_cast<std::ptrdiff_t>(img_h) - 1 -
+           static_cast<std::ptrdiff_t>(y * sy);
+  }
+};
+
+}  // namespace
+
+Image render_placement(const Netlist& nl, std::span<const double> x,
+                       std::span<const double> y, const Die& die,
+                       const std::vector<std::vector<CellId>>& groups,
+                       std::size_t image_width) {
+  GTL_REQUIRE(die.width > 0.0 && die.height > 0.0, "die is degenerate");
+  const auto image_height = static_cast<std::size_t>(std::max(
+      8.0, std::round(static_cast<double>(image_width) * die.height /
+                      die.width)));
+  Image img(image_width, image_height, Color{250, 250, 250});
+  const PixelMapper map{static_cast<double>(image_width) / die.width,
+                        static_cast<double>(image_height) / die.height,
+                        image_height};
+
+  // Background cells in light gray.
+  const Color gray{190, 190, 190};
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (nl.is_fixed(c)) continue;
+    img.set(map.px(x[c]), map.py(y[c]), gray);
+  }
+  // Groups on top, 2x2 dots so small structures stay visible.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const Color col = category_color(g);
+    for (const CellId c : groups[g]) {
+      const std::ptrdiff_t px = map.px(x[c]), py = map.py(y[c]);
+      img.fill_rect(px, py, px + 1, py + 1, col);
+    }
+  }
+  return img;
+}
+
+Image render_congestion(const CongestionMap& map, std::size_t image_width) {
+  GTL_REQUIRE(map.tiles_x > 0 && map.tiles_y > 0, "empty congestion map");
+  const auto image_height = static_cast<std::size_t>(
+      std::max(8.0, std::round(static_cast<double>(image_width) *
+                               (map.tile_h * map.tiles_y) /
+                               (map.tile_w * map.tiles_x))));
+  Image img(image_width, image_height);
+  const double px_per_tile_x =
+      static_cast<double>(image_width) / static_cast<double>(map.tiles_x);
+  const double px_per_tile_y =
+      static_cast<double>(image_height) / static_cast<double>(map.tiles_y);
+  for (std::size_t ty = 0; ty < map.tiles_y; ++ty) {
+    for (std::size_t tx = 0; tx < map.tiles_x; ++tx) {
+      const Color c = heat_color(map.utilization(tx, ty));
+      const auto x0 = static_cast<std::ptrdiff_t>(tx * px_per_tile_x);
+      const auto x1 = static_cast<std::ptrdiff_t>((tx + 1) * px_per_tile_x) - 1;
+      // Flip y: tile row 0 is the die bottom -> image bottom.
+      const std::size_t flipped = map.tiles_y - 1 - ty;
+      const auto y0 = static_cast<std::ptrdiff_t>(flipped * px_per_tile_y);
+      const auto y1 =
+          static_cast<std::ptrdiff_t>((flipped + 1) * px_per_tile_y) - 1;
+      img.fill_rect(x0, y0, x1, y1, c);
+    }
+  }
+  return img;
+}
+
+std::string ascii_congestion(const CongestionMap& map, std::size_t cols,
+                             std::size_t rows) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // last index
+  std::string out;
+  out.reserve((cols + 1) * rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Top row of output = top of die.
+    const std::size_t ty_hi = map.tiles_y - 1 -
+                              r * map.tiles_y / rows;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t tx = c * map.tiles_x / cols;
+      // Sample max utilization over the tile block this char covers.
+      double u = 0.0;
+      const std::size_t ty_lo = map.tiles_y - 1 - ((r + 1) * map.tiles_y / rows - 1);
+      for (std::size_t ty = std::min(ty_lo, ty_hi); ty <= ty_hi; ++ty) {
+        const std::size_t tx_end =
+            std::max(tx + 1, (c + 1) * map.tiles_x / cols);
+        for (std::size_t t = tx; t < tx_end && t < map.tiles_x; ++t) {
+          u = std::max(u, map.utilization(t, ty));
+        }
+      }
+      const auto level = static_cast<std::size_t>(
+          std::clamp(u / 1.2, 0.0, 1.0) * kLevels);
+      out.push_back(kRamp[level]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string ascii_placement(const Netlist& nl, std::span<const double> x,
+                            std::span<const double> y, const Die& die,
+                            const std::vector<std::vector<CellId>>& groups,
+                            std::size_t cols, std::size_t rows) {
+  GTL_REQUIRE(die.width > 0.0 && die.height > 0.0, "die is degenerate");
+  std::vector<int> marker(cols * rows, 0);  // 0 empty, 1 background, 2+g group
+  auto bin = [&](double vx, double vy) -> std::size_t {
+    auto cx = static_cast<std::size_t>(
+        std::clamp(vx / die.width * static_cast<double>(cols), 0.0,
+                   static_cast<double>(cols - 1)));
+    auto cy = static_cast<std::size_t>(
+        std::clamp(vy / die.height * static_cast<double>(rows), 0.0,
+                   static_cast<double>(rows - 1)));
+    // Flip: row 0 of the text = top of the die.
+    return (rows - 1 - cy) * cols + cx;
+  };
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (!nl.is_fixed(c)) marker[bin(x[c], y[c])] = std::max(marker[bin(x[c], y[c])], 1);
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const CellId c : groups[g]) {
+      marker[bin(x[c], y[c])] = static_cast<int>(g) + 2;
+    }
+  }
+  std::string out;
+  out.reserve((cols + 1) * rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const int m = marker[r * cols + c];
+      if (m == 0) {
+        out.push_back(' ');
+      } else if (m == 1) {
+        out.push_back('.');
+      } else {
+        out.push_back(static_cast<char>('A' + (m - 2) % 26));
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace gtl

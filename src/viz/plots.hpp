@@ -1,0 +1,42 @@
+#pragma once
+// Figure renderers: placement maps with GTLs highlighted (Figs. 4 and 6)
+// and congestion heatmaps (Figs. 1 and 7), plus ASCII fallbacks so every
+// bench can show its "figure" directly on the console.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "place/congestion.hpp"
+#include "place/quadratic_placer.hpp"
+#include "viz/image.hpp"
+
+namespace gtl {
+
+/// Render a placement: background cells gray, each group in `groups`
+/// drawn in a distinct color on top (the paper's "clots with colors
+/// different from the majority of cells").
+[[nodiscard]] Image render_placement(
+    const Netlist& nl, std::span<const double> x, std::span<const double> y,
+    const Die& die, const std::vector<std::vector<CellId>>& groups,
+    std::size_t image_width = 800);
+
+/// Render a congestion map with the standard heat palette.
+[[nodiscard]] Image render_congestion(const CongestionMap& map,
+                                      std::size_t image_width = 800);
+
+/// Coarse ASCII heatmap of a congestion map (for console output):
+/// characters " .:-=+*#%@" from cold to hot.
+[[nodiscard]] std::string ascii_congestion(const CongestionMap& map,
+                                           std::size_t cols = 64,
+                                           std::size_t rows = 24);
+
+/// ASCII placement density map highlighting group cells: group cells are
+/// letters (A, B, ...), background density shown as dots.
+[[nodiscard]] std::string ascii_placement(
+    const Netlist& nl, std::span<const double> x, std::span<const double> y,
+    const Die& die, const std::vector<std::vector<CellId>>& groups,
+    std::size_t cols = 64, std::size_t rows = 24);
+
+}  // namespace gtl

@@ -1,0 +1,152 @@
+#include "graphgen/planted_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "metrics/group_connectivity.hpp"
+#include "metrics/scores.hpp"
+
+namespace gtl {
+namespace {
+
+TEST(PlantedGraph, RespectsRequestedSizes) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 2000;
+  cfg.gtls.push_back({100, 2});
+  cfg.gtls.push_back({300, 1});
+  Rng rng(1);
+  const PlantedGraph pg = generate_planted_graph(cfg, rng);
+
+  EXPECT_EQ(pg.netlist.num_cells(), 2000u);
+  ASSERT_EQ(pg.gtl_members.size(), 3u);
+  EXPECT_EQ(pg.gtl_members[0].size(), 100u);
+  EXPECT_EQ(pg.gtl_members[1].size(), 100u);
+  EXPECT_EQ(pg.gtl_members[2].size(), 300u);
+}
+
+TEST(PlantedGraph, GtlsAreDisjoint) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 1000;
+  cfg.gtls.push_back({150, 3});
+  Rng rng(2);
+  const PlantedGraph pg = generate_planted_graph(cfg, rng);
+
+  std::unordered_set<CellId> seen;
+  for (const auto& gtl : pg.gtl_members) {
+    for (const CellId c : gtl) {
+      EXPECT_TRUE(seen.insert(c).second) << "cell in two GTLs";
+    }
+  }
+}
+
+TEST(PlantedGraph, MembersSortedAndInRange) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 500;
+  cfg.gtls.push_back({80, 1});
+  Rng rng(3);
+  const PlantedGraph pg = generate_planted_graph(cfg, rng);
+  const auto& m = pg.gtl_members[0];
+  EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+  for (const CellId c : m) EXPECT_LT(c, 500u);
+}
+
+TEST(PlantedGraph, OversizedRequestThrows) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 100;
+  cfg.gtls.push_back({90, 2});
+  Rng rng(4);
+  EXPECT_THROW((void)generate_planted_graph(cfg, rng), std::invalid_argument);
+}
+
+TEST(PlantedGraph, TinyGtlRejected) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 100;
+  cfg.gtls.push_back({1, 1});
+  Rng rng(5);
+  EXPECT_THROW((void)generate_planted_graph(cfg, rng), std::invalid_argument);
+}
+
+TEST(PlantedGraph, DeterministicGivenSeed) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 800;
+  cfg.gtls.push_back({60, 1});
+  Rng r1(77), r2(77);
+  const PlantedGraph a = generate_planted_graph(cfg, r1);
+  const PlantedGraph b = generate_planted_graph(cfg, r2);
+  EXPECT_EQ(a.netlist.num_nets(), b.netlist.num_nets());
+  EXPECT_EQ(a.netlist.num_pins(), b.netlist.num_pins());
+  EXPECT_EQ(a.gtl_members, b.gtl_members);
+}
+
+TEST(PlantedGraph, PlantedGtlHasLowNgtlScore) {
+  // The defining property: the planted structure must score far below the
+  // average-group value of 1 (paper: strong GTLs < 0.1).
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 10'000;
+  cfg.gtls.push_back({500, 1});
+  Rng rng(6);
+  const PlantedGraph pg = generate_planted_graph(cfg, rng);
+
+  GroupConnectivity g(pg.netlist);
+  g.assign(pg.gtl_members[0]);
+  const ScoreContext ctx{0.65, pg.netlist.average_pins_per_cell()};
+  const GtlScores s = score_group(g, ctx);
+  EXPECT_LT(s.ngtl_s, 0.25);
+  EXPECT_LT(s.gtl_sd, s.ngtl_s);  // density-aware contrast is stronger
+}
+
+TEST(PlantedGraph, GtlCutIsSmallAbsoluteNumber) {
+  // Ports bound the cut: at most ports_per_gtl * nets_per_port.
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 5'000;
+  cfg.ports_per_gtl = 24;
+  cfg.nets_per_port = 2;
+  cfg.gtls.push_back({400, 1});
+  Rng rng(7);
+  const PlantedGraph pg = generate_planted_graph(cfg, rng);
+
+  GroupConnectivity g(pg.netlist);
+  g.assign(pg.gtl_members[0]);
+  EXPECT_LE(g.cut(), 48);
+  EXPECT_GT(g.cut(), 0);
+}
+
+TEST(PlantedGraph, GtlIsDenserThanBackground) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 8'000;
+  cfg.gtls.push_back({600, 1});
+  Rng rng(8);
+  const PlantedGraph pg = generate_planted_graph(cfg, rng);
+
+  GroupConnectivity g(pg.netlist);
+  g.assign(pg.gtl_members[0]);
+  // A_C of the GTL exceeds A_G: complex-gate pin profile.
+  EXPECT_GT(g.avg_pins_per_cell(), pg.netlist.average_pins_per_cell());
+}
+
+TEST(RecoveryStats, ExactMatch) {
+  const std::vector<CellId> truth = {1, 2, 3, 4};
+  const auto st = recovery_stats(truth, truth);
+  EXPECT_DOUBLE_EQ(st.miss_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(st.over_fraction, 0.0);
+  EXPECT_EQ(st.overlap, 4u);
+}
+
+TEST(RecoveryStats, MissAndOver) {
+  const std::vector<CellId> truth = {1, 2, 3, 4};
+  const std::vector<CellId> found = {2, 3, 4, 5, 6};
+  const auto st = recovery_stats(truth, found);
+  EXPECT_DOUBLE_EQ(st.miss_fraction, 0.25);  // missed cell 1
+  EXPECT_DOUBLE_EQ(st.over_fraction, 0.5);   // extra cells 5, 6
+  EXPECT_EQ(st.overlap, 3u);
+}
+
+TEST(RecoveryStats, EmptyTruthIsSafe) {
+  const auto st = recovery_stats({}, std::vector<CellId>{1});
+  EXPECT_DOUBLE_EQ(st.miss_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace gtl

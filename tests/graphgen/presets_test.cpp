@@ -1,0 +1,88 @@
+#include "graphgen/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gtl {
+namespace {
+
+TEST(Presets, IspdNamesListedAndAccepted) {
+  const auto& names = ispd_benchmark_names();
+  ASSERT_EQ(names.size(), 6u);
+  for (const auto& n : names) {
+    const auto cfg = ispd_like_config(n, 0.05);
+    EXPECT_EQ(cfg.name, n);
+    EXPECT_GE(cfg.num_cells, 4096u);
+    EXPECT_FALSE(cfg.structures.empty());
+  }
+}
+
+TEST(Presets, PaperCellCountsAtFullScale) {
+  EXPECT_EQ(ispd_like_config("bigblue1", 1.0).num_cells, 278164u);
+  EXPECT_EQ(ispd_like_config("bigblue2", 1.0).num_cells, 557786u);
+  EXPECT_EQ(ispd_like_config("bigblue3", 1.0).num_cells, 1096812u);
+  EXPECT_EQ(ispd_like_config("adaptec1", 1.0).num_cells, 211447u);
+  EXPECT_EQ(ispd_like_config("adaptec2", 1.0).num_cells, 255023u);
+  EXPECT_EQ(ispd_like_config("adaptec3", 1.0).num_cells, 451650u);
+}
+
+TEST(Presets, UnknownNameThrows) {
+  EXPECT_THROW((void)ispd_like_config("bogus"), std::invalid_argument);
+}
+
+TEST(Presets, BadScaleThrows) {
+  EXPECT_THROW((void)ispd_like_config("bigblue1", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ispd_like_config("bigblue1", 1.5), std::invalid_argument);
+  EXPECT_THROW((void)industrial_config(-1.0), std::invalid_argument);
+}
+
+TEST(Presets, ScaleShrinksProportionally) {
+  const auto full = ispd_like_config("adaptec1", 1.0);
+  const auto tenth = ispd_like_config("adaptec1", 0.1);
+  EXPECT_NEAR(static_cast<double>(tenth.num_cells),
+              static_cast<double>(full.num_cells) * 0.1, 1.0);
+}
+
+TEST(Presets, StructureSizesWithinPaperRange) {
+  const auto cfg = ispd_like_config("bigblue1", 1.0);
+  for (const auto& s : cfg.structures) {
+    EXPECT_GE(s.size, 64u);
+    // Top GTLs in Table 2 go up to ~14K cells (2.5% of bigblue2).
+    EXPECT_LE(s.size, cfg.num_cells / 20);
+  }
+}
+
+TEST(Presets, IndustrialHasPaperGtlSizes) {
+  const auto sizes = industrial_gtl_sizes(1.0);
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes[0], 31880u);
+  EXPECT_EQ(sizes[1], 31914u);
+  EXPECT_EQ(sizes[2], 31754u);
+  EXPECT_EQ(sizes[3], 32002u);
+  EXPECT_EQ(sizes[4], 10932u);
+
+  const auto cfg = industrial_config(1.0);
+  ASSERT_EQ(cfg.structures.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(cfg.structures[i].size, sizes[i]);
+  }
+}
+
+TEST(Presets, IndustrialRomsSitInUpperDie) {
+  const auto cfg = industrial_config(0.1);
+  // The four big ROMs mirror Fig. 1's hotspots in the upper band.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(cfg.structures[i].center_y, 0.7);
+  }
+}
+
+TEST(Presets, IndustrialPortsMatchPaperCutBand) {
+  // Paper Table 3: cuts of 28-36.
+  const auto cfg = industrial_config(1.0);
+  for (const auto& s : cfg.structures) {
+    EXPECT_GE(s.ports, 28u);
+    EXPECT_LE(s.ports, 36u);
+  }
+}
+
+}  // namespace
+}  // namespace gtl

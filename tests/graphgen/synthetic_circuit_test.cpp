@@ -1,0 +1,178 @@
+#include "graphgen/synthetic_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "metrics/group_connectivity.hpp"
+#include "netlist/netlist_stats.hpp"
+
+namespace gtl {
+namespace {
+
+SyntheticCircuitConfig small_config() {
+  SyntheticCircuitConfig cfg;
+  cfg.num_cells = 4'000;
+  cfg.num_pads = 16;
+  StructureSpec s;
+  s.size = 300;
+  s.ports = 20;
+  cfg.structures.push_back(s);
+  return cfg;
+}
+
+TEST(SyntheticCircuit, BasicShape) {
+  Rng rng(1);
+  const SyntheticCircuit c = generate_synthetic_circuit(small_config(), rng);
+  EXPECT_EQ(c.netlist.num_cells(), 4'000u + 16u);
+  EXPECT_EQ(c.netlist.num_movable(), 4'000u);
+  EXPECT_GT(c.netlist.num_nets(), 2'000u);
+  EXPECT_GT(c.die_width, 0.0);
+  EXPECT_GT(c.die_height, 0.0);
+  ASSERT_EQ(c.hint_x.size(), c.netlist.num_cells());
+  ASSERT_EQ(c.hint_y.size(), c.netlist.num_cells());
+}
+
+TEST(SyntheticCircuit, PadsAreFixedAndOnPerimeter) {
+  Rng rng(2);
+  const SyntheticCircuit c = generate_synthetic_circuit(small_config(), rng);
+  std::size_t fixed = 0;
+  for (CellId i = 0; i < c.netlist.num_cells(); ++i) {
+    if (!c.netlist.is_fixed(i)) continue;
+    ++fixed;
+    const double x = c.hint_x[i], y = c.hint_y[i];
+    const bool on_edge = x <= 1e-9 || y <= 1e-9 ||
+                         x >= c.die_width - 1e-9 || y >= c.die_height - 1e-9;
+    EXPECT_TRUE(on_edge) << "pad " << i << " at (" << x << "," << y << ")";
+  }
+  EXPECT_EQ(fixed, 16u);
+}
+
+TEST(SyntheticCircuit, HintsInsideDie) {
+  Rng rng(3);
+  const SyntheticCircuit c = generate_synthetic_circuit(small_config(), rng);
+  for (std::size_t i = 0; i < c.hint_x.size(); ++i) {
+    EXPECT_GE(c.hint_x[i], 0.0);
+    EXPECT_LE(c.hint_x[i], c.die_width);
+    EXPECT_GE(c.hint_y[i], 0.0);
+    EXPECT_LE(c.hint_y[i], c.die_height);
+  }
+}
+
+TEST(SyntheticCircuit, PlantedStructureHasFewExternalNets) {
+  Rng rng(4);
+  const auto cfg = small_config();
+  const SyntheticCircuit c = generate_synthetic_circuit(cfg, rng);
+  ASSERT_EQ(c.planted.size(), 1u);
+  EXPECT_EQ(c.planted[0].size(), 300u);
+
+  GroupConnectivity g(c.netlist);
+  g.assign(c.planted[0]);
+  EXPECT_LE(g.cut(), static_cast<std::int64_t>(cfg.structures[0].ports));
+  EXPECT_GT(g.cut(), 0);
+}
+
+TEST(SyntheticCircuit, StructureRespectsCenterHint) {
+  SyntheticCircuitConfig cfg = small_config();
+  cfg.structures[0].center_x = 0.1;
+  cfg.structures[0].center_y = 0.9;
+  Rng rng(5);
+  const SyntheticCircuit c = generate_synthetic_circuit(cfg, rng);
+  double mx = 0.0, my = 0.0;
+  for (const CellId cell : c.planted[0]) {
+    mx += c.hint_x[cell];
+    my += c.hint_y[cell];
+  }
+  mx /= static_cast<double>(c.planted[0].size());
+  my /= static_cast<double>(c.planted[0].size());
+  EXPECT_LT(mx / c.die_width, 0.35);  // left side
+  EXPECT_GT(my / c.die_height, 0.65);  // upper side
+}
+
+TEST(SyntheticCircuit, BackgroundNetsAvoidStructures) {
+  Rng rng(6);
+  const SyntheticCircuit c = generate_synthetic_circuit(small_config(), rng);
+  std::unordered_set<CellId> planted(c.planted[0].begin(),
+                                     c.planted[0].end());
+  // Any net touching a planted cell must be either internal (all pins
+  // planted) or a 2-pin port net.
+  for (NetId e = 0; e < c.netlist.num_nets(); ++e) {
+    const auto pins = c.netlist.pins_of(e);
+    std::size_t inside = 0;
+    for (const CellId p : pins) inside += planted.count(p);
+    if (inside == 0) continue;
+    EXPECT_TRUE(inside == pins.size() || (pins.size() == 2 && inside == 1))
+        << "net " << e << " partially straddles the structure";
+  }
+}
+
+TEST(SyntheticCircuit, NetLocalityIsPowerLaw) {
+  // Background net bounding boxes (in hint space) must be mostly local:
+  // median span far below die width.
+  Rng rng(7);
+  SyntheticCircuitConfig cfg = small_config();
+  cfg.structures.clear();
+  const SyntheticCircuit c = generate_synthetic_circuit(cfg, rng);
+  std::vector<double> spans;
+  for (NetId e = 0; e < c.netlist.num_nets(); ++e) {
+    const auto pins = c.netlist.pins_of(e);
+    if (pins.size() < 2) continue;
+    bool has_pad = false;
+    double lo = 1e18, hi = -1e18;
+    for (const CellId p : pins) {
+      has_pad |= c.netlist.is_fixed(p);
+      lo = std::min(lo, c.hint_x[p]);
+      hi = std::max(hi, c.hint_x[p]);
+    }
+    if (!has_pad) spans.push_back(hi - lo);
+  }
+  ASSERT_GT(spans.size(), 1000u);
+  std::sort(spans.begin(), spans.end());
+  const double median_span = spans[spans.size() / 2];
+  EXPECT_LT(median_span, c.die_width * 0.2);
+  // ...but the tail must contain long nets too (power law, not uniform).
+  EXPECT_GT(spans.back(), c.die_width * 0.3);
+}
+
+TEST(SyntheticCircuit, TooSmallThrows) {
+  SyntheticCircuitConfig cfg;
+  cfg.num_cells = 4;
+  Rng rng(8);
+  EXPECT_THROW((void)generate_synthetic_circuit(cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(SyntheticCircuit, OversizedStructureThrows) {
+  SyntheticCircuitConfig cfg;
+  cfg.num_cells = 1000;
+  StructureSpec s;
+  s.size = 999;  // patch cannot fit inside a ~32x32 grid with margin
+  cfg.structures.push_back(s);
+  Rng rng(9);
+  EXPECT_THROW((void)generate_synthetic_circuit(cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(SyntheticCircuit, WithNamesGeneratesLookup) {
+  SyntheticCircuitConfig cfg = small_config();
+  cfg.num_cells = 100;
+  cfg.structures.clear();
+  cfg.with_names = true;
+  Rng rng(10);
+  const SyntheticCircuit c = generate_synthetic_circuit(cfg, rng);
+  EXPECT_TRUE(c.netlist.has_names());
+  EXPECT_TRUE(c.netlist.find_cell("o0").has_value());
+  EXPECT_TRUE(c.netlist.find_cell("p0").has_value());
+}
+
+TEST(SyntheticCircuit, DeterministicGivenSeed) {
+  Rng r1(11), r2(11);
+  const SyntheticCircuit a = generate_synthetic_circuit(small_config(), r1);
+  const SyntheticCircuit b = generate_synthetic_circuit(small_config(), r2);
+  EXPECT_EQ(a.netlist.num_nets(), b.netlist.num_nets());
+  EXPECT_EQ(a.netlist.num_pins(), b.netlist.num_pins());
+  EXPECT_EQ(a.planted, b.planted);
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,186 @@
+// End-to-end flows across modules: generate -> find -> place -> congest ->
+// inflate -> re-place, i.e. the full pipeline behind the paper's §5.1.3
+// experiment, at test scale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "finder/tangled_logic_finder.hpp"
+#include "graphgen/planted_graph.hpp"
+#include "graphgen/presets.hpp"
+#include "graphgen/synthetic_circuit.hpp"
+#include "netlist/bookshelf.hpp"
+#include "place/congestion.hpp"
+#include "place/inflation.hpp"
+#include "place/quadratic_placer.hpp"
+#include "viz/plots.hpp"
+
+namespace gtl {
+namespace {
+
+/// Small industrial-style circuit: one dominant ROM-like structure.
+SyntheticCircuit make_industrial_mini() {
+  SyntheticCircuitConfig cfg;
+  cfg.num_cells = 6'000;
+  cfg.num_pads = 32;
+  StructureSpec rom;
+  rom.size = 600;
+  rom.ports = 24;
+  rom.center_x = 0.5;
+  rom.center_y = 0.8;
+  cfg.structures.push_back(rom);
+  Rng rng(2024);
+  return generate_synthetic_circuit(cfg, rng);
+}
+
+FinderConfig mini_finder() {
+  FinderConfig f;
+  f.num_seeds = 40;
+  f.max_ordering_length = 2'000;
+  f.num_threads = 2;
+  f.rng_seed = 3;
+  return f;
+}
+
+TEST(EndToEnd, FinderRecoversStructureInRentCircuit) {
+  const SyntheticCircuit c = make_industrial_mini();
+  const FinderResult res = find_tangled_logic(c.netlist, mini_finder());
+  ASSERT_GE(res.gtls.size(), 1u);
+  // The top GTL must be the planted ROM.
+  const auto rec = recovery_stats(c.planted[0], res.gtls[0].cells);
+  EXPECT_LT(rec.miss_fraction, 0.05);
+  EXPECT_LT(rec.over_fraction, 0.05);
+  EXPECT_LT(res.gtls[0].score, 0.3);
+}
+
+TEST(EndToEnd, InflationReducesCongestion) {
+  // The headline experiment (Figs. 1 and 7): find GTLs, inflate 4x,
+  // re-place, and watch the hotspot dissolve.
+  const SyntheticCircuit c = make_industrial_mini();
+
+  PlacerConfig pcfg;
+  pcfg.die = {c.die_width, c.die_height, 1.0};
+  pcfg.spreading_iterations = 8;
+  // Default 64x64 spreading bins: the spreader needs enough resolution to
+  // dissolve the inflated GTL (coarse bins leave residual hotspots).
+  const Placement before =
+      place_quadratic(c.netlist, c.hint_x, c.hint_y, pcfg);
+
+  CongestionConfig ccfg;
+  ccfg.tiles_x = 32;
+  ccfg.tiles_y = 32;
+  // Calibrate routing supply so the pre-inflation hotspot peaks at ~1.6x
+  // capacity — the mild-overload regime of the paper's Fig. 1 (its worst
+  // 20% of nets average 136% congestion).
+  const CongestionMap probe =
+      estimate_congestion(c.netlist, before.x, before.y, pcfg.die, ccfg);
+  double peak_demand = 0.0;
+  for (const double d : probe.demand) peak_demand = std::max(peak_demand, d);
+  const double tile_area = (pcfg.die.width / ccfg.tiles_x) *
+                           (pcfg.die.height / ccfg.tiles_y);
+  ccfg.capacity_per_area = peak_demand / tile_area / 1.6;
+  const CongestionMap map0 =
+      estimate_congestion(c.netlist, before.x, before.y, pcfg.die, ccfg);
+  const CongestionReport rep0 =
+      analyze_congestion(map0, c.netlist, before.x, before.y, ccfg);
+  ASSERT_GT(rep0.nets_through_full, 0u)
+      << "fixture must have a congestion hotspot before inflation";
+
+  // Find the GTLs and inflate the strong ones (paper §3.1: scores well
+  // below 1, e.g. < 0.1, mark strong GTLs; weakly tangled background
+  // communities at 0.5-0.7 are reported but not worth the area).
+  const FinderResult found = find_tangled_logic(c.netlist, mini_finder());
+  ASSERT_GE(found.gtls.size(), 1u);
+  std::vector<CellId> inflate_set;
+  for (const auto& g : found.gtls) {
+    if (g.score > 0.3) continue;
+    inflate_set.insert(inflate_set.end(), g.cells.begin(), g.cells.end());
+  }
+  ASSERT_FALSE(inflate_set.empty());
+  const Netlist inflated = inflate_cells(c.netlist, inflate_set, 4.0);
+  const Placement after =
+      place_quadratic(inflated, c.hint_x, c.hint_y, pcfg);
+  const CongestionMap map1 =
+      estimate_congestion(inflated, after.x, after.y, pcfg.die, ccfg);
+  const CongestionReport rep1 =
+      analyze_congestion(map1, inflated, after.x, after.y, ccfg);
+
+  // Paper: 5x reduction of nets through 100% tiles and a lower peak.
+  // At test scale we assert the direction and a >= 2x improvement.
+  EXPECT_LT(static_cast<double>(rep1.nets_through_full),
+            static_cast<double>(rep0.nets_through_full) / 2.0);
+  EXPECT_LT(rep1.max_tile_utilization, rep0.max_tile_utilization);
+  EXPECT_LT(rep1.full_tiles, rep0.full_tiles);
+}
+
+TEST(EndToEnd, BookshelfExportedCircuitGivesSameGtls) {
+  // write_bookshelf -> read_bookshelf -> finder must agree with the
+  // in-memory netlist (the reader is how real ISPD data would come in).
+  const SyntheticCircuit c = make_industrial_mini();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "tanglefind_e2e_bookshelf";
+  std::filesystem::create_directories(dir);
+  BookshelfDesign d;
+  d.netlist = c.netlist;
+  d.x = c.hint_x;
+  d.y = c.hint_y;
+  write_bookshelf(d, dir, "mini");
+  const BookshelfDesign back = read_bookshelf(dir / "mini.aux");
+  std::filesystem::remove_all(dir);
+
+  const FinderResult a = find_tangled_logic(c.netlist, mini_finder());
+  const FinderResult b = find_tangled_logic(back.netlist, mini_finder());
+  ASSERT_EQ(a.gtls.size(), b.gtls.size());
+  ASSERT_FALSE(a.gtls.empty());
+  EXPECT_EQ(a.gtls[0].cells, b.gtls[0].cells);
+  EXPECT_EQ(a.gtls[0].cut, b.gtls[0].cut);
+}
+
+TEST(EndToEnd, VisualizationPipelineRuns) {
+  const SyntheticCircuit c = make_industrial_mini();
+  PlacerConfig pcfg;
+  pcfg.die = {c.die_width, c.die_height, 1.0};
+  pcfg.spreading_iterations = 2;
+  pcfg.cg_max_iterations = 60;
+  const Placement p = place_quadratic(c.netlist, c.hint_x, c.hint_y, pcfg);
+
+  const Image img =
+      render_placement(c.netlist, p.x, p.y, pcfg.die, c.planted, 200);
+  EXPECT_EQ(img.width(), 200u);
+
+  CongestionConfig ccfg;
+  ccfg.tiles_x = 16;
+  ccfg.tiles_y = 16;
+  const CongestionMap m =
+      estimate_congestion(c.netlist, p.x, p.y, pcfg.die, ccfg);
+  const Image heat = render_congestion(m, 128);
+  EXPECT_EQ(heat.width(), 128u);
+  const std::string art = ascii_congestion(m, 32, 12);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 12);
+}
+
+TEST(EndToEnd, IndustrialPresetPipelineAtSmokeScale) {
+  const auto cfg = industrial_config(0.02);  // ~8K cells
+  Rng rng(77);
+  const SyntheticCircuit c = generate_synthetic_circuit(cfg, rng);
+  ASSERT_EQ(c.planted.size(), 5u);
+
+  FinderConfig fcfg = mini_finder();
+  fcfg.num_seeds = 150;  // smallest ROM is ~2.7% of the design
+  fcfg.max_ordering_length = 3'000;
+  const FinderResult res = find_tangled_logic(c.netlist, fcfg);
+  // All five ROMs recovered (sizes ~640/640/635/640/219 at this scale).
+  EXPECT_GE(res.gtls.size(), 5u);
+  for (const auto& truth : c.planted) {
+    double best_miss = 1.0;
+    for (const auto& g : res.gtls) {
+      best_miss =
+          std::min(best_miss, recovery_stats(truth, g.cells).miss_fraction);
+    }
+    EXPECT_LT(best_miss, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,129 @@
+#include "metrics/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_helpers.hpp"
+
+namespace gtl {
+namespace {
+
+std::vector<CellId> cells(std::initializer_list<CellId> ids) { return ids; }
+
+TEST(DegreeSeparation, CliqueHasSeparationOne) {
+  const Netlist nl = testing::make_two_cliques();
+  Rng rng(1);
+  const auto ds = degree_separation(nl, cells({0, 1, 2}), rng);
+  EXPECT_NEAR(ds.separation, 1.0, 1e-12);  // all pairs adjacent
+  EXPECT_GT(ds.degree, 0.0);
+  EXPECT_NEAR(ds.ds, ds.degree / ds.separation, 1e-12);
+}
+
+TEST(DegreeSeparation, PathHasLargerSeparation) {
+  // Cells 0-1-2-3 in a path: avg distance > 1.
+  const Netlist nl = testing::make_netlist(4, {{0, 1}, {1, 2}, {2, 3}});
+  Rng rng(2);
+  const auto ds = degree_separation(nl, cells({0, 1, 2, 3}), rng);
+  EXPECT_GT(ds.separation, 1.5);
+}
+
+TEST(DegreeSeparation, DenserClusterScoresHigher) {
+  const Netlist nl = testing::make_two_cliques();
+  Rng rng(3);
+  const auto clique = degree_separation(nl, cells({0, 1, 2, 3}), rng);
+  // Straddling group: fewer internal connections, longer paths.
+  const auto straddle = degree_separation(nl, cells({2, 3, 4, 5}), rng);
+  EXPECT_GT(clique.ds, straddle.ds);
+}
+
+TEST(DegreeSeparation, SingletonAndEmpty) {
+  const Netlist nl = testing::make_grid3x3();
+  Rng rng(4);
+  const auto single = degree_separation(nl, cells({4}), rng);
+  EXPECT_DOUBLE_EQ(single.separation, 1.0);
+  const auto empty = degree_separation(nl, {}, rng);
+  EXPECT_DOUBLE_EQ(empty.ds, 0.0);
+}
+
+TEST(DegreeSeparation, DisconnectedPairPenalized) {
+  const Netlist nl = testing::make_netlist(4, {{0, 1}, {2, 3}});
+  Rng rng(5);
+  const auto ds = degree_separation(nl, cells({0, 1, 2, 3}), rng);
+  EXPECT_GT(ds.separation, 2.0);  // unreachable pairs add |C| each
+}
+
+TEST(EdgeDisjointPaths, CountsDirectAndLength2) {
+  // 0-1 direct, plus 0-2-1 and 0-3-1.
+  const Netlist nl =
+      testing::make_netlist(4, {{0, 1}, {0, 2}, {2, 1}, {0, 3}, {3, 1}});
+  EXPECT_EQ(edge_disjoint_paths_len2(nl, 0, 1), 3u);
+}
+
+TEST(EdgeDisjointPaths, ParallelNetsCount) {
+  const Netlist nl = testing::make_netlist(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(edge_disjoint_paths_len2(nl, 0, 1), 3u);
+}
+
+TEST(EdgeDisjointPaths, NoPathIsZero) {
+  const Netlist nl = testing::make_netlist(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(edge_disjoint_paths_len2(nl, 0, 3), 0u);
+}
+
+TEST(K2Connectivity, CliqueIsK2Connected) {
+  const Netlist nl = testing::make_two_cliques();
+  Rng rng(6);
+  // In a 4-clique every pair has 1 direct + 2 length-2 paths = 3.
+  EXPECT_TRUE(is_k2_connected_cluster(nl, cells({0, 1, 2, 3}), 3, rng));
+  EXPECT_FALSE(is_k2_connected_cluster(nl, cells({0, 1, 2, 3}), 4, rng));
+}
+
+TEST(K2Connectivity, BridgedPairFails) {
+  const Netlist nl = testing::make_two_cliques();
+  Rng rng(7);
+  // Cells 0 and 7 sit in different cliques: no short disjoint paths.
+  EXPECT_FALSE(is_k2_connected_cluster(nl, cells({0, 7}), 1, rng));
+}
+
+TEST(EdgeSeparability, BridgeHasMinCutOne) {
+  const Netlist nl = testing::make_two_cliques();
+  const auto cut = edge_separability(nl, 3, 4);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(*cut, 1u);
+}
+
+TEST(EdgeSeparability, IntraCliqueCutIsThree) {
+  const Netlist nl = testing::make_two_cliques();
+  // Inside a 4-clique the min cut between two nodes is 3 (cell 0 to 1, but
+  // node 3 also has the bridge; pick 0,1 whose degree is 3).
+  const auto cut = edge_separability(nl, 0, 1);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(*cut, 3u);
+}
+
+TEST(EdgeSeparability, TruncatedBallReturnsNullopt) {
+  const Netlist nl = testing::make_grid3x3();
+  const auto cut = edge_separability(nl, 0, 8, /*node_limit=*/4);
+  EXPECT_FALSE(cut.has_value());
+}
+
+TEST(Adhesion, SumOfPairwiseMinCuts) {
+  // Path 0-1-2: min cuts are 1 for all three pairs.
+  const Netlist nl = testing::make_netlist(3, {{0, 1}, {1, 2}});
+  const auto a = adhesion(nl, cells({0, 1, 2}));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 3u);
+}
+
+TEST(Adhesion, CliqueAdhesionHigherThanPath) {
+  const Netlist clique = testing::make_two_cliques();
+  const Netlist path = testing::make_netlist(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto ac = adhesion(clique, cells({0, 1, 2, 3}));
+  const auto ap = adhesion(path, cells({0, 1, 2, 3}));
+  ASSERT_TRUE(ac.has_value());
+  ASSERT_TRUE(ap.has_value());
+  EXPECT_GT(*ac, *ap);  // the paper: adhesion reflects internal cohesion
+}
+
+}  // namespace
+}  // namespace gtl

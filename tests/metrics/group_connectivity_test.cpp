@@ -1,0 +1,195 @@
+#include "metrics/group_connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graphgen/planted_graph.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace gtl {
+namespace {
+
+TEST(GroupConnectivity, EmptyGroup) {
+  const Netlist nl = testing::make_grid3x3();
+  GroupConnectivity g(nl);
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.cut(), 0);
+  EXPECT_EQ(g.pins_in_group(), 0u);
+  EXPECT_DOUBLE_EQ(g.avg_pins_per_cell(), 0.0);
+}
+
+TEST(GroupConnectivity, SingleCellCutEqualsDegreeOnTwoPinNets) {
+  const Netlist nl = testing::make_grid3x3();
+  GroupConnectivity g(nl);
+  g.add(4);  // center cell: 4 incident 2-pin nets, all cut
+  EXPECT_EQ(g.cut(), 4);
+  EXPECT_EQ(g.pins_in_group(), 4u);
+  EXPECT_TRUE(g.contains(4));
+}
+
+TEST(GroupConnectivity, AbsorbedNetLeavesCut) {
+  const Netlist nl = testing::make_netlist(3, {{0, 1}, {1, 2}});
+  GroupConnectivity g(nl);
+  g.add(0);
+  EXPECT_EQ(g.cut(), 1);
+  g.add(1);  // net {0,1} fully inside; {1,2} cut
+  EXPECT_EQ(g.cut(), 1);
+  g.add(2);
+  EXPECT_EQ(g.cut(), 0);
+}
+
+TEST(GroupConnectivity, RemoveInvertsAdd) {
+  const Netlist nl = testing::make_two_cliques();
+  GroupConnectivity g(nl);
+  for (CellId c : {0, 1, 2, 3}) g.add(c);
+  const auto cut_before = g.cut();
+  const auto pins_before = g.pins_in_group();
+  const double abs_before = g.absorption();
+  g.add(4);
+  g.remove(4);
+  EXPECT_EQ(g.cut(), cut_before);
+  EXPECT_EQ(g.pins_in_group(), pins_before);
+  EXPECT_NEAR(g.absorption(), abs_before, 1e-12);
+  EXPECT_EQ(g.size(), 4u);
+}
+
+TEST(GroupConnectivity, CliqueGroupHasUnitCut) {
+  const Netlist nl = testing::make_two_cliques();
+  GroupConnectivity g(nl);
+  for (CellId c : {0, 1, 2, 3}) g.add(c);
+  EXPECT_EQ(g.cut(), 1);  // only the bridge net {3,4}
+  // Absorption: 6 internal 2-pin nets fully inside -> each contributes 1.
+  EXPECT_NEAR(g.absorption(), 6.0, 1e-12);
+}
+
+TEST(GroupConnectivity, MultiPinNetCutCounting) {
+  // One 4-pin net; cut iff the group contains some but not all pins.
+  const Netlist nl = testing::make_netlist(4, {{0, 1, 2, 3}});
+  GroupConnectivity g(nl);
+  EXPECT_EQ(g.cut(), 0);
+  g.add(0);
+  EXPECT_EQ(g.cut(), 1);
+  g.add(1);
+  g.add(2);
+  EXPECT_EQ(g.cut(), 1);
+  g.add(3);
+  EXPECT_EQ(g.cut(), 0);
+}
+
+TEST(GroupConnectivity, SinglePinNetNeverCut) {
+  const Netlist nl = testing::make_netlist(2, {{0}, {0, 1}});
+  GroupConnectivity g(nl);
+  g.add(0);
+  EXPECT_EQ(g.cut(), 1);  // only the 2-pin net
+}
+
+TEST(GroupConnectivity, PinsInTracksPerNet) {
+  const Netlist nl = testing::make_netlist(4, {{0, 1, 2, 3}});
+  GroupConnectivity g(nl);
+  g.add(1);
+  g.add(3);
+  EXPECT_EQ(g.pins_in(0), 2u);
+  EXPECT_EQ(g.pins_out(0), 2u);
+}
+
+TEST(GroupConnectivity, CutDeltaIfAddedMatchesActualAdd) {
+  const Netlist nl = testing::make_two_cliques();
+  GroupConnectivity g(nl);
+  g.add(0);
+  g.add(1);
+  for (CellId c : {CellId{2}, CellId{3}, CellId{4}, CellId{7}}) {
+    const auto predicted = g.cut_delta_if_added(c);
+    const auto before = g.cut();
+    g.add(c);
+    EXPECT_EQ(g.cut() - before, predicted) << "cell " << c;
+    g.remove(c);
+  }
+}
+
+TEST(GroupConnectivity, ClearResetsEverything) {
+  const Netlist nl = testing::make_grid3x3();
+  GroupConnectivity g(nl);
+  g.add(0);
+  g.add(1);
+  g.clear();
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.cut(), 0);
+  EXPECT_EQ(g.pins_in_group(), 0u);
+  EXPECT_DOUBLE_EQ(g.absorption(), 0.0);
+  EXPECT_FALSE(g.contains(0));
+  EXPECT_EQ(g.pins_in(0), 0u);
+  // Reusable after clear.
+  g.add(4);
+  EXPECT_EQ(g.cut(), 4);
+}
+
+TEST(GroupConnectivity, AssignMatchesIncrementalAdds) {
+  const Netlist nl = testing::make_two_cliques();
+  GroupConnectivity a(nl), b(nl);
+  const std::vector<CellId> members = {1, 2, 3, 4};
+  a.assign(members);
+  for (const CellId c : members) b.add(c);
+  EXPECT_EQ(a.cut(), b.cut());
+  EXPECT_EQ(a.pins_in_group(), b.pins_in_group());
+  EXPECT_NEAR(a.absorption(), b.absorption(), 1e-12);
+}
+
+TEST(GroupConnectivity, DoubleAddThrows) {
+  const Netlist nl = testing::make_grid3x3();
+  GroupConnectivity g(nl);
+  g.add(0);
+  EXPECT_THROW(g.add(0), std::logic_error);
+}
+
+TEST(GroupConnectivity, RemoveAbsentThrows) {
+  const Netlist nl = testing::make_grid3x3();
+  GroupConnectivity g(nl);
+  EXPECT_THROW(g.remove(0), std::logic_error);
+}
+
+TEST(GroupConnectivity, MatchesBruteForceOnRandomGraph) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 400;
+  cfg.gtls.push_back({40, 1});
+  Rng rng(9);
+  const PlantedGraph pg = generate_planted_graph(cfg, rng);
+
+  GroupConnectivity g(pg.netlist);
+  std::vector<CellId> members;
+  Rng pick(21);
+  for (int i = 0; i < 60; ++i) {
+    const auto c = static_cast<CellId>(pick.next_below(400));
+    if (g.contains(c)) continue;
+    g.add(c);
+    members.push_back(c);
+  }
+  EXPECT_EQ(g.cut(), net_cut(pg.netlist, members));
+}
+
+TEST(GroupConnectivity, IncrementalMatchesBruteForceAfterRemovals) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 200;
+  Rng rng(5);
+  const PlantedGraph pg = generate_planted_graph(cfg, rng);
+
+  GroupConnectivity g(pg.netlist);
+  std::vector<CellId> members;
+  Rng pick(33);
+  for (int i = 0; i < 80; ++i) {
+    const auto c = static_cast<CellId>(pick.next_below(200));
+    if (g.contains(c)) {
+      g.remove(c);
+      members.erase(std::find(members.begin(), members.end(), c));
+    } else {
+      g.add(c);
+      members.push_back(c);
+    }
+  }
+  EXPECT_EQ(g.cut(), net_cut(pg.netlist, members));
+  EXPECT_EQ(g.size(), members.size());
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,128 @@
+#include "metrics/scores.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace gtl {
+namespace {
+
+TEST(Scores, GtlScoreMatchesDefinition) {
+  // GTL-S = T / |C|^p
+  EXPECT_DOUBLE_EQ(gtl_score(10.0, 100.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(gtl_score(0.0, 100.0, 0.5), 0.0);
+}
+
+TEST(Scores, NgtlScoreNormalizesByAvgPins) {
+  ScoreContext ctx{0.5, 4.0};
+  EXPECT_DOUBLE_EQ(ngtl_score(40.0, 100.0, ctx), 1.0);
+}
+
+TEST(Scores, NgtlScoreOfAverageGroupIsOne) {
+  // Rent's rule says an average group has T = A_G * |C|^p, so nGTL-S == 1.
+  ScoreContext ctx{0.63, 3.5};
+  const double size = 5000.0;
+  const double cut = ctx.avg_pins_per_cell * std::pow(size, ctx.rent_exponent);
+  EXPECT_NEAR(ngtl_score(cut, size, ctx), 1.0, 1e-12);
+}
+
+TEST(Scores, GtlSdEqualsNgtlWhenDensityIsAverage) {
+  ScoreContext ctx{0.6, 4.0};
+  const double cut = 50, size = 300;
+  EXPECT_NEAR(gtl_sd_score(cut, size, /*A_C=*/4.0, ctx),
+              ngtl_score(cut, size, ctx), 1e-12);
+}
+
+TEST(Scores, GtlSdRewardsDenserGroups) {
+  // Higher A_C => bigger exponent => smaller (better) score.
+  ScoreContext ctx{0.6, 4.0};
+  const double sparse = gtl_sd_score(50, 300, 3.0, ctx);
+  const double avg = gtl_sd_score(50, 300, 4.0, ctx);
+  const double dense = gtl_sd_score(50, 300, 6.0, ctx);
+  EXPECT_GT(sparse, avg);
+  EXPECT_GT(avg, dense);
+}
+
+TEST(Scores, SizeFairnessOfGtlScore) {
+  // Two groups following Rent's rule with the same quality must score the
+  // same despite a 100x size difference — the paper's core claim.
+  ScoreContext ctx{0.63, 3.5};
+  const double quality = 0.1;  // both are strong GTLs
+  for (double size : {100.0, 10000.0}) {
+    const double cut =
+        quality * ctx.avg_pins_per_cell * std::pow(size, ctx.rent_exponent);
+    EXPECT_NEAR(ngtl_score(cut, size, ctx), quality, 1e-12);
+  }
+}
+
+TEST(Scores, RatioCutFavorsLargeGroups) {
+  // Same Rent-average quality, different sizes: ratio cut drops with size
+  // (the bias the paper criticizes), nGTL-S stays flat.
+  ScoreContext ctx{0.63, 3.5};
+  auto cut_of = [&](double size) {
+    return ctx.avg_pins_per_cell * std::pow(size, ctx.rent_exponent);
+  };
+  EXPECT_GT(ratio_cut(cut_of(100), 100), ratio_cut(cut_of(10000), 10000));
+  EXPECT_NEAR(ngtl_score(cut_of(100), 100, ctx),
+              ngtl_score(cut_of(10000), 10000, ctx), 1e-12);
+}
+
+TEST(Scores, NgRentMetricDecreasesWithSize) {
+  // ln T / ln |C| for Rent-average groups decreases toward p as size grows
+  // (paper Ch. II item 4: "still monotonically decreases").
+  ScoreContext ctx{0.63, 3.5};
+  auto metric = [&](double size) {
+    const double cut =
+        ctx.avg_pins_per_cell * std::pow(size, ctx.rent_exponent);
+    return ng_rent_metric(cut, size);
+  };
+  EXPECT_GT(metric(100), metric(10000));
+  EXPECT_GT(metric(10000), ctx.rent_exponent);
+}
+
+TEST(Scores, NgRentMetricEdgeCases) {
+  EXPECT_DOUBLE_EQ(ng_rent_metric(5.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ng_rent_metric(0.5, 100.0), 0.0);
+}
+
+TEST(Scores, GroupRentExponentInverseOfRentsRule) {
+  // If T = A_C * k^p exactly, the estimate returns p.
+  const double p = 0.58, a_c = 4.2, k = 2000;
+  const double cut = a_c * std::pow(k, p);
+  EXPECT_NEAR(group_rent_exponent(cut, k, a_c), p, 1e-12);
+}
+
+TEST(Scores, GroupRentExponentClamped) {
+  EXPECT_DOUBLE_EQ(group_rent_exponent(1e9, 10.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(group_rent_exponent(0.0, 10.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(group_rent_exponent(5.0, 1.0, 4.0), 1.0);
+}
+
+TEST(Scores, ScoreGroupComputesAllThree) {
+  const Netlist nl = testing::make_two_cliques();
+  GroupConnectivity g(nl);
+  for (CellId c : {0, 1, 2, 3}) g.add(c);
+  ScoreContext ctx{0.6, nl.average_pins_per_cell()};
+  const GtlScores s = score_group(g, ctx);
+  EXPECT_DOUBLE_EQ(s.gtl_s, gtl_score(1.0, 4.0, 0.6));
+  EXPECT_DOUBLE_EQ(s.ngtl_s, ngtl_score(1.0, 4.0, ctx));
+  EXPECT_DOUBLE_EQ(s.gtl_sd,
+                   gtl_sd_score(1.0, 4.0, g.avg_pins_per_cell(), ctx));
+  // The clique is clearly tangled: far below average quality.
+  EXPECT_LT(s.ngtl_s, 0.5);
+}
+
+TEST(Scores, InvalidInputsThrow) {
+  ScoreContext ctx{0.6, 4.0};
+  EXPECT_THROW((void)gtl_score(1.0, 0.0, 0.6), std::logic_error);
+  EXPECT_THROW((void)gtl_score(-1.0, 10.0, 0.6), std::logic_error);
+  EXPECT_THROW((void)ngtl_score(1.0, 10.0, ScoreContext{0.6, 0.0}),
+               std::logic_error);
+  EXPECT_THROW((void)ratio_cut(1.0, 0.0), std::logic_error);
+  EXPECT_THROW((void)gtl_sd_score(1.0, 10.0, -1.0, ctx), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gtl

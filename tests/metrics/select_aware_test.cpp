@@ -1,0 +1,133 @@
+#include "metrics/select_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_helpers.hpp"
+
+namespace gtl {
+namespace {
+
+/// A MUX-farm-like fixture: `group_size` cells densely wired internally
+/// (chain + skip nets), all driven by `select_count` select lines whose
+/// drivers sit outside the group.
+struct MuxFarm {
+  Netlist netlist;
+  std::vector<CellId> group;
+  std::vector<CellId> drivers;
+
+  static MuxFarm make(std::uint32_t group_size, std::uint32_t select_count) {
+    NetlistBuilder nb;
+    MuxFarm farm;
+    for (std::uint32_t i = 0; i < group_size; ++i) {
+      farm.group.push_back(nb.add_cell());
+    }
+    for (std::uint32_t s = 0; s < select_count; ++s) {
+      farm.drivers.push_back(nb.add_cell());
+    }
+    // Dense internal wiring: chain and skip-2 nets.
+    for (std::uint32_t i = 0; i + 1 < group_size; ++i) {
+      nb.add_net({farm.group[i], farm.group[i + 1]});
+    }
+    for (std::uint32_t i = 0; i + 2 < group_size; ++i) {
+      nb.add_net({farm.group[i], farm.group[i + 2]});
+    }
+    // Select lines: driver + every group cell.
+    for (std::uint32_t s = 0; s < select_count; ++s) {
+      std::vector<CellId> pins = farm.group;
+      pins.push_back(farm.drivers[s]);
+      nb.add_net(pins);
+    }
+    farm.netlist = nb.build();
+    return farm;
+  }
+};
+
+TEST(SelectAware, ClassifiesSelectLines) {
+  const MuxFarm farm = MuxFarm::make(64, 3);
+  GroupConnectivity group(farm.netlist);
+  group.assign(farm.group);
+  const ScoreContext ctx{0.7, farm.netlist.average_pins_per_cell()};
+  const SelectAwareScore s = select_aware_score(group, ctx);
+  EXPECT_EQ(s.select_lines, 3);
+  EXPECT_EQ(s.raw_cut, 3);  // only the select lines cross the boundary
+  EXPECT_EQ(s.effective_cut, 0);
+  EXPECT_DOUBLE_EQ(s.select_aware, 0.0);
+  EXPECT_GT(s.ngtl_s, 0.0);
+  ASSERT_EQ(s.select_nets.size(), 3u);
+}
+
+TEST(SelectAware, SelectAwareNeverWorseThanRaw) {
+  const MuxFarm farm = MuxFarm::make(32, 2);
+  GroupConnectivity group(farm.netlist);
+  group.assign(farm.group);
+  const ScoreContext ctx{0.7, farm.netlist.average_pins_per_cell()};
+  const SelectAwareScore s = select_aware_score(group, ctx);
+  EXPECT_LE(s.select_aware, s.ngtl_s);
+}
+
+TEST(SelectAware, OrdinaryCutNetsNotClassified) {
+  // Two-clique fixture: the bridge net covers 1/4 of the group — below
+  // the coverage threshold and below min_pins_in_group.
+  const Netlist nl = testing::make_two_cliques();
+  GroupConnectivity group(nl);
+  group.assign(std::vector<CellId>{0, 1, 2, 3});
+  const ScoreContext ctx{0.7, nl.average_pins_per_cell()};
+  const SelectAwareScore s = select_aware_score(group, ctx);
+  EXPECT_EQ(s.select_lines, 0);
+  EXPECT_EQ(s.effective_cut, s.raw_cut);
+  EXPECT_DOUBLE_EQ(s.select_aware, s.ngtl_s);
+}
+
+TEST(SelectAware, MinPinsGuardProtectsSmallGroups) {
+  // A 4-cell group where one cut net covers 75% of it: still not a
+  // select line, because 3 pins < min_pins_in_group.
+  const Netlist nl = testing::make_netlist(
+      6, {{0, 1}, {1, 2}, {2, 3}, {0, 1, 2, 4}, {3, 5}});
+  GroupConnectivity group(nl);
+  group.assign(std::vector<CellId>{0, 1, 2, 3});
+  const ScoreContext ctx{0.7, nl.average_pins_per_cell()};
+  const SelectAwareScore s = select_aware_score(group, ctx);
+  EXPECT_EQ(s.select_lines, 0);
+}
+
+TEST(SelectAware, ThresholdsConfigurable) {
+  const MuxFarm farm = MuxFarm::make(16, 1);
+  GroupConnectivity group(farm.netlist);
+  group.assign(farm.group);
+  const ScoreContext ctx{0.7, farm.netlist.average_pins_per_cell()};
+  SelectAwareConfig strict;
+  strict.min_pins_in_group = 32;  // larger than the group
+  EXPECT_EQ(select_aware_score(group, ctx, strict).select_lines, 0);
+  SelectAwareConfig loose;
+  loose.min_pins_in_group = 4;
+  EXPECT_EQ(select_aware_score(group, ctx, loose).select_lines, 1);
+}
+
+TEST(SelectAware, FullyInternalNetNeverSelectLine) {
+  // A net covering the whole group but with no outside pin is absorbed,
+  // not a select line.
+  const Netlist nl = testing::make_netlist(
+      12, {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {0, 1}, {10, 11}});
+  GroupConnectivity group(nl);
+  std::vector<CellId> members;
+  for (CellId c = 0; c < 10; ++c) members.push_back(c);
+  group.assign(members);
+  const ScoreContext ctx{0.7, nl.average_pins_per_cell()};
+  SelectAwareConfig cfg;
+  cfg.min_pins_in_group = 4;
+  const SelectAwareScore s = select_aware_score(group, ctx, cfg);
+  EXPECT_EQ(s.select_lines, 0);
+  EXPECT_EQ(s.raw_cut, 0);
+}
+
+TEST(SelectAware, EmptyGroupThrows) {
+  const Netlist nl = testing::make_grid3x3();
+  GroupConnectivity group(nl);
+  const ScoreContext ctx{0.7, 3.0};
+  EXPECT_THROW((void)select_aware_score(group, ctx), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gtl

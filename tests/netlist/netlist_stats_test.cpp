@@ -1,0 +1,75 @@
+#include "netlist/netlist_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphgen/synthetic_circuit.hpp"
+#include "test_helpers.hpp"
+
+namespace gtl {
+namespace {
+
+TEST(NetlistStats, SummaryOfGrid) {
+  const Netlist nl = testing::make_grid3x3();
+  const NetlistSummary s = summarize(nl);
+  EXPECT_EQ(s.num_cells, 9u);
+  EXPECT_EQ(s.num_nets, 12u);
+  EXPECT_EQ(s.num_pins, 24u);
+  EXPECT_DOUBLE_EQ(s.avg_pins_per_cell, 24.0 / 9.0);
+  EXPECT_DOUBLE_EQ(s.avg_net_size, 2.0);
+  EXPECT_EQ(s.max_net_size, 2u);
+  EXPECT_EQ(s.max_cell_degree, 4u);
+  EXPECT_EQ(s.num_fixed, 0u);
+  EXPECT_DOUBLE_EQ(s.total_movable_area, 9.0);
+}
+
+TEST(NetlistStats, HistogramCountsNetSizes) {
+  const Netlist nl = testing::make_netlist(
+      4, {{0, 1}, {0, 1, 2}, {0, 1, 2, 3}, {2, 3}});
+  const auto hist = net_size_histogram(nl);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[2], 2u);
+  EXPECT_EQ(hist[3], 1u);
+  EXPECT_EQ(hist[4], 1u);
+}
+
+TEST(NetlistStats, RentEstimateOnTinyGraphIsSafe) {
+  const Netlist nl = testing::make_grid3x3();
+  Rng rng(1);
+  const RentEstimate est = estimate_rent_exponent(nl, rng, 4, 8);
+  // Tiny graph: just verify no crash and sane clamping.
+  EXPECT_GE(est.exponent, 0.0);
+  EXPECT_LE(est.exponent, 1.0);
+}
+
+TEST(NetlistStats, RentEstimateOfLocalCircuitIsSubLinear) {
+  // A circuit with power-law net locality obeys Rent's rule with p < 1;
+  // this validates both the estimator and the generator's calibration.
+  SyntheticCircuitConfig cfg;
+  cfg.num_cells = 20'000;
+  cfg.num_pads = 32;
+  Rng gen_rng(7);
+  const SyntheticCircuit circuit = generate_synthetic_circuit(cfg, gen_rng);
+  Rng est_rng(11);
+  const RentEstimate est =
+      estimate_rent_exponent(circuit.netlist, est_rng, 24, 2048);
+  EXPECT_GT(est.samples, 10u);
+  EXPECT_GT(est.exponent, 0.3);
+  EXPECT_LT(est.exponent, 0.95);
+  EXPECT_GT(est.r2, 0.5);
+}
+
+TEST(NetlistStats, RentEstimateDeterministicGivenSeed) {
+  SyntheticCircuitConfig cfg;
+  cfg.num_cells = 5'000;
+  cfg.num_pads = 16;
+  Rng gen_rng(3);
+  const SyntheticCircuit circuit = generate_synthetic_circuit(cfg, gen_rng);
+  Rng r1(5), r2(5);
+  const RentEstimate a = estimate_rent_exponent(circuit.netlist, r1, 8, 512);
+  const RentEstimate b = estimate_rent_exponent(circuit.netlist, r2, 8, 512);
+  EXPECT_DOUBLE_EQ(a.exponent, b.exponent);
+  EXPECT_DOUBLE_EQ(a.coefficient, b.coefficient);
+}
+
+}  // namespace
+}  // namespace gtl

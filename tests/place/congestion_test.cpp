@@ -1,0 +1,149 @@
+#include "place/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace gtl {
+namespace {
+
+TEST(Congestion, UniformNetSpreadsDemand) {
+  // One net spanning the whole die: every tile gets some demand.
+  const Netlist nl = testing::make_netlist(2, {{0, 1}});
+  const std::vector<double> x = {0.5, 9.5};
+  const std::vector<double> y = {0.5, 9.5};
+  const Die die{10.0, 10.0, 1.0};
+  CongestionConfig cfg;
+  cfg.tiles_x = 4;
+  cfg.tiles_y = 4;
+  const CongestionMap m = estimate_congestion(nl, x, y, die, cfg);
+  for (std::size_t ty = 0; ty < 4; ++ty) {
+    for (std::size_t tx = 0; tx < 4; ++tx) {
+      EXPECT_GT(m.demand[ty * 4 + tx], 0.0);
+    }
+  }
+}
+
+TEST(Congestion, LocalNetConcentratesDemand) {
+  const Netlist nl = testing::make_netlist(2, {{0, 1}});
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0};
+  const Die die{10.0, 10.0, 1.0};
+  CongestionConfig cfg;
+  cfg.tiles_x = 4;
+  cfg.tiles_y = 4;
+  const CongestionMap m = estimate_congestion(nl, x, y, die, cfg);
+  // All demand in the lower-left tile.
+  EXPECT_GT(m.demand[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.demand[15], 0.0);
+}
+
+TEST(Congestion, DemandScalesWithNetCount) {
+  NetlistBuilder nb;
+  nb.add_cell();
+  nb.add_cell();
+  for (int i = 0; i < 5; ++i) nb.add_net({CellId{0}, CellId{1}});
+  const Netlist nl5 = nb.build();
+
+  const Netlist nl1 = testing::make_netlist(2, {{0, 1}});
+  const std::vector<double> x = {1.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0};
+  const Die die{8.0, 8.0, 1.0};
+  CongestionConfig cfg;
+  cfg.tiles_x = 2;
+  cfg.tiles_y = 2;
+  const auto m1 = estimate_congestion(nl1, x, y, die, cfg);
+  const auto m5 = estimate_congestion(nl5, x, y, die, cfg);
+  EXPECT_NEAR(m5.demand[0], 5.0 * m1.demand[0], 1e-9);
+}
+
+TEST(Congestion, HugeNetsSkipped) {
+  NetlistBuilder nb;
+  std::vector<CellId> pins;
+  for (int i = 0; i < 100; ++i) pins.push_back(nb.add_cell());
+  nb.add_net(pins);
+  const Netlist nl = nb.build();
+  std::vector<double> x(100), y(100);
+  for (int i = 0; i < 100; ++i) {
+    x[i] = static_cast<double>(i % 10) + 0.5;
+    y[i] = static_cast<double>(i / 10) + 0.5;
+  }
+  const Die die{10.0, 10.0, 1.0};
+  CongestionConfig cfg;
+  cfg.max_routed_net = 64;
+  const CongestionMap m = estimate_congestion(nl, x, y, die, cfg);
+  for (const double d : m.demand) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(Congestion, UtilizationUsesCapacity) {
+  const Netlist nl = testing::make_netlist(2, {{0, 1}});
+  const std::vector<double> x = {0.0, 4.0};
+  const std::vector<double> y = {0.5, 0.5};
+  const Die die{4.0, 4.0, 1.0};
+  CongestionConfig lo, hi;
+  lo.tiles_x = hi.tiles_x = 2;
+  lo.tiles_y = hi.tiles_y = 2;
+  lo.capacity_per_area = 0.5;
+  hi.capacity_per_area = 2.0;
+  const auto ml = estimate_congestion(nl, x, y, die, lo);
+  const auto mh = estimate_congestion(nl, x, y, die, hi);
+  EXPECT_NEAR(ml.utilization(0, 0), 4.0 * mh.utilization(0, 0), 1e-9);
+}
+
+TEST(Congestion, ReportCountsCongestedNets) {
+  // Two nets: one crossing a congested region, one in a quiet corner.
+  NetlistBuilder nb;
+  for (int i = 0; i < 6; ++i) nb.add_cell();
+  // Hotspot: several coincident nets in the lower-left tile.
+  nb.add_net({CellId{0}, CellId{1}});
+  nb.add_net({CellId{0}, CellId{1}});
+  nb.add_net({CellId{0}, CellId{1}});
+  nb.add_net({CellId{0}, CellId{1}});
+  // Quiet net in upper-right.
+  nb.add_net({CellId{4}, CellId{5}});
+  const Netlist nl = nb.build();
+  const std::vector<double> x = {0.2, 1.8, 0, 0, 8.2, 9.8};
+  const std::vector<double> y = {0.2, 1.8, 0, 0, 8.2, 9.8};
+  const Die die{10.0, 10.0, 1.0};
+  CongestionConfig cfg;
+  cfg.tiles_x = 5;
+  cfg.tiles_y = 5;
+  cfg.capacity_per_area = 0.3;  // low capacity -> hotspot trips 100%
+  const CongestionMap m = estimate_congestion(nl, x, y, die, cfg);
+  const CongestionReport rep = analyze_congestion(m, nl, x, y, cfg);
+  EXPECT_EQ(rep.nets_total, 5u);
+  EXPECT_GE(rep.nets_through_full, 4u);   // the 4 hotspot nets
+  EXPECT_GE(rep.nets_through_90, rep.nets_through_full);
+  EXPECT_GT(rep.max_tile_utilization, 1.0);
+  EXPECT_GT(rep.full_tiles, 0u);
+  EXPECT_GT(rep.avg_congestion_worst20, 0.0);
+}
+
+TEST(Congestion, EmptyGridThrows) {
+  const Netlist nl = testing::make_netlist(2, {{0, 1}});
+  const std::vector<double> x = {0, 1}, y = {0, 1};
+  const Die die{4.0, 4.0, 1.0};
+  CongestionConfig cfg;
+  cfg.tiles_x = 0;
+  EXPECT_THROW((void)estimate_congestion(nl, x, y, die, cfg),
+               std::logic_error);
+}
+
+TEST(Congestion, MaxUtilizationMatchesManualScan) {
+  const Netlist nl = testing::make_netlist(2, {{0, 1}});
+  const std::vector<double> x = {0.5, 3.5};
+  const std::vector<double> y = {0.5, 3.5};
+  const Die die{4.0, 4.0, 1.0};
+  CongestionConfig cfg;
+  cfg.tiles_x = 2;
+  cfg.tiles_y = 2;
+  const CongestionMap m = estimate_congestion(nl, x, y, die, cfg);
+  double manual = 0.0;
+  for (std::size_t t = 0; t < 4; ++t) {
+    manual = std::max(manual, m.demand[t] / m.capacity_per_tile);
+  }
+  EXPECT_DOUBLE_EQ(m.max_utilization(), manual);
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,79 @@
+#include "place/inflation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace gtl {
+namespace {
+
+TEST(Inflation, ScalesSelectedCellWidths) {
+  const Netlist nl = testing::make_grid3x3();
+  const std::vector<CellId> gtl = {0, 4, 8};
+  const Netlist inflated = inflate_cells(nl, gtl, 4.0);
+  EXPECT_DOUBLE_EQ(inflated.cell_width(0), 4.0);
+  EXPECT_DOUBLE_EQ(inflated.cell_width(4), 4.0);
+  EXPECT_DOUBLE_EQ(inflated.cell_width(1), 1.0);
+  EXPECT_DOUBLE_EQ(inflated.cell_height(0), 1.0);  // height unchanged
+  EXPECT_DOUBLE_EQ(inflated.cell_area(0), 4.0 * nl.cell_area(0));
+}
+
+TEST(Inflation, PreservesConnectivity) {
+  const Netlist nl = testing::make_two_cliques();
+  const std::vector<CellId> gtl = {0, 1, 2, 3};
+  const Netlist inflated = inflate_cells(nl, gtl, 4.0);
+  ASSERT_EQ(inflated.num_nets(), nl.num_nets());
+  ASSERT_EQ(inflated.num_pins(), nl.num_pins());
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    const auto a = nl.pins_of(e);
+    const auto b = inflated.pins_of(e);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Inflation, FixedCellsNeverInflated) {
+  NetlistBuilder nb;
+  nb.add_cell("pad", 2.0, 1.0, true);
+  nb.add_cell("gate", 1.0, 1.0);
+  nb.add_net({CellId{0}, CellId{1}});
+  const Netlist nl = nb.build();
+  const std::vector<CellId> all = {0, 1};
+  const Netlist inflated = inflate_cells(nl, all, 4.0);
+  EXPECT_DOUBLE_EQ(inflated.cell_width(0), 2.0);  // pad untouched
+  EXPECT_DOUBLE_EQ(inflated.cell_width(1), 4.0);
+}
+
+TEST(Inflation, PreservesNames) {
+  NetlistBuilder nb;
+  nb.add_cell("alpha");
+  nb.add_cell("beta");
+  nb.add_net({CellId{0}, CellId{1}});
+  const Netlist nl = nb.build();
+  const Netlist inflated = inflate_cells(nl, std::vector<CellId>{0}, 2.0);
+  EXPECT_EQ(inflated.cell_name(0), "alpha");
+  EXPECT_TRUE(inflated.find_cell("beta").has_value());
+}
+
+TEST(Inflation, InvalidFactorThrows) {
+  const Netlist nl = testing::make_grid3x3();
+  EXPECT_THROW((void)inflate_cells(nl, std::vector<CellId>{0}, 0.0),
+               std::logic_error);
+}
+
+TEST(Inflation, OutOfRangeCellThrows) {
+  const Netlist nl = testing::make_grid3x3();
+  EXPECT_THROW((void)inflate_cells(nl, std::vector<CellId>{99}, 2.0),
+               std::logic_error);
+}
+
+TEST(Inflation, EmptySelectionIsIdentity) {
+  const Netlist nl = testing::make_grid3x3();
+  const Netlist same = inflate_cells(nl, {}, 4.0);
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    EXPECT_DOUBLE_EQ(same.cell_width(c), nl.cell_width(c));
+  }
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,165 @@
+#include "place/linear_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gtl {
+namespace {
+
+TEST(SparseMatrix, AssemblesAndMultiplies) {
+  // [2 -1; -1 2]
+  SparseMatrix a(2);
+  a.add(0, 0, 2.0);
+  a.add(1, 1, 2.0);
+  a.add(0, 1, -1.0);
+  a.add(1, 0, -1.0);
+  a.assemble();
+  std::vector<double> x = {1.0, 2.0}, y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(SparseMatrix, DuplicateTripletsSum) {
+  SparseMatrix a(1);
+  a.add(0, 0, 1.0);
+  a.add(0, 0, 2.5);
+  a.assemble();
+  EXPECT_DOUBLE_EQ(a.diagonal()[0], 3.5);
+}
+
+TEST(SparseMatrix, AddAfterAssembleThrows) {
+  SparseMatrix a(1);
+  a.add(0, 0, 1.0);
+  a.assemble();
+  EXPECT_THROW(a.add(0, 0, 1.0), std::logic_error);
+}
+
+TEST(SparseMatrix, MultiplyBeforeAssembleThrows) {
+  SparseMatrix a(1);
+  std::vector<double> x = {1.0}, y(1);
+  EXPECT_THROW(a.multiply(x, y), std::logic_error);
+}
+
+TEST(SparseMatrix, OutOfRangeThrows) {
+  SparseMatrix a(2);
+  EXPECT_THROW(a.add(2, 0, 1.0), std::logic_error);
+}
+
+TEST(SparseMatrix, DiagonalShiftAfterAssembly) {
+  SparseMatrix a(2);
+  a.add(0, 0, 1.0);
+  a.add(1, 1, 1.0);
+  a.assemble();
+  a.add_to_diagonal(0, 4.0);
+  EXPECT_DOUBLE_EQ(a.diagonal()[0], 5.0);
+  std::vector<double> x = {1.0, 1.0}, y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+}
+
+TEST(Pcg, SolvesSmallSpdSystem) {
+  // Laplacian of a path 0-1-2 with anchors on the ends.
+  SparseMatrix a(3);
+  const double anchor = 1.0;
+  a.add(0, 0, 1.0 + anchor);
+  a.add(1, 1, 2.0);
+  a.add(2, 2, 1.0 + anchor);
+  a.add(0, 1, -1.0);
+  a.add(1, 0, -1.0);
+  a.add(1, 2, -1.0);
+  a.add(2, 1, -1.0);
+  a.assemble();
+  // Anchors pull node 0 to 0.0 and node 2 to 10.0.
+  std::vector<double> b = {0.0, 0.0, 10.0};
+  std::vector<double> x(3, 0.0);
+  const CgResult r = solve_pcg(a, b, x, 1e-10, 200);
+  EXPECT_TRUE(r.converged);
+  // Exact solution: x = [2.5, 5, 7.5].
+  EXPECT_NEAR(x[0], 2.5, 1e-6);
+  EXPECT_NEAR(x[1], 5.0, 1e-6);
+  EXPECT_NEAR(x[2], 7.5, 1e-6);
+}
+
+TEST(Pcg, ZeroRhsGivesZeroSolution) {
+  SparseMatrix a(2);
+  a.add(0, 0, 1.0);
+  a.add(1, 1, 1.0);
+  a.assemble();
+  std::vector<double> b = {0.0, 0.0};
+  std::vector<double> x = {5.0, -3.0};
+  const CgResult r = solve_pcg(a, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(Pcg, WarmStartConvergesFaster) {
+  // 1D Laplacian chain of 50 nodes with end anchors.
+  const std::size_t n = 50;
+  SparseMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double d = 0.0;
+    if (i > 0) {
+      a.add(i, i - 1, -1.0);
+      d += 1.0;
+    }
+    if (i + 1 < n) {
+      a.add(i, i + 1, -1.0);
+      d += 1.0;
+    }
+    if (i == 0 || i + 1 == n) d += 1.0;  // anchor
+    a.add(i, i, d);
+  }
+  a.assemble();
+  std::vector<double> b(n, 0.0);
+  b[n - 1] = 100.0;
+
+  std::vector<double> cold(n, 0.0);
+  const CgResult r_cold = solve_pcg(a, b, cold, 1e-10, 500);
+  ASSERT_TRUE(r_cold.converged);
+
+  std::vector<double> warm = cold;  // exact solution as start
+  const CgResult r_warm = solve_pcg(a, b, warm, 1e-10, 500);
+  EXPECT_TRUE(r_warm.converged);
+  EXPECT_LT(r_warm.iterations, r_cold.iterations);
+}
+
+TEST(Pcg, DimensionMismatchThrows) {
+  SparseMatrix a(2);
+  a.add(0, 0, 1.0);
+  a.add(1, 1, 1.0);
+  a.assemble();
+  std::vector<double> b = {1.0};
+  std::vector<double> x(2);
+  EXPECT_THROW((void)solve_pcg(a, b, x), std::logic_error);
+}
+
+TEST(Pcg, LargeLaplacianConverges) {
+  // 2D grid Laplacian 30x30 with a corner anchor: ~900 unknowns.
+  const std::size_t side = 30, n = side * side;
+  SparseMatrix a(n);
+  auto id = [side](std::size_t r, std::size_t c) { return r * side + c; };
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      double d = 0.0;
+      const std::size_t i = id(r, c);
+      if (r > 0) { a.add(i, id(r - 1, c), -1.0); d += 1.0; }
+      if (r + 1 < side) { a.add(i, id(r + 1, c), -1.0); d += 1.0; }
+      if (c > 0) { a.add(i, id(r, c - 1), -1.0); d += 1.0; }
+      if (c + 1 < side) { a.add(i, id(r, c + 1), -1.0); d += 1.0; }
+      if (i == 0) d += 1.0;
+      a.add(i, i, d);
+    }
+  }
+  a.assemble();
+  std::vector<double> b(n, 0.01);
+  std::vector<double> x(n, 0.0);
+  const CgResult r = solve_pcg(a, b, x, 1e-8, 2000);
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,199 @@
+#include "place/quadratic_placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphgen/synthetic_circuit.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace gtl {
+namespace {
+
+/// Small circuit fixture with pads.
+SyntheticCircuit small_circuit(std::uint64_t seed = 1,
+                               std::uint32_t cells = 2'000) {
+  SyntheticCircuitConfig cfg;
+  cfg.num_cells = cells;
+  cfg.num_pads = 16;
+  StructureSpec s;
+  s.size = 200;
+  s.center_x = 0.5;
+  s.center_y = 0.8;
+  cfg.structures.push_back(s);
+  Rng rng(seed);
+  return generate_synthetic_circuit(cfg, rng);
+}
+
+PlacerConfig quick_config(const SyntheticCircuit& c) {
+  PlacerConfig cfg;
+  cfg.die = {c.die_width, c.die_height, 1.0};
+  cfg.spreading_iterations = 12;
+  cfg.cg_max_iterations = 150;
+  cfg.cg_tolerance = 1e-5;
+  return cfg;
+}
+
+TEST(Hpwl, MatchesHandComputation) {
+  const Netlist nl = testing::make_netlist(3, {{0, 1}, {1, 2}});
+  const std::vector<double> x = {0.0, 3.0, 5.0};
+  const std::vector<double> y = {0.0, 4.0, 0.0};
+  // Net {0,1}: 3 + 4 = 7; net {1,2}: 2 + 4 = 6.
+  EXPECT_DOUBLE_EQ(total_hpwl(nl, x, y), 13.0);
+}
+
+TEST(Hpwl, SinglePinNetContributesZero) {
+  const Netlist nl = testing::make_netlist(2, {{0}, {0, 1}});
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(total_hpwl(nl, x, y), 1.0);
+}
+
+TEST(QuadraticPlacer, CellsEndUpInsideDie) {
+  const SyntheticCircuit c = small_circuit();
+  const Placement p =
+      place_quadratic(c.netlist, c.hint_x, c.hint_y, quick_config(c));
+  for (CellId i = 0; i < c.netlist.num_cells(); ++i) {
+    if (c.netlist.is_fixed(i)) continue;
+    EXPECT_GE(p.x[i], -1e-9);
+    EXPECT_LE(p.x[i], c.die_width + 1e-9);
+    EXPECT_GE(p.y[i], -1e-9);
+    EXPECT_LE(p.y[i], c.die_height + 1e-9);
+  }
+}
+
+TEST(QuadraticPlacer, FixedCellsDoNotMove) {
+  const SyntheticCircuit c = small_circuit();
+  const Placement p =
+      place_quadratic(c.netlist, c.hint_x, c.hint_y, quick_config(c));
+  for (CellId i = 0; i < c.netlist.num_cells(); ++i) {
+    if (!c.netlist.is_fixed(i)) continue;
+    EXPECT_DOUBLE_EQ(p.x[i], c.hint_x[i]);
+    EXPECT_DOUBLE_EQ(p.y[i], c.hint_y[i]);
+  }
+}
+
+TEST(QuadraticPlacer, BetterThanRandomPlacement) {
+  const SyntheticCircuit c = small_circuit();
+  const Placement p =
+      place_quadratic(c.netlist, c.hint_x, c.hint_y, quick_config(c));
+
+  // Random placement baseline.
+  Rng rng(99);
+  std::vector<double> rx = c.hint_x, ry = c.hint_y;
+  for (CellId i = 0; i < c.netlist.num_cells(); ++i) {
+    if (c.netlist.is_fixed(i)) continue;
+    rx[i] = rng.next_double() * c.die_width;
+    ry[i] = rng.next_double() * c.die_height;
+  }
+  const double random_hpwl = total_hpwl(c.netlist, rx, ry);
+  EXPECT_LT(p.hpwl, random_hpwl * 0.5)
+      << "placer should beat random by far";
+}
+
+TEST(QuadraticPlacer, ConnectedCellsPlacedClose) {
+  // The behavioral property the paper depends on: the planted dense
+  // structure gets pulled into a tight clot (Fig. 4).
+  const SyntheticCircuit c = small_circuit();
+  const Placement p =
+      place_quadratic(c.netlist, c.hint_x, c.hint_y, quick_config(c));
+
+  const auto& gtl = c.planted[0];
+  double mean_x = 0.0, mean_y = 0.0;
+  for (const CellId i : gtl) {
+    mean_x += p.x[i];
+    mean_y += p.y[i];
+  }
+  mean_x /= static_cast<double>(gtl.size());
+  mean_y /= static_cast<double>(gtl.size());
+  double rms = 0.0;
+  for (const CellId i : gtl) {
+    const double dx = p.x[i] - mean_x, dy = p.y[i] - mean_y;
+    rms += dx * dx + dy * dy;
+  }
+  rms = std::sqrt(rms / static_cast<double>(gtl.size()));
+  const double die_diag =
+      std::sqrt(c.die_width * c.die_width + c.die_height * c.die_height);
+  // GTL spread is a small fraction of the die (10% of the cells would
+  // occupy ~31% of the diagonal if uniform).
+  EXPECT_LT(rms, die_diag * 0.2);
+}
+
+TEST(QuadraticPlacer, LegalizationSnapsToRows) {
+  const SyntheticCircuit c = small_circuit();
+  PlacerConfig cfg = quick_config(c);
+  cfg.legalize = true;
+  const Placement p = place_quadratic(c.netlist, c.hint_x, c.hint_y, cfg);
+  std::size_t on_row = 0, movable = 0;
+  for (CellId i = 0; i < c.netlist.num_cells(); ++i) {
+    if (c.netlist.is_fixed(i)) continue;
+    ++movable;
+    const double rem = std::fmod(p.y[i] - 0.5 * cfg.die.row_height,
+                                 cfg.die.row_height);
+    if (std::abs(rem) < 1e-6 ||
+        std::abs(rem - cfg.die.row_height) < 1e-6) {
+      ++on_row;
+    }
+  }
+  // Nearly all cells legalized (full rows may leave stragglers).
+  EXPECT_GT(static_cast<double>(on_row), 0.99 * static_cast<double>(movable));
+}
+
+TEST(QuadraticPlacer, SpreadingReducesPeakDensity) {
+  const SyntheticCircuit c = small_circuit();
+  PlacerConfig no_spread = quick_config(c);
+  no_spread.spreading_iterations = 0;
+  no_spread.legalize = false;
+  PlacerConfig spread = quick_config(c);
+  spread.legalize = false;
+
+  const Placement p0 =
+      place_quadratic(c.netlist, c.hint_x, c.hint_y, no_spread);
+  const Placement p1 = place_quadratic(c.netlist, c.hint_x, c.hint_y, spread);
+
+  // Peak bin occupancy over a 16x16 grid.
+  auto peak = [&](const Placement& p) {
+    std::vector<double> bin(16 * 16, 0.0);
+    for (CellId i = 0; i < c.netlist.num_cells(); ++i) {
+      if (c.netlist.is_fixed(i)) continue;
+      const auto bx = std::min<std::size_t>(
+          15, static_cast<std::size_t>(p.x[i] / c.die_width * 16));
+      const auto by = std::min<std::size_t>(
+          15, static_cast<std::size_t>(p.y[i] / c.die_height * 16));
+      bin[by * 16 + bx] += c.netlist.cell_area(i);
+    }
+    return *std::max_element(bin.begin(), bin.end());
+  };
+  EXPECT_LT(peak(p1), peak(p0));
+}
+
+TEST(QuadraticPlacer, DegenerateDieThrows) {
+  const SyntheticCircuit c = small_circuit();
+  PlacerConfig cfg = quick_config(c);
+  cfg.die.width = 0.0;
+  EXPECT_THROW(
+      (void)place_quadratic(c.netlist, c.hint_x, c.hint_y, cfg),
+      std::invalid_argument);
+}
+
+TEST(QuadraticPlacer, WrongArraySizesThrow) {
+  const SyntheticCircuit c = small_circuit();
+  const std::vector<double> short_vec(3, 0.0);
+  EXPECT_THROW((void)place_quadratic(c.netlist, short_vec, c.hint_y,
+                                     quick_config(c)),
+               std::logic_error);
+}
+
+TEST(QuadraticPlacer, DeterministicOutput) {
+  const SyntheticCircuit c = small_circuit();
+  const Placement a =
+      place_quadratic(c.netlist, c.hint_x, c.hint_y, quick_config(c));
+  const Placement b =
+      place_quadratic(c.netlist, c.hint_x, c.hint_y, quick_config(c));
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,114 @@
+#include "place/soft_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphgen/synthetic_circuit.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace gtl {
+namespace {
+
+/// Circuit with a *loosely* connected planted group: sparse internal nets
+/// so plain placement spreads it, leaving room for soft-block attraction
+/// to visibly tighten it.
+struct LooseFixture {
+  SyntheticCircuit circuit;
+  PlacerConfig pcfg;
+
+  static LooseFixture make() {
+    SyntheticCircuitConfig cfg;
+    cfg.num_cells = 1'500;
+    cfg.num_pads = 16;
+    StructureSpec s;
+    s.size = 150;
+    s.internal_nets_per_cell = 0.4;  // barely holds together
+    s.internal_avg_net_size = 2.2;
+    s.ports = 40;
+    cfg.structures.push_back(s);
+    Rng rng(12);
+    LooseFixture f{generate_synthetic_circuit(cfg, rng), {}};
+    f.pcfg.die = {f.circuit.die_width, f.circuit.die_height, 1.0};
+    f.pcfg.spreading_iterations = 6;
+    f.pcfg.cg_max_iterations = 120;
+    return f;
+  }
+};
+
+TEST(SoftBlocks, AttractionTightensGroup) {
+  const auto f = LooseFixture::make();
+  const auto& group = f.circuit.planted[0];
+
+  const Placement plain = place_quadratic(f.circuit.netlist, f.circuit.hint_x,
+                                          f.circuit.hint_y, f.pcfg);
+  const std::vector<std::vector<CellId>> blocks = {group};
+  const Placement soft = place_with_soft_blocks(
+      f.circuit.netlist, f.circuit.hint_x, f.circuit.hint_y, f.pcfg, blocks,
+      {.attraction = 4});
+
+  const double spread_plain = group_rms_spread(group, plain.x, plain.y);
+  const double spread_soft = group_rms_spread(group, soft.x, soft.y);
+  EXPECT_LT(spread_soft, spread_plain * 0.9)
+      << "soft block must tighten the group by >10%";
+}
+
+TEST(SoftBlocks, ReturnsRealCellsOnly) {
+  const auto f = LooseFixture::make();
+  const std::vector<std::vector<CellId>> blocks = {f.circuit.planted[0]};
+  const Placement p = place_with_soft_blocks(
+      f.circuit.netlist, f.circuit.hint_x, f.circuit.hint_y, f.pcfg, blocks);
+  EXPECT_EQ(p.x.size(), f.circuit.netlist.num_cells());
+  EXPECT_EQ(p.y.size(), f.circuit.netlist.num_cells());
+}
+
+TEST(SoftBlocks, EmptyGroupListMatchesPlainPlacement) {
+  const auto f = LooseFixture::make();
+  const Placement plain = place_quadratic(f.circuit.netlist, f.circuit.hint_x,
+                                          f.circuit.hint_y, f.pcfg);
+  const Placement soft = place_with_soft_blocks(
+      f.circuit.netlist, f.circuit.hint_x, f.circuit.hint_y, f.pcfg, {});
+  ASSERT_EQ(plain.x.size(), soft.x.size());
+  for (std::size_t i = 0; i < plain.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.x[i], soft.x[i]);
+    EXPECT_DOUBLE_EQ(plain.y[i], soft.y[i]);
+  }
+}
+
+TEST(SoftBlocks, FixedCellsUnmoved) {
+  const auto f = LooseFixture::make();
+  const std::vector<std::vector<CellId>> blocks = {f.circuit.planted[0]};
+  const Placement p = place_with_soft_blocks(
+      f.circuit.netlist, f.circuit.hint_x, f.circuit.hint_y, f.pcfg, blocks);
+  for (CellId c = 0; c < f.circuit.netlist.num_cells(); ++c) {
+    if (!f.circuit.netlist.is_fixed(c)) continue;
+    EXPECT_DOUBLE_EQ(p.x[c], f.circuit.hint_x[c]);
+    EXPECT_DOUBLE_EQ(p.y[c], f.circuit.hint_y[c]);
+  }
+}
+
+TEST(SoftBlocks, OutOfRangeMemberThrows) {
+  const Netlist nl = testing::make_grid3x3();
+  const std::vector<double> xy(9, 1.0);
+  PlacerConfig pcfg;
+  pcfg.die = {4, 4, 1};
+  const std::vector<std::vector<CellId>> blocks = {{99}};
+  EXPECT_THROW(
+      (void)place_with_soft_blocks(nl, xy, xy, pcfg, blocks),
+      std::logic_error);
+}
+
+TEST(GroupRmsSpread, HandComputedValues) {
+  const std::vector<double> x = {0, 2, 0, 2};
+  const std::vector<double> y = {0, 0, 2, 2};
+  const std::vector<CellId> all = {0, 1, 2, 3};
+  // Centroid (1,1); every point at distance sqrt(2).
+  EXPECT_NEAR(group_rms_spread(all, x, y), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(group_rms_spread({}, x, y), 0.0);
+  const std::vector<CellId> one = {2};
+  EXPECT_DOUBLE_EQ(group_rms_spread(one, x, y), 0.0);
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,59 @@
+#pragma once
+// Shared fixtures for the test suite: tiny hand-checkable netlists and a
+// brute-force cut reference.
+
+#include <initializer_list>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gtl::testing {
+
+/// Build a netlist from net pin lists; cells are 0..num_cells-1, width 1.
+inline Netlist make_netlist(std::size_t num_cells,
+                            std::initializer_list<std::vector<CellId>> nets) {
+  NetlistBuilder nb;
+  for (std::size_t c = 0; c < num_cells; ++c) nb.add_cell();
+  for (const auto& pins : nets) nb.add_net(pins);
+  return nb.build();
+}
+
+/// A 3x3 grid of cells connected by 2-pin nets (rook adjacency):
+///   6 7 8
+///   3 4 5
+///   0 1 2
+inline Netlist make_grid3x3() {
+  NetlistBuilder nb;
+  for (int c = 0; c < 9; ++c) nb.add_cell();
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      nb.add_net({static_cast<CellId>(r * 3 + c),
+                  static_cast<CellId>(r * 3 + c + 1)});
+    }
+  }
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      nb.add_net({static_cast<CellId>(r * 3 + c),
+                  static_cast<CellId>((r + 1) * 3 + c)});
+    }
+  }
+  return nb.build();
+}
+
+/// Two 4-cliques (2-pin nets) joined by a single bridge net:
+/// cells 0-3 form clique A, 4-7 clique B, net {3,4} bridges.
+inline Netlist make_two_cliques() {
+  NetlistBuilder nb;
+  for (int c = 0; c < 8; ++c) nb.add_cell();
+  for (CellId base : {CellId{0}, CellId{4}}) {
+    for (CellId i = 0; i < 4; ++i) {
+      for (CellId j = i + 1; j < 4; ++j) {
+        nb.add_net({base + i, base + j});
+      }
+    }
+  }
+  nb.add_net({CellId{3}, CellId{4}});
+  return nb.build();
+}
+
+}  // namespace gtl::testing

@@ -1,0 +1,65 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gtl {
+namespace {
+
+CliArgs make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()));
+}
+
+TEST(CliArgs, ParsesKeyValue) {
+  const auto args = make_args({"--scale=paper", "--seeds=50"});
+  EXPECT_EQ(args.get("scale"), "paper");
+  EXPECT_EQ(args.get_int("seeds", 0), 50);
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const auto args = make_args({});
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const auto args = make_args({"--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose"), "true");
+}
+
+TEST(CliArgs, UnparseableNumberFallsBack) {
+  const auto args = make_args({"--n=abc"});
+  EXPECT_EQ(args.get_int("n", 9), 9);
+  EXPECT_DOUBLE_EQ(args.get_double("n", 2.5), 2.5);
+}
+
+TEST(CliArgs, ParsesDouble) {
+  const auto args = make_args({"--factor=0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("factor", 0.0), 0.25);
+}
+
+TEST(CliArgs, NonDashArgumentsIgnored) {
+  const auto args = make_args({"positional", "--k=v"});
+  EXPECT_EQ(args.get("k"), "v");
+  EXPECT_FALSE(args.has("positional"));
+}
+
+TEST(Scale, ParseAndName) {
+  EXPECT_EQ(parse_scale(make_args({"--scale=smoke"})), Scale::kSmoke);
+  EXPECT_EQ(parse_scale(make_args({"--scale=paper"})), Scale::kPaper);
+  EXPECT_EQ(parse_scale(make_args({"--scale=default"})), Scale::kDefault);
+  EXPECT_EQ(parse_scale(make_args({})), Scale::kDefault);
+  EXPECT_EQ(parse_scale(make_args({"--scale=garbage"})), Scale::kDefault);
+  EXPECT_STREQ(scale_name(Scale::kSmoke), "smoke");
+  EXPECT_STREQ(scale_name(Scale::kPaper), "paper");
+  EXPECT_STREQ(scale_name(Scale::kDefault), "default");
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace gtl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ReseedRestoresSequence) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextIntInvalidRangeThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // mean of U[0,1)
+}
+
+TEST(Rng, NextBoolRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValues) {
+  Rng rng(23);
+  for (std::uint32_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const auto s = rng.sample_distinct(100, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<std::uint32_t> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), k);
+    for (const auto v : s) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleDistinctFullRange) {
+  Rng rng(29);
+  const auto s = rng.sample_distinct(10, 10);
+  std::set<std::uint32_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(Rng, SampleDistinctTooManyThrows) {
+  Rng rng(31);
+  EXPECT_THROW(rng.sample_distinct(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(37);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += parent.next() == child.next();
+  EXPECT_LT(equal, 4);
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gtl {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 30.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, PercentileRejectsBadQ) {
+  EXPECT_THROW((void)percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, FitLineExact) {
+  // y = 3x + 1
+  const std::vector<double> xs = {0, 1, 2, 3};
+  const std::vector<double> ys = {1, 4, 7, 10};
+  const LineFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineNoisyR2BelowOne) {
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  const std::vector<double> ys = {0.1, 0.9, 2.2, 2.8, 4.1};
+  const LineFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 1.0, 0.1);
+  EXPECT_GT(f.r2, 0.98);
+  EXPECT_LT(f.r2, 1.0);
+}
+
+TEST(Stats, FitLineRejectsTooFewPoints) {
+  EXPECT_THROW((void)fit_line(std::vector<double>{1.0}, std::vector<double>{2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_line(std::vector<double>{1, 2}, std::vector<double>{1}),
+               std::invalid_argument);
+}
+
+TEST(Stats, FitPowerLawRecoversRentExponent) {
+  // T = 2.5 * k^0.63 — the exact model of Rent's rule.
+  std::vector<double> ks, ts;
+  for (double k = 4; k <= 4096; k *= 2) {
+    ks.push_back(k);
+    ts.push_back(2.5 * std::pow(k, 0.63));
+  }
+  const LineFit f = fit_power_law(ks, ts);
+  EXPECT_NEAR(f.slope, 0.63, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 2.5, 1e-9);
+}
+
+TEST(Stats, FitPowerLawIgnoresNonPositivePoints) {
+  const std::vector<double> ks = {0.0, 2, 4, 8};
+  const std::vector<double> ts = {5.0, 2, 4, 8};
+  const LineFit f = fit_power_law(ks, ts);  // first point dropped
+  EXPECT_NEAR(f.slope, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gtl

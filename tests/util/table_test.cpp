@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gtl {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| long-name "), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RaggedRowsTolerated) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TableFormat, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(0.5, 0), "0");  // rounds to even
+  EXPECT_EQ(fmt_double(-1.5, 1), "-1.5");
+}
+
+TEST(TableFormat, FmtPercent) {
+  EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+  EXPECT_EQ(fmt_percent(0.0, 0), "0%");
+}
+
+TEST(TableFormat, FmtIntThousands) {
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(999), "999");
+  EXPECT_EQ(fmt_int(1000), "1,000");
+  EXPECT_EQ(fmt_int(1096812), "1,096,812");
+  EXPECT_EQ(fmt_int(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,103 @@
+#include "viz/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace gtl {
+namespace {
+
+TEST(Image, ConstructsWithFill) {
+  Image img(4, 3, Color{10, 20, 30});
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  const Color c = img.get(2, 1);
+  EXPECT_EQ(c.r, 10);
+  EXPECT_EQ(c.g, 20);
+  EXPECT_EQ(c.b, 30);
+}
+
+TEST(Image, SetAndGetPixel) {
+  Image img(4, 4);
+  img.set(1, 2, Color{255, 0, 0});
+  const Color c = img.get(1, 2);
+  EXPECT_EQ(c.r, 255);
+  EXPECT_EQ(c.g, 0);
+}
+
+TEST(Image, OutOfRangeSetIsClipped) {
+  Image img(2, 2);
+  img.set(-1, 0, Color{1, 1, 1});
+  img.set(5, 5, Color{1, 1, 1});  // must not crash or corrupt
+  EXPECT_EQ(img.get(0, 0).r, 255);
+}
+
+TEST(Image, FillRectClipsAndFills) {
+  Image img(4, 4, Color{0, 0, 0});
+  img.fill_rect(1, 1, 10, 2, Color{9, 9, 9});
+  EXPECT_EQ(img.get(1, 1).r, 9);
+  EXPECT_EQ(img.get(3, 2).r, 9);
+  EXPECT_EQ(img.get(0, 0).r, 0);
+  EXPECT_EQ(img.get(1, 3).r, 0);
+}
+
+TEST(Image, WritesValidPpm) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "tanglefind_image_test.ppm";
+  Image img(3, 2, Color{1, 2, 3});
+  img.write_ppm(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+  int w, h, maxv;
+  in >> w >> h >> maxv;
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxv, 255);
+  in.get();  // single whitespace
+  std::vector<char> data(3 * 2 * 3);
+  in.read(data.data(), static_cast<std::streamsize>(data.size()));
+  EXPECT_EQ(in.gcount(), 18);
+  EXPECT_EQ(data[0], 1);
+  EXPECT_EQ(data[1], 2);
+  EXPECT_EQ(data[2], 3);
+  std::filesystem::remove(path);
+}
+
+TEST(Image, WriteToBadPathThrows) {
+  Image img(2, 2);
+  EXPECT_THROW(img.write_ppm("/nonexistent_dir_xyz/out.ppm"),
+               std::runtime_error);
+}
+
+TEST(HeatColor, ColdIsBlueHotIsRed) {
+  const Color cold = heat_color(0.0);
+  const Color hot = heat_color(2.0);  // saturates
+  EXPECT_GT(cold.b, 200);
+  EXPECT_LT(cold.r, 50);
+  EXPECT_GT(hot.r, 200);
+  EXPECT_LT(hot.b, 50);
+}
+
+TEST(HeatColor, MonotoneRedChannel) {
+  int prev = -1;
+  for (double v = 0.5; v <= 1.2; v += 0.1) {
+    const Color c = heat_color(v);
+    EXPECT_GE(static_cast<int>(c.r), prev);
+    prev = c.r;
+  }
+}
+
+TEST(CategoryColor, DistinctForSmallIndices) {
+  const Color a = category_color(0);
+  const Color b = category_color(1);
+  EXPECT_TRUE(a.r != b.r || a.g != b.g || a.b != b.b);
+  // Wraps around without crashing.
+  (void)category_color(1000);
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,98 @@
+#include "viz/plots.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace gtl {
+namespace {
+
+TEST(Plots, RenderPlacementProducesImage) {
+  const Netlist nl = testing::make_grid3x3();
+  const std::vector<double> x = {1, 2, 3, 1, 2, 3, 1, 2, 3};
+  const std::vector<double> y = {1, 1, 1, 2, 2, 2, 3, 3, 3};
+  const Die die{4.0, 4.0, 1.0};
+  const std::vector<std::vector<CellId>> groups = {{0, 1}, {8}};
+  const Image img = render_placement(nl, x, y, die, groups, 100);
+  EXPECT_EQ(img.width(), 100u);
+  EXPECT_EQ(img.height(), 100u);  // square die
+  // Group 0's color appears where cell 0 sits: (1,1) die -> (25, 74) px.
+  const Color c0 = category_color(0);
+  const Color px = img.get(25, 74);
+  EXPECT_EQ(px.r, c0.r);
+  EXPECT_EQ(px.g, c0.g);
+}
+
+TEST(Plots, RenderCongestionMatchesGrid) {
+  CongestionMap m;
+  m.tiles_x = 2;
+  m.tiles_y = 2;
+  m.tile_w = 5.0;
+  m.tile_h = 5.0;
+  m.capacity_per_tile = 1.0;
+  m.demand = {0.0, 0.0, 0.0, 2.0};  // top-right tile hot
+  const Image img = render_congestion(m, 64);
+  // Top-right pixel region must be red-ish, bottom-left blue-ish.
+  const Color hot = img.get(48, 16);
+  const Color cold = img.get(16, 48);
+  EXPECT_GT(hot.r, 150);
+  EXPECT_GT(cold.b, 150);
+}
+
+TEST(Plots, AsciiCongestionShapeAndContent) {
+  CongestionMap m;
+  m.tiles_x = 4;
+  m.tiles_y = 4;
+  m.tile_w = 1.0;
+  m.tile_h = 1.0;
+  m.capacity_per_tile = 1.0;
+  m.demand.assign(16, 0.0);
+  m.demand[15] = 5.0;  // top-right
+  const std::string art = ascii_congestion(m, 8, 4);
+  const auto lines = [&] {
+    std::vector<std::string> ls;
+    std::string cur;
+    for (const char ch : art) {
+      if (ch == '\n') {
+        ls.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(ch);
+      }
+    }
+    return ls;
+  }();
+  ASSERT_EQ(lines.size(), 4u);
+  for (const auto& l : lines) EXPECT_EQ(l.size(), 8u);
+  // Hot tile appears in the first (top) line, right side.
+  EXPECT_EQ(lines[0].back(), '@');
+  EXPECT_EQ(lines[3][0], ' ');
+}
+
+TEST(Plots, AsciiPlacementMarksGroups) {
+  const Netlist nl = testing::make_grid3x3();
+  const std::vector<double> x = {0.5, 1.5, 2.5, 0.5, 1.5, 2.5, 0.5, 1.5, 2.5};
+  const std::vector<double> y = {0.5, 0.5, 0.5, 1.5, 1.5, 1.5, 2.5, 2.5, 2.5};
+  const Die die{3.0, 3.0, 1.0};
+  const std::vector<std::vector<CellId>> groups = {{0}, {8}};
+  const std::string art = ascii_placement(nl, x, y, die, groups, 3, 3);
+  // Cell 0 at bottom-left -> last row first char = 'A';
+  // cell 8 top-right -> first row last char = 'B'.
+  const std::vector<std::string> lines = {art.substr(0, 3), art.substr(4, 3),
+                                          art.substr(8, 3)};
+  EXPECT_EQ(lines[2][0], 'A');
+  EXPECT_EQ(lines[0][2], 'B');
+  EXPECT_EQ(lines[1][1], '.');  // background cell 4
+}
+
+TEST(Plots, DegenerateDieThrows) {
+  const Netlist nl = testing::make_grid3x3();
+  const std::vector<double> xy(9, 0.0);
+  EXPECT_THROW((void)render_placement(nl, xy, xy, Die{0, 0, 1}, {}),
+               std::logic_error);
+  EXPECT_THROW((void)ascii_placement(nl, xy, xy, Die{0, 0, 1}, {}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace gtl
