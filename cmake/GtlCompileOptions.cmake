@@ -1,0 +1,59 @@
+# Shared compile options for every gtl target, attached via the
+# INTERFACE target gtl::compile_options (see gtl_add_library below).
+
+add_library(gtl_compile_options INTERFACE)
+add_library(gtl::compile_options ALIAS gtl_compile_options)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(gtl_compile_options INTERFACE -Wall -Wextra)
+  if(GTL_WERROR)
+    target_compile_options(gtl_compile_options INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(gtl_compile_options INTERFACE /W4)
+  if(GTL_WERROR)
+    target_compile_options(gtl_compile_options INTERFACE /WX)
+  endif()
+endif()
+
+if(GTL_SANITIZE)
+  string(REPLACE "," ";" _gtl_san_list "${GTL_SANITIZE}")
+  foreach(_san IN LISTS _gtl_san_list)
+    # -fno-sanitize-recover makes UBSan findings abort (and so fail ctest)
+    # instead of printing and continuing.
+    target_compile_options(gtl_compile_options INTERFACE
+                           -fsanitize=${_san} -fno-sanitize-recover=all
+                           -fno-omit-frame-pointer)
+    target_link_options(gtl_compile_options INTERFACE
+                        -fsanitize=${_san} -fno-sanitize-recover=all)
+  endforeach()
+endif()
+
+find_package(Threads REQUIRED)
+
+# gtl_add_library(<name> SOURCES ... [DEPS ...])
+#
+# Defines STATIC library gtl_<name> with alias gtl::<name>, the shared
+# include root (src/), warnings, and its layer dependencies.
+function(gtl_add_library name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(gtl_${name} STATIC ${ARG_SOURCES})
+  add_library(gtl::${name} ALIAS gtl_${name})
+  target_include_directories(gtl_${name} PUBLIC
+    $<BUILD_INTERFACE:${PROJECT_SOURCE_DIR}/src>
+    $<INSTALL_INTERFACE:include>)
+  target_link_libraries(gtl_${name}
+    PUBLIC ${ARG_DEPS} Threads::Threads
+    PRIVATE gtl::compile_options)
+endfunction()
+
+# gtl_add_executable(<name> SOURCES ... [DEPS ...] [INSTALL_DIR <dir>])
+function(gtl_add_executable name)
+  cmake_parse_arguments(ARG "" "INSTALL_DIR" "SOURCES;DEPS" ${ARGN})
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name}
+    PRIVATE ${ARG_DEPS} gtl::compile_options)
+  if(ARG_INSTALL_DIR)
+    install(TARGETS ${name} RUNTIME DESTINATION ${ARG_INSTALL_DIR})
+  endif()
+endfunction()

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "graphgen/regular_nets.hpp"
+#include "util/strings.hpp"
 
 namespace gtl {
 namespace {
@@ -144,7 +145,7 @@ SyntheticCircuit generate_synthetic_circuit(const SyntheticCircuitConfig& cfg,
   out.hint_x.reserve(cfg.num_cells + cfg.num_pads);
   out.hint_y.reserve(cfg.num_cells + cfg.num_pads);
   for (CellId c = 0; c < cfg.num_cells; ++c) {
-    nb.add_cell(cfg.with_names ? "o" + std::to_string(c) : std::string{},
+    nb.add_cell(cfg.with_names ? numbered_name("o", c) : std::string{},
                 draw_cell_width(rng), 1.0, /*fixed=*/false);
     out.hint_x.push_back((grid.col_of(c) + 0.5) * pitch_x);
     out.hint_y.push_back((grid.row_of(c) + 0.5) * pitch_y);
@@ -155,7 +156,7 @@ SyntheticCircuit generate_synthetic_circuit(const SyntheticCircuitConfig& cfg,
   pads.reserve(cfg.num_pads);
   for (std::uint32_t p = 0; p < cfg.num_pads; ++p) {
     const CellId id =
-        nb.add_cell(cfg.with_names ? "p" + std::to_string(p) : std::string{},
+        nb.add_cell(cfg.with_names ? numbered_name("p", p) : std::string{},
                     1.0, 1.0, /*fixed=*/true);
     pads.push_back(id);
     // Walk the perimeter: fraction t of the full boundary length.

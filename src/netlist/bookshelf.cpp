@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/strings.hpp"
+
 namespace gtl {
 namespace {
 
@@ -234,7 +236,7 @@ void write_bookshelf(const BookshelfDesign& design,
     if (nl.has_names() && !nl.cell_name(c).empty()) {
       return std::string(nl.cell_name(c));
     }
-    return "o" + std::to_string(c);
+    return numbered_name("o", c);
   };
 
   {

@@ -1,0 +1,18 @@
+#pragma once
+// Small string helpers shared across layers.
+
+#include <cstdint>
+#include <string>
+
+namespace gtl {
+
+/// prefix + decimal id, built via += rather than `prefix + to_string(id)`:
+/// the operator+ form trips GCC 12's -Wrestrict false positive (GCC bug
+/// 105329) at -O3 under -Werror.
+inline std::string numbered_name(const char* prefix, std::uint64_t id) {
+  std::string name(prefix);
+  name += std::to_string(id);
+  return name;
+}
+
+}  // namespace gtl

@@ -174,7 +174,9 @@ TEST(ClearMinimum, RespectsMinSize) {
   // The detected minimum (if any) must be at >= min_size; with the dip at
   // 10, position 30 is the closest allowed point but the drop test fails
   // because the curve only rises after 30.
-  if (m) EXPECT_GE(m->prefix_size, 30u);
+  if (m) {
+    EXPECT_GE(m->prefix_size, 30u);
+  }
 }
 
 TEST(ClearMinimum, ShortCurveRejected) {
