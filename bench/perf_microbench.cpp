@@ -10,8 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
 #include <vector>
 
+#include "finder/refine.hpp"
 #include "finder/tangled_logic_finder.hpp"
 #include "graphgen/planted_graph.hpp"
 #include "metrics/baselines.hpp"
@@ -19,6 +24,7 @@
 #include "order/linear_ordering.hpp"
 #include "place/congestion.hpp"
 #include "place/linear_system.hpp"
+#include "util/indexed_dary_heap.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -91,6 +97,114 @@ void BM_LargeNetThreshold(benchmark::State& state) {
 }
 BENCHMARK(BM_LargeNetThreshold)->Arg(0)->Arg(1);
 
+/// Frontier-structure microbenchmark: the exact op mix Phase I issues
+/// (push on discovery, update_key on neighbor gain change, pop/erase on
+/// absorb) on the production indexed 4-ary heap vs the previous
+/// node-based std::set frontier.  Keys mirror FrontierKey: (gain desc,
+/// delta asc, id asc) — a strict total order.
+struct ChurnKey {
+  double gain;
+  std::int32_t delta;
+  std::uint32_t id;
+};
+struct ChurnLess {
+  bool operator()(const ChurnKey& a, const ChurnKey& b) const {
+    if (a.gain != b.gain) return a.gain > b.gain;
+    if (a.delta != b.delta) return a.delta < b.delta;
+    return a.id < b.id;
+  }
+};
+
+/// Pre-computed deterministic op tape so both structures replay the same
+/// work: fill with kChurnIds pushes, then one pop + up to
+/// `kUpdatesPerStep` re-keys per absorb-step until drained.
+struct ChurnTape {
+  std::vector<std::uint32_t> update_ids;
+  std::vector<double> update_gains;
+};
+constexpr std::uint32_t kChurnIds = 32'768;
+constexpr int kUpdatesPerStep = 8;
+
+const ChurnTape& churn_tape() {
+  static const ChurnTape tape = [] {
+    ChurnTape t;
+    Rng rng(71);
+    const std::size_t n = static_cast<std::size_t>(kChurnIds) *
+                          kUpdatesPerStep;
+    t.update_ids.reserve(n);
+    t.update_gains.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      t.update_ids.push_back(
+          static_cast<std::uint32_t>(rng.next_below(kChurnIds)));
+      t.update_gains.push_back(rng.next_double() * 4.0);
+    }
+    return t;
+  }();
+  return tape;
+}
+
+void BM_FrontierIndexedHeap(benchmark::State& state) {
+  const ChurnTape& tape = churn_tape();
+  IndexedDaryHeap<ChurnKey, ChurnLess> heap;
+  heap.reset(kChurnIds);
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < kChurnIds; ++i) {
+      heap.push(i, ChurnKey{tape.update_gains[i], 0, i});
+    }
+    std::size_t cursor = 0;
+    for (std::uint32_t step = 0; step < kChurnIds; ++step) {
+      const std::uint32_t victim = heap.top().id;
+      heap.pop();
+      for (int u = 0; u < kUpdatesPerStep; ++u, ++cursor) {
+        const std::uint32_t id = tape.update_ids[cursor];
+        if (id != victim && heap.contains(id)) {
+          heap.update_key(id, ChurnKey{tape.update_gains[cursor], 0, id});
+          ++ops;
+        }
+      }
+      ++ops;
+    }
+    benchmark::DoNotOptimize(heap.empty());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_FrontierIndexedHeap);
+
+void BM_FrontierStdSet(benchmark::State& state) {
+  const ChurnTape& tape = churn_tape();
+  std::set<ChurnKey, ChurnLess> frontier;
+  std::vector<double> gain(kChurnIds);
+  std::vector<std::uint8_t> present(kChurnIds);
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < kChurnIds; ++i) {
+      gain[i] = tape.update_gains[i];
+      present[i] = 1;
+      frontier.insert(ChurnKey{gain[i], 0, i});
+    }
+    std::size_t cursor = 0;
+    for (std::uint32_t step = 0; step < kChurnIds; ++step) {
+      const std::uint32_t victim = frontier.begin()->id;
+      frontier.erase(frontier.begin());
+      present[victim] = 0;
+      for (int u = 0; u < kUpdatesPerStep; ++u, ++cursor) {
+        const std::uint32_t id = tape.update_ids[cursor];
+        if (id != victim && present[id]) {
+          frontier.erase(ChurnKey{gain[id], 0, id});
+          gain[id] = tape.update_gains[cursor];
+          frontier.insert(ChurnKey{gain[id], 0, id});
+          ++ops;
+        }
+      }
+      ++ops;
+    }
+    benchmark::DoNotOptimize(frontier.empty());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_FrontierStdSet);
+
 /// GroupConnectivity update cost (the inner loop of everything).
 void BM_GroupConnectivityAdd(benchmark::State& state) {
   const PlantedGraph& pg = graph_of_size(8'000);
@@ -109,6 +223,80 @@ void BM_GroupConnectivityAdd(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations()) * 4'000);
 }
 BENCHMARK(BM_GroupConnectivityAdd);
+
+/// Refine-loop churn: interleaved add/remove (Phase III moves cells both
+/// ways).  The O(1) member-position index is what keeps `remove` from
+/// turning this loop quadratic in group size.
+void BM_GroupConnectivityChurn(benchmark::State& state) {
+  const PlantedGraph& pg = graph_of_size(8'000);
+  GroupConnectivity group(pg.netlist);
+  Rng rng(13);
+  std::vector<CellId> ops(8'000);
+  for (auto& c : ops) c = static_cast<CellId>(rng.next_below(8'000));
+  for (auto _ : state) {
+    group.clear();
+    for (const CellId c : ops) {
+      if (group.contains(c)) {
+        group.remove(c);
+      } else {
+        group.add(c);
+      }
+    }
+    benchmark::DoNotOptimize(group.cut());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 8'000);
+}
+BENCHMARK(BM_GroupConnectivityChurn);
+
+/// Family scoring in Phase III: many short-lived groups on one tracker.
+/// The epoch-stamped clear() makes each assign O(Σ degree of members),
+/// independent of how many nets earlier groups touched.
+void BM_GroupAssignSmall(benchmark::State& state) {
+  const PlantedGraph& pg = graph_of_size(8'000);
+  GroupConnectivity group(pg.netlist);
+  Rng rng(29);
+  std::vector<std::vector<CellId>> families;
+  for (int f = 0; f < 64; ++f) {
+    std::vector<CellId>& fam = families.emplace_back();
+    for (int i = 0; i < 60; ++i) {
+      fam.push_back(static_cast<CellId>(rng.next_below(8'000)));
+    }
+    std::sort(fam.begin(), fam.end());
+    fam.erase(std::unique(fam.begin(), fam.end()), fam.end());
+  }
+  std::size_t assigns = 0;
+  for (auto _ : state) {
+    for (const auto& fam : families) {
+      group.assign(fam);
+      benchmark::DoNotOptimize(group.absorption());
+      ++assigns;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(assigns));
+}
+BENCHMARK(BM_GroupAssignSmall);
+
+/// Phase III end-to-end: refine one grown candidate (re-growths + the
+/// genetic family evaluation).
+void BM_RefineCandidate(benchmark::State& state) {
+  const PlantedGraph& pg = graph_of_size(8'000);
+  OrderingEngine engine(pg.netlist,
+                        {.max_length = 2'000, .large_net_threshold = 20});
+  const ScoreContext ctx{0.7, pg.netlist.average_pins_per_cell()};
+  GroupConnectivity group(pg.netlist);
+  Candidate initial =
+      score_members(pg.gtl_members[0], group, ctx, ScoreKind::kNgtlS);
+  initial.seed = pg.gtl_members[0][0];
+  for (auto _ : state) {
+    Rng rng(41);
+    const Candidate refined =
+        refine_candidate(pg.netlist, initial, engine, ctx, ScoreKind::kNgtlS,
+                         RefineConfig{}, MinimumConfig{}, CurveConfig{}, rng);
+    benchmark::DoNotOptimize(refined.score);
+  }
+}
+BENCHMARK(BM_RefineCandidate)->Unit(benchmark::kMillisecond);
 
 /// Full finder, with and without Phase III refinement (ablation).
 void BM_FinderRefinementAblation(benchmark::State& state) {

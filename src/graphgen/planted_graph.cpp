@@ -74,6 +74,7 @@ PlantedGraph generate_planted_graph(const PlantedGraphConfig& cfg, Rng& rng) {
   }
 
   NetlistBuilder nb;
+  nb.reserve(cfg.num_cells, /*nets=*/0, /*pins=*/0);
   for (CellId c = 0; c < cfg.num_cells; ++c) nb.add_cell();
 
   // --- background nets over background cells only ---

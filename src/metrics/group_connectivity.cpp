@@ -1,5 +1,6 @@
 #include "metrics/group_connectivity.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "util/require.hpp"
@@ -8,45 +9,44 @@ namespace gtl {
 
 GroupConnectivity::GroupConnectivity(const Netlist& nl)
     : nl_(&nl),
-      pins_in_(nl.num_nets(), 0),
-      in_group_(nl.num_cells(), false) {}
+      net_count_(nl.num_nets()),
+      member_pos_(nl.num_cells(), kNoPos) {}
 
 void GroupConnectivity::add(CellId c) {
-  GTL_REQUIRE(!in_group_[c], "cell already in group");
-  in_group_[c] = true;
+  GTL_REQUIRE(!contains(c), "cell already in group");
+  member_pos_[c] = static_cast<std::uint32_t>(members_.size());
   members_.push_back(c);
   pins_in_group_ += nl_->cell_degree(c);
   for (const NetId e : nl_->nets_of(c)) {
     const std::uint32_t size = nl_->net_size(e);
-    const std::uint32_t k = pins_in_[e];
+    NetCount& nc = net_count_[e];
+    const std::uint32_t k = nc.epoch == epoch_ ? nc.pins : 0;
     if (k == 0) {
-      touched_nets_.push_back(e);
+      nc.epoch = epoch_;
       if (size > 1) ++cut_;  // first pin inside: net becomes cut
     } else if (size > 1) {
       absorption_ += 1.0 / static_cast<double>(size - 1);
     }
     if (k + 1 == size && size > 1) --cut_;  // fully absorbed: no longer cut
-    pins_in_[e] = k + 1;
+    nc.pins = k + 1;
   }
 }
 
 void GroupConnectivity::remove(CellId c) {
-  GTL_REQUIRE(in_group_[c], "cell not in group");
-  in_group_[c] = false;
-  // Swap-erase from the member list.
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    if (members_[i] == c) {
-      members_[i] = members_.back();
-      members_.pop_back();
-      break;
-    }
-  }
+  GTL_REQUIRE(contains(c), "cell not in group");
+  // O(1) swap-erase via the position index.
+  const std::uint32_t pos = member_pos_[c];
+  members_[pos] = members_.back();
+  member_pos_[members_[pos]] = pos;
+  members_.pop_back();
+  member_pos_[c] = kNoPos;
   pins_in_group_ -= nl_->cell_degree(c);
   for (const NetId e : nl_->nets_of(c)) {
     const std::uint32_t size = nl_->net_size(e);
-    const std::uint32_t k = pins_in_[e];
+    NetCount& nc = net_count_[e];
+    const std::uint32_t k = nc.pins;  // in-epoch: c was a member
     if (k == size && size > 1) ++cut_;  // was fully inside: becomes cut
-    pins_in_[e] = k - 1;
+    nc.pins = k - 1;
     if (k == 1) {
       if (size > 1) --cut_;  // last pin left: no longer cut
     } else if (size > 1) {
@@ -56,10 +56,14 @@ void GroupConnectivity::remove(CellId c) {
 }
 
 void GroupConnectivity::clear() {
-  for (const NetId e : touched_nets_) pins_in_[e] = 0;
-  touched_nets_.clear();
-  for (const CellId c : members_) in_group_[c] = false;
+  for (const CellId c : members_) member_pos_[c] = kNoPos;
   members_.clear();
+  // Invalidate every per-net counter at once by entering a new epoch;
+  // stale counters read as 0 until a net is touched again.
+  if (++epoch_ == 0) {  // wrapped: stale stamps could collide, hard-reset
+    std::fill(net_count_.begin(), net_count_.end(), NetCount{});
+    epoch_ = 1;
+  }
   cut_ = 0;
   pins_in_group_ = 0;
   absorption_ = 0.0;
@@ -75,7 +79,7 @@ std::int64_t GroupConnectivity::cut_delta_if_added(CellId c) const {
   for (const NetId e : nl_->nets_of(c)) {
     const std::uint32_t size = nl_->net_size(e);
     if (size <= 1) continue;
-    const std::uint32_t k = pins_in_[e];
+    const std::uint32_t k = pins_in(e);
     if (k == 0) ++delta;            // becomes newly cut
     if (k + 1 == size) --delta;     // becomes fully absorbed
   }

@@ -1,6 +1,7 @@
 #include "netlist/bookshelf.hpp"
 
 #include <charconv>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -78,7 +79,7 @@ std::size_t to_size(const LineReader& r, const std::string& s) {
 struct NodesData {
   std::vector<std::string> names;
   std::vector<double> widths, heights;
-  std::vector<bool> fixed;
+  std::vector<std::uint8_t> fixed;  // byte flags, matching NetlistBuilder
   std::unordered_map<std::string, CellId> index;
 };
 
@@ -103,7 +104,7 @@ NodesData read_nodes(const std::filesystem::path& path) {
     d.names.push_back(toks[0]);
     d.widths.push_back(std::max(1e-9, to_double(r, toks[1])));
     d.heights.push_back(std::max(1e-9, to_double(r, toks[2])));
-    d.fixed.push_back(terminal);
+    d.fixed.push_back(terminal ? 1 : 0);
   }
   if (expected != 0 && d.names.size() != expected) {
     throw std::runtime_error("bookshelf: " + path.string() + ": NumNodes=" +

@@ -34,10 +34,11 @@ void NetlistBuilder::reserve(std::size_t cells, std::size_t nets,
 CellId NetlistBuilder::add_cell(std::string name, double width, double height,
                                 bool fixed) {
   GTL_REQUIRE(width > 0.0 && height > 0.0, "cell dimensions must be positive");
+  GTL_REQUIRE(widths_.size() < kInvalidCell, "too many cells (id overflow)");
   const auto id = static_cast<CellId>(widths_.size());
   widths_.push_back(width);
   heights_.push_back(height);
-  fixed_.push_back(fixed);
+  fixed_.push_back(fixed ? 1 : 0);
   if (!name.empty()) any_cell_named_ = true;
   cell_names_.push_back(std::move(name));
   return id;
@@ -46,6 +47,13 @@ CellId NetlistBuilder::add_cell(std::string name, double width, double height,
 NetId NetlistBuilder::add_net(std::span<const CellId> cells,
                               std::string name) {
   GTL_REQUIRE(!cells.empty(), "net must have at least one pin");
+  GTL_REQUIRE(net_offset_.size() - 1 < kInvalidNet,
+              "too many nets (id overflow)");
+  // 32-bit CSR offsets: the total (deduplicated) pin count must stay
+  // representable.  Check against the worst case before appending.
+  GTL_REQUIRE(cells.size() <=
+                  static_cast<std::size_t>(kInvalidCell) - net_pins_.size(),
+              "too many pins (32-bit CSR offset overflow)");
   const auto id = static_cast<NetId>(net_offset_.size() - 1);
   const std::size_t begin = net_pins_.size();
   for (const CellId c : cells) {
@@ -56,7 +64,7 @@ NetId NetlistBuilder::add_net(std::span<const CellId> cells,
   const auto first = net_pins_.begin() + static_cast<std::ptrdiff_t>(begin);
   std::sort(first, net_pins_.end());
   net_pins_.erase(std::unique(first, net_pins_.end()), net_pins_.end());
-  net_offset_.push_back(net_pins_.size());
+  net_offset_.push_back(static_cast<std::uint32_t>(net_pins_.size()));
   if (!name.empty()) any_net_named_ = true;
   net_names_.push_back(std::move(name));
   return id;
@@ -71,9 +79,15 @@ Netlist NetlistBuilder::build() {
   nl.cell_height_ = std::move(heights_);
   nl.cell_fixed_ = std::move(fixed_);
   nl.num_movable_ = static_cast<std::size_t>(
-      std::count(nl.cell_fixed_.begin(), nl.cell_fixed_.end(), false));
+      std::count(nl.cell_fixed_.begin(), nl.cell_fixed_.end(), 0));
   nl.net_pin_offset_ = std::move(net_offset_);
   nl.net_pins_ = std::move(net_pins_);
+
+  // Cache per-net sizes (the hottest query of Phase I).
+  nl.net_size_.resize(n_nets);
+  for (std::size_t e = 0; e < n_nets; ++e) {
+    nl.net_size_[e] = nl.net_pin_offset_[e + 1] - nl.net_pin_offset_[e];
+  }
 
   // Build the transposed CSR: cell -> nets, via counting sort.
   nl.cell_net_offset_.assign(n_cells + 1, 0);
@@ -82,13 +96,12 @@ Netlist NetlistBuilder::build() {
     nl.cell_net_offset_[i] += nl.cell_net_offset_[i - 1];
   }
   nl.cell_nets_.resize(nl.net_pins_.size());
-  std::vector<std::size_t> cursor(nl.cell_net_offset_.begin(),
-                                  nl.cell_net_offset_.end() - 1);
+  std::vector<std::uint32_t> cursor(nl.cell_net_offset_.begin(),
+                                    nl.cell_net_offset_.end() - 1);
   for (std::size_t e = 0; e < n_nets; ++e) {
-    for (std::size_t p = nl.net_pin_offset_[e]; p < nl.net_pin_offset_[e + 1];
-         ++p) {
-      nl.cell_nets_[cursor[nl.net_pins_[p]]++] =
-          static_cast<NetId>(e);
+    for (std::uint32_t p = nl.net_pin_offset_[e];
+         p < nl.net_pin_offset_[e + 1]; ++p) {
+      nl.cell_nets_[cursor[nl.net_pins_[p]]++] = static_cast<NetId>(e);
     }
   }
 

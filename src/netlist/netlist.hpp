@@ -5,6 +5,12 @@
 //
 // Storage is CSR (compressed sparse row) in both directions:
 //   cell -> incident nets   and   net -> member cells (pins).
+// Offsets are 32-bit (the builder rejects netlists with >= 2^32-1 pins,
+// far beyond ISPD-class designs), fixed flags are a byte array, and net
+// sizes are cached in their own array — the Phase-I inner loops issue one
+// 32-bit load per size/fixed query instead of two 64-bit loads or a
+// vector<bool> bit probe, and the whole CSR is half the bytes, so twice
+// as much of the graph fits in cache.
 // Pins are deduplicated per net (a hyperedge is a *set* of cells), so
 // cell_degree(c) == number of distinct nets touching c, and
 // num_pins() == sum over nets of net_size() == sum over cells of degree.
@@ -50,16 +56,14 @@ class Netlist {
             net_pin_offset_[e + 1] - net_pin_offset_[e]};
   }
 
-  /// |e| — number of distinct cells on net e.
+  /// |e| — number of distinct cells on net e (cached; one 32-bit load).
   [[nodiscard]] std::uint32_t net_size(NetId e) const {
-    return static_cast<std::uint32_t>(net_pin_offset_[e + 1] -
-                                      net_pin_offset_[e]);
+    return net_size_[e];
   }
 
   /// Number of distinct nets incident to cell c (its pin count).
   [[nodiscard]] std::uint32_t cell_degree(CellId c) const {
-    return static_cast<std::uint32_t>(cell_net_offset_[c + 1] -
-                                      cell_net_offset_[c]);
+    return cell_net_offset_[c + 1] - cell_net_offset_[c];
   }
 
   /// A(G): average pin count per cell — the normalization constant of
@@ -78,7 +82,7 @@ class Netlist {
   }
   /// Fixed cells (I/O pads, macros) do not move during placement and are
   /// never absorbed into a GTL.
-  [[nodiscard]] bool is_fixed(CellId c) const { return cell_fixed_[c]; }
+  [[nodiscard]] bool is_fixed(CellId c) const { return cell_fixed_[c] != 0; }
 
   /// Number of movable (non-fixed) cells.
   [[nodiscard]] std::size_t num_movable() const { return num_movable_; }
@@ -95,13 +99,14 @@ class Netlist {
  private:
   friend class NetlistBuilder;
 
-  std::vector<std::size_t> cell_net_offset_;  // size num_cells+1
+  std::vector<std::uint32_t> cell_net_offset_;  // size num_cells+1
   std::vector<NetId> cell_nets_;
-  std::vector<std::size_t> net_pin_offset_;  // size num_nets+1
+  std::vector<std::uint32_t> net_pin_offset_;  // size num_nets+1
   std::vector<CellId> net_pins_;
+  std::vector<std::uint32_t> net_size_;  // cached |e| per net
   std::vector<double> cell_width_;
   std::vector<double> cell_height_;
-  std::vector<bool> cell_fixed_;
+  std::vector<std::uint8_t> cell_fixed_;  // byte array: no bit probing
   std::size_t num_movable_ = 0;
   std::vector<std::string> cell_names_;
   std::vector<std::string> net_names_;
@@ -136,10 +141,10 @@ class NetlistBuilder {
  private:
   std::vector<double> widths_;
   std::vector<double> heights_;
-  std::vector<bool> fixed_;
+  std::vector<std::uint8_t> fixed_;
   std::vector<std::string> cell_names_;
   std::vector<std::string> net_names_;
-  std::vector<std::size_t> net_offset_ = {0};
+  std::vector<std::uint32_t> net_offset_ = {0};
   std::vector<CellId> net_pins_;
   bool any_cell_named_ = false;
   bool any_net_named_ = false;

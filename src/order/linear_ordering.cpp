@@ -40,7 +40,9 @@ OrderingEngine::OrderingEngine(const Netlist& nl, OrderingConfig cfg)
       cut_delta_(nl.num_cells(), 0),
       state_(nl.num_cells(), 0),
       pins_in_(nl.num_nets(), 0),
-      frontier_(FrontierCompare{cfg.min_cut_first}) {}
+      frontier_(FrontierCompare{cfg.min_cut_first}) {
+  frontier_.reset(nl.num_cells());
+}
 
 void OrderingEngine::reset() {
   for (const CellId c : touched_cells_) {
@@ -62,16 +64,13 @@ void OrderingEngine::touch_cell(CellId c) {
 
 void OrderingEngine::frontier_update(CellId c, double new_conn,
                                      std::int32_t new_delta) {
-  frontier_.erase(FrontierKey{conn_[c], cut_delta_[c], c});
   conn_[c] = new_conn;
   cut_delta_[c] = new_delta;
-  frontier_.insert(FrontierKey{new_conn, new_delta, c});
+  frontier_.update_key(c, FrontierKey{new_conn, new_delta, c});
 }
 
 void OrderingEngine::absorb(CellId u) {
-  if (state_[u] == 1) {
-    frontier_.erase(FrontierKey{conn_[u], cut_delta_[u], u});
-  }
+  if (state_[u] == 1) frontier_.erase(u);
   touch_cell(u);
   state_[u] = 2;
   pins_in_group_ += nl_->cell_degree(u);
@@ -116,7 +115,7 @@ void OrderingEngine::absorb(CellId u) {
         }
         conn_[w] = conn;
         cut_delta_[w] = delta;
-        frontier_.insert(FrontierKey{conn, delta, w});
+        frontier_.push(w, FrontierKey{conn, delta, w});
       } else if (changed) {
         frontier_update(w, conn_[w] + after.conn - before.conn,
                         cut_delta_[w] + after.cut_delta - before.cut_delta);
@@ -146,7 +145,7 @@ LinearOrdering OrderingEngine::grow(CellId seed) {
   out.prefix_pins.push_back(pins_in_group_);
 
   while (out.cells.size() < z && !frontier_.empty()) {
-    const CellId u = frontier_.begin()->cell;
+    const CellId u = frontier_.top().id;
     absorb(u);
     out.cells.push_back(u);
     out.prefix_cut.push_back(cut_);

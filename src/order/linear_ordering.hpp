@@ -19,10 +19,10 @@
 // Setting the threshold to 0 disables the trick (exact algorithm).
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/indexed_dary_heap.hpp"
 
 namespace gtl {
 
@@ -100,10 +100,12 @@ class OrderingEngine {
   std::vector<std::uint8_t> state_;  // 0 untouched, 1 frontier, 2 in group
   // Per-net state.
   std::vector<std::uint32_t> pins_in_;
-  std::vector<double> applied_weight_;   // conn weight currently applied
-  std::vector<std::uint8_t> applied_plus_;  // "+1 newly cut" term applied?
 
-  std::set<FrontierKey, FrontierCompare> frontier_;
+  /// Frontier: position-indexed 4-ary heap, re-keyed in place (no
+  /// per-update allocation or tree rebalancing).  The key embeds the cell
+  /// id as the final tie-break, so top() is unique and orderings stay
+  /// byte-identical to the old std::set frontier.
+  IndexedDaryHeap<FrontierKey, FrontierCompare> frontier_;
   std::vector<CellId> touched_cells_;
   std::vector<NetId> touched_nets_;
   std::int64_t cut_ = 0;

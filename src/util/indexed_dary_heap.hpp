@@ -1,0 +1,176 @@
+#pragma once
+// Position-indexed d-ary heap over densely-numbered ids (CellId, NetId,
+// ...).  This is the frontier structure of the Phase-I ordering engine:
+// a priority queue that supports decrease/increase-key and erase of an
+// arbitrary element in O(log_d n), with zero allocation per operation.
+//
+// Versus a node-based std::set "heap" (the previous frontier):
+//   * entries live in one contiguous vector — sift operations touch a
+//     handful of cache lines instead of chasing red-black tree pointers;
+//   * re-keying is an in-place sift, not an erase + insert (two tree
+//     rebalances and a node allocation);
+//   * a flat pos_[id] side array gives O(1) membership tests and O(1)
+//     location of the entry to re-key.
+// Arity 4 keeps the tree shallow (log_4 n levels) while each node's
+// children share a cache line.
+//
+// The comparator defines a STRICT TOTAL order on keys ("ranks before"):
+// less(a, b) == true means `a` is closer to the top.  Keys that embed
+// the id as the final tie-break (like the ordering engine's FrontierKey)
+// make top() unique, which is what keeps orderings deterministic.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gtl {
+
+template <typename Key, typename Less, unsigned Arity = 4>
+class IndexedDaryHeap {
+  static_assert(Arity >= 2, "a heap needs at least two children per node");
+
+ public:
+  using Id = std::uint32_t;
+  static constexpr std::uint32_t kNoPos = static_cast<std::uint32_t>(-1);
+
+  struct Entry {
+    Key key;
+    Id id;
+  };
+
+  IndexedDaryHeap() = default;
+  explicit IndexedDaryHeap(Less less) : less_(std::move(less)) {}
+
+  /// Size the position index for ids in [0, num_ids).  Empties the heap.
+  /// Must be called before the first push; may be called again to resize.
+  void reset(std::size_t num_ids) {
+    entries_.clear();
+    pos_.assign(num_ids, kNoPos);
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] bool contains(Id id) const {
+    assert(id < pos_.size());
+    return pos_[id] != kNoPos;
+  }
+
+  /// Current key of a contained id.
+  [[nodiscard]] const Key& key_of(Id id) const {
+    assert(contains(id));
+    return entries_[pos_[id]].key;
+  }
+
+  /// Empty the heap in O(size) — only entries still present are visited,
+  /// so repeated build/drain cycles cost O(work done), not O(num_ids).
+  void clear() {
+    for (const Entry& e : entries_) pos_[e.id] = kNoPos;
+    entries_.clear();
+  }
+
+  /// Insert an id that is not currently in the heap.
+  void push(Id id, const Key& key) {
+    assert(id < pos_.size() && !contains(id));
+    entries_.push_back(Entry{key, id});
+    sift_up(static_cast<std::uint32_t>(entries_.size() - 1));
+  }
+
+  /// Re-key a contained id (key may move it either direction).
+  void update_key(Id id, const Key& key) {
+    assert(contains(id));
+    const std::uint32_t at = pos_[id];
+    const bool towards_top = less_(key, entries_[at].key);
+    entries_[at].key = key;
+    if (towards_top) {
+      sift_up(at);
+    } else {
+      sift_down(at);
+    }
+  }
+
+  /// Remove a contained id from anywhere in the heap.
+  void erase(Id id) {
+    assert(contains(id));
+    const std::uint32_t at = pos_[id];
+    pos_[id] = kNoPos;
+    const std::uint32_t last = static_cast<std::uint32_t>(entries_.size() - 1);
+    if (at != last) {
+      const bool towards_top = less_(entries_[last].key, entries_[at].key);
+      entries_[at] = std::move(entries_[last]);
+      pos_[entries_[at].id] = at;
+      entries_.pop_back();
+      if (towards_top) {
+        sift_up(at);
+      } else {
+        sift_down(at);
+      }
+    } else {
+      entries_.pop_back();
+    }
+  }
+
+  /// Highest-priority entry (unique when the key order is total).
+  [[nodiscard]] const Entry& top() const {
+    assert(!empty());
+    return entries_.front();
+  }
+
+  void pop() {
+    assert(!empty());
+    pos_[entries_.front().id] = kNoPos;
+    if (entries_.size() > 1) {
+      entries_.front() = std::move(entries_.back());
+      pos_[entries_.front().id] = 0;
+      entries_.pop_back();
+      sift_down(0);
+    } else {
+      entries_.pop_back();
+    }
+  }
+
+ private:
+  void sift_up(std::uint32_t at) {
+    Entry moving = std::move(entries_[at]);
+    while (at > 0) {
+      const std::uint32_t parent = (at - 1) / Arity;
+      if (!less_(moving.key, entries_[parent].key)) break;
+      entries_[at] = std::move(entries_[parent]);
+      pos_[entries_[at].id] = at;
+      at = parent;
+    }
+    entries_[at] = std::move(moving);
+    pos_[entries_[at].id] = at;
+  }
+
+  void sift_down(std::uint32_t at) {
+    const std::uint32_t n = static_cast<std::uint32_t>(entries_.size());
+    Entry moving = std::move(entries_[at]);
+    for (;;) {
+      const std::uint64_t first_child =
+          static_cast<std::uint64_t>(at) * Arity + 1;
+      if (first_child >= n) break;
+      const std::uint32_t end = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(first_child + Arity, n));
+      std::uint32_t best = static_cast<std::uint32_t>(first_child);
+      for (std::uint32_t c = best + 1; c < end; ++c) {
+        if (less_(entries_[c].key, entries_[best].key)) best = c;
+      }
+      if (!less_(entries_[best].key, moving.key)) break;
+      entries_[at] = std::move(entries_[best]);
+      pos_[entries_[at].id] = at;
+      at = best;
+    }
+    entries_[at] = std::move(moving);
+    pos_[entries_[at].id] = at;
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> pos_;  // id -> slot in entries_, kNoPos if absent
+  Less less_;
+};
+
+}  // namespace gtl

@@ -1,0 +1,161 @@
+// Randomized churn suite for GroupConnectivity's O(1)-remove member
+// index and epoch-stamped clear: drives long add/remove/clear/assign
+// sequences on random planted graphs and cross-checks every maintained
+// quantity (cut, absorption, pins, per-net counts, membership) against
+// brute-force recomputation from the member list.
+
+#include "metrics/group_connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graphgen/planted_graph.hpp"
+#include "util/rng.hpp"
+
+namespace gtl {
+namespace {
+
+PlantedGraph make_graph(std::uint32_t n, std::uint64_t seed) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = n;
+  cfg.gtls.push_back({n / 8, 1});
+  Rng rng(seed);
+  return generate_planted_graph(cfg, rng);
+}
+
+double brute_absorption(const Netlist& nl, const std::set<CellId>& members) {
+  double a = 0.0;
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    const std::uint32_t size = nl.net_size(e);
+    if (size < 2) continue;
+    std::uint32_t inside = 0;
+    for (const CellId c : nl.pins_of(e)) inside += members.count(c);
+    if (inside >= 1) {
+      a += static_cast<double>(inside - 1) / static_cast<double>(size - 1);
+    }
+  }
+  return a;
+}
+
+std::uint32_t brute_pins_in(const Netlist& nl, NetId e,
+                            const std::set<CellId>& members) {
+  std::uint32_t inside = 0;
+  for (const CellId c : nl.pins_of(e)) inside += members.count(c);
+  return inside;
+}
+
+void check_against_reference(const Netlist& nl, const GroupConnectivity& g,
+                             const std::set<CellId>& reference) {
+  ASSERT_EQ(g.size(), reference.size());
+  std::vector<CellId> members(g.members().begin(), g.members().end());
+  std::sort(members.begin(), members.end());
+  ASSERT_TRUE(std::equal(members.begin(), members.end(), reference.begin(),
+                         reference.end()));
+
+  ASSERT_EQ(g.cut(), net_cut(nl, members));
+  std::size_t pins = 0;
+  for (const CellId c : reference) pins += nl.cell_degree(c);
+  ASSERT_EQ(g.pins_in_group(), pins);
+  ASSERT_NEAR(g.absorption(), brute_absorption(nl, reference), 1e-9);
+}
+
+TEST(GroupConnectivityChurn, RandomizedAddRemoveMatchesBruteForce) {
+  const PlantedGraph pg = make_graph(400, 3);
+  const Netlist& nl = pg.netlist;
+  GroupConnectivity g(nl);
+  std::set<CellId> reference;
+  Rng rng(17);
+
+  for (int step = 0; step < 3'000; ++step) {
+    const CellId c = static_cast<CellId>(rng.next_below(nl.num_cells()));
+    if (reference.count(c)) {
+      g.remove(c);
+      reference.erase(c);
+    } else {
+      g.add(c);
+      reference.insert(c);
+    }
+    ASSERT_EQ(g.contains(c), reference.count(c) != 0);
+    if (step % 97 == 0) check_against_reference(nl, g, reference);
+    // Spot-check per-net counts continuously (cheap).
+    const NetId e = static_cast<NetId>(rng.next_below(nl.num_nets()));
+    ASSERT_EQ(g.pins_in(e), brute_pins_in(nl, e, reference));
+    ASSERT_EQ(g.pins_out(e), nl.net_size(e) - g.pins_in(e));
+  }
+  check_against_reference(nl, g, reference);
+}
+
+TEST(GroupConnectivityChurn, AddThenRemoveAllRoundTripsToEmpty) {
+  const PlantedGraph pg = make_graph(300, 5);
+  const Netlist& nl = pg.netlist;
+  GroupConnectivity g(nl);
+  Rng rng(23);
+
+  std::vector<CellId> order;
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (rng.next_below(3) == 0) order.push_back(c);
+  }
+  for (const CellId c : order) g.add(c);
+  // Remove in a different (shuffled) order than added.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  for (const CellId c : order) g.remove(c);
+
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.cut(), 0);
+  EXPECT_EQ(g.pins_in_group(), 0u);
+  EXPECT_NEAR(g.absorption(), 0.0, 1e-9);
+  for (NetId e = 0; e < nl.num_nets(); ++e) {
+    ASSERT_EQ(g.pins_in(e), 0u);
+  }
+}
+
+TEST(GroupConnectivityChurn, EpochClearIsEquivalentToFreshTracker) {
+  // Many clear()/assign() cycles: stale per-net counters from earlier
+  // epochs must never leak into later groups, including after heavy
+  // overlapping churn.
+  const PlantedGraph pg = make_graph(300, 9);
+  const Netlist& nl = pg.netlist;
+  GroupConnectivity reused(nl);
+  Rng rng(31);
+
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    std::set<CellId> want;
+    const std::size_t target = 1 + rng.next_below(40);
+    while (want.size() < target) {
+      want.insert(static_cast<CellId>(rng.next_below(nl.num_cells())));
+    }
+    std::vector<CellId> members(want.begin(), want.end());
+    reused.assign(members);
+
+    GroupConnectivity fresh(nl);
+    for (const CellId c : members) fresh.add(c);
+
+    ASSERT_EQ(reused.cut(), fresh.cut()) << "cycle " << cycle;
+    ASSERT_EQ(reused.pins_in_group(), fresh.pins_in_group());
+    ASSERT_DOUBLE_EQ(reused.absorption(), fresh.absorption());
+    for (NetId e = 0; e < nl.num_nets(); ++e) {
+      ASSERT_EQ(reused.pins_in(e), fresh.pins_in(e))
+          << "cycle " << cycle << " net " << e;
+    }
+    check_against_reference(nl, reused, want);
+
+    // cut_delta_if_added must agree with actually adding.
+    const CellId probe = static_cast<CellId>(rng.next_below(nl.num_cells()));
+    if (!reused.contains(probe)) {
+      const std::int64_t predicted = reused.cut_delta_if_added(probe);
+      const std::int64_t before = reused.cut();
+      reused.add(probe);
+      ASSERT_EQ(reused.cut(), before + predicted);
+      reused.remove(probe);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,252 @@
+// Equivalence suite for the indexed-heap frontier: grows orderings on
+// random planted graphs with the production OrderingEngine (position-
+// indexed 4-ary heap) and with a reference engine that keeps the frontier
+// in a std::set (the original implementation, reproduced verbatim below),
+// and asserts byte-identical LinearOrdering output — cells, prefix_cut
+// and prefix_pins — across graph seeds, growth seeds, large-net
+// thresholds and both tie-break modes.  Both frontier structures order
+// keys by the same strict total order (conn desc, cut_delta asc, cell
+// asc), so any divergence is a bug in one of the two.
+
+#include "order/linear_ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graphgen/planted_graph.hpp"
+#include "metrics/group_connectivity.hpp"
+#include "util/rng.hpp"
+
+namespace gtl {
+namespace {
+
+struct NetContribution {
+  double conn = 0.0;
+  std::int32_t cut_delta = 0;
+};
+
+NetContribution contribution(std::uint32_t net_size, std::uint32_t k,
+                             std::uint32_t threshold) {
+  NetContribution out;
+  if (net_size < 2) return out;
+  const std::uint32_t lambda = net_size - k;
+  const bool active = threshold == 0 || lambda < threshold;
+  if (!active) return out;
+  if (k > 0) out.conn = 1.0 / static_cast<double>(lambda + 1);
+  if (k == 0) {
+    out.cut_delta = 1;
+  } else if (k == net_size - 1) {
+    out.cut_delta = -1;
+  }
+  return out;
+}
+
+/// The pre-indexed-heap OrderingEngine: identical update logic, frontier
+/// kept in an ordered node-based std::set.
+class SetFrontierEngine {
+ public:
+  SetFrontierEngine(const Netlist& nl, OrderingConfig cfg)
+      : nl_(&nl),
+        cfg_(cfg),
+        conn_(nl.num_cells(), 0.0),
+        cut_delta_(nl.num_cells(), 0),
+        state_(nl.num_cells(), 0),
+        pins_in_(nl.num_nets(), 0),
+        frontier_(Compare{cfg.min_cut_first}) {}
+
+  LinearOrdering grow(CellId seed) {
+    for (const CellId c : touched_cells_) {
+      conn_[c] = 0.0;
+      cut_delta_[c] = 0;
+      state_[c] = 0;
+    }
+    touched_cells_.clear();
+    for (const NetId e : touched_nets_) pins_in_[e] = 0;
+    touched_nets_.clear();
+    frontier_.clear();
+    cut_ = 0;
+    pins_in_group_ = 0;
+
+    LinearOrdering out;
+    out.seed = seed;
+    const std::size_t z =
+        std::min<std::size_t>(cfg_.max_length, nl_->num_movable());
+    absorb(seed);
+    out.cells.push_back(seed);
+    out.prefix_cut.push_back(cut_);
+    out.prefix_pins.push_back(pins_in_group_);
+    while (out.cells.size() < z && !frontier_.empty()) {
+      const CellId u = frontier_.begin()->cell;
+      absorb(u);
+      out.cells.push_back(u);
+      out.prefix_cut.push_back(cut_);
+      out.prefix_pins.push_back(pins_in_group_);
+    }
+    return out;
+  }
+
+ private:
+  struct Key {
+    double conn;
+    std::int32_t cut_delta;
+    CellId cell;
+  };
+  struct Compare {
+    bool min_cut_first = false;
+    bool operator()(const Key& a, const Key& b) const {
+      if (min_cut_first) {
+        if (a.cut_delta != b.cut_delta) return a.cut_delta < b.cut_delta;
+        if (a.conn != b.conn) return a.conn > b.conn;
+      } else {
+        if (a.conn != b.conn) return a.conn > b.conn;
+        if (a.cut_delta != b.cut_delta) return a.cut_delta < b.cut_delta;
+      }
+      return a.cell < b.cell;
+    }
+  };
+
+  void absorb(CellId u) {
+    if (state_[u] == 1) {
+      frontier_.erase(Key{conn_[u], cut_delta_[u], u});
+    }
+    if (state_[u] == 0) touched_cells_.push_back(u);
+    state_[u] = 2;
+    pins_in_group_ += nl_->cell_degree(u);
+
+    const std::uint32_t threshold = cfg_.large_net_threshold;
+    for (const NetId e : nl_->nets_of(u)) {
+      const std::uint32_t size = nl_->net_size(e);
+      const std::uint32_t k_old = pins_in_[e];
+      if (k_old == 0) touched_nets_.push_back(e);
+      if (size > 1) {
+        if (k_old == 0) ++cut_;
+        if (k_old + 1 == size) --cut_;
+      }
+      const NetContribution before = contribution(size, k_old, threshold);
+      pins_in_[e] = k_old + 1;
+      const NetContribution after = contribution(size, k_old + 1, threshold);
+      const bool discover = after.conn != 0.0 || after.cut_delta != 0;
+      const bool changed = before.conn != after.conn ||
+                           before.cut_delta != after.cut_delta;
+      if (!discover && !changed) continue;
+      for (const CellId w : nl_->pins_of(e)) {
+        if (w == u || state_[w] == 2 || nl_->is_fixed(w)) continue;
+        if (state_[w] == 0) {
+          touched_cells_.push_back(w);
+          state_[w] = 1;
+          double conn = 0.0;
+          std::int32_t delta = 0;
+          for (const NetId f : nl_->nets_of(w)) {
+            const NetContribution cf =
+                contribution(nl_->net_size(f), pins_in_[f], threshold);
+            conn += cf.conn;
+            delta += cf.cut_delta;
+          }
+          conn_[w] = conn;
+          cut_delta_[w] = delta;
+          frontier_.insert(Key{conn, delta, w});
+        } else if (changed) {
+          frontier_.erase(Key{conn_[w], cut_delta_[w], w});
+          // Left-to-right evaluation, matching the production engine's
+          // `conn_[c] + after.conn - before.conn` exactly: a different
+          // association rounds differently and perturbs tie-breaks.
+          conn_[w] = conn_[w] + after.conn - before.conn;
+          cut_delta_[w] = cut_delta_[w] + after.cut_delta - before.cut_delta;
+          frontier_.insert(Key{conn_[w], cut_delta_[w], w});
+        }
+      }
+    }
+  }
+
+  const Netlist* nl_;
+  OrderingConfig cfg_;
+  std::vector<double> conn_;
+  std::vector<std::int32_t> cut_delta_;
+  std::vector<std::uint8_t> state_;
+  std::vector<std::uint32_t> pins_in_;
+  std::set<Key, Compare> frontier_;
+  std::vector<CellId> touched_cells_;
+  std::vector<NetId> touched_nets_;
+  std::int64_t cut_ = 0;
+  std::uint64_t pins_in_group_ = 0;
+};
+
+PlantedGraph make_graph(std::uint32_t n, std::uint64_t seed) {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = n;
+  cfg.gtls.push_back({n / 8, 2});
+  Rng rng(seed);
+  return generate_planted_graph(cfg, rng);
+}
+
+void expect_identical(const LinearOrdering& heap_ord,
+                      const LinearOrdering& set_ord) {
+  ASSERT_EQ(heap_ord.cells.size(), set_ord.cells.size());
+  EXPECT_EQ(heap_ord.seed, set_ord.seed);
+  EXPECT_EQ(heap_ord.cells, set_ord.cells);
+  EXPECT_EQ(heap_ord.prefix_cut, set_ord.prefix_cut);
+  EXPECT_EQ(heap_ord.prefix_pins, set_ord.prefix_pins);
+}
+
+TEST(OrderingFrontierEquivalence, ByteIdenticalAcrossSeedsAndConfigs) {
+  for (const std::uint64_t graph_seed : {1u, 7u, 42u}) {
+    const PlantedGraph pg = make_graph(480, graph_seed);
+    for (const std::uint32_t threshold : {0u, 3u, 20u}) {
+      for (const bool min_cut_first : {false, true}) {
+        const OrderingConfig cfg{.max_length = 240,
+                                 .large_net_threshold = threshold,
+                                 .min_cut_first = min_cut_first};
+        OrderingEngine engine(pg.netlist, cfg);
+        SetFrontierEngine reference(pg.netlist, cfg);
+        Rng rng(graph_seed * 1000 + threshold);
+        for (int rep = 0; rep < 4; ++rep) {
+          const CellId seed = static_cast<CellId>(
+              rng.next_below(pg.netlist.num_cells()));
+          if (pg.netlist.is_fixed(seed)) continue;
+          expect_identical(engine.grow(seed), reference.grow(seed));
+        }
+        // Also from inside a planted GTL (the common finder case).
+        const CellId gtl_seed = pg.gtl_members[0][0];
+        expect_identical(engine.grow(gtl_seed), reference.grow(gtl_seed));
+      }
+    }
+  }
+}
+
+TEST(OrderingFrontierEquivalence, EngineReuseStaysIdentical) {
+  // Reusing one engine across many grows must match fresh references:
+  // the O(touched) reset and the heap's clear() leave no residue.
+  const PlantedGraph pg = make_graph(300, 5);
+  const OrderingConfig cfg{.max_length = 150, .large_net_threshold = 20};
+  OrderingEngine engine(pg.netlist, cfg);
+  Rng rng(99);
+  for (int rep = 0; rep < 8; ++rep) {
+    const CellId seed =
+        static_cast<CellId>(rng.next_below(pg.netlist.num_cells()));
+    if (pg.netlist.is_fixed(seed)) continue;
+    SetFrontierEngine reference(pg.netlist, cfg);
+    expect_identical(engine.grow(seed), reference.grow(seed));
+  }
+}
+
+TEST(OrderingFrontierEquivalence, PrefixCutMatchesGroupConnectivity) {
+  // Independent invariant: the reported prefix_cut along the ordering
+  // must equal the incremental tracker's exact cut for every prefix.
+  const PlantedGraph pg = make_graph(300, 11);
+  OrderingEngine engine(pg.netlist,
+                        {.max_length = 200, .large_net_threshold = 20});
+  const LinearOrdering ord = engine.grow(pg.gtl_members[0][0]);
+  GroupConnectivity group(pg.netlist);
+  for (std::size_t k = 0; k < ord.cells.size(); ++k) {
+    group.add(ord.cells[k]);
+    ASSERT_EQ(group.cut(), ord.prefix_cut[k]) << "prefix " << k;
+    ASSERT_EQ(group.pins_in_group(), ord.prefix_pins[k]) << "prefix " << k;
+  }
+}
+
+}  // namespace
+}  // namespace gtl

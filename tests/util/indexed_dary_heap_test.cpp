@@ -1,0 +1,186 @@
+#include "util/indexed_dary_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gtl {
+namespace {
+
+/// Test key mirroring the ordering engine's FrontierKey: primary criterion
+/// plus the id as final tie-break, making the order strict and total.
+struct Key {
+  double gain = 0.0;
+  std::int32_t delta = 0;
+  std::uint32_t id = 0;
+};
+
+struct KeyLess {
+  bool operator()(const Key& a, const Key& b) const {
+    if (a.gain != b.gain) return a.gain > b.gain;  // max-gain first
+    if (a.delta != b.delta) return a.delta < b.delta;
+    return a.id < b.id;
+  }
+};
+
+using Heap = IndexedDaryHeap<Key, KeyLess>;
+
+Heap make_heap(std::size_t n) {
+  Heap h;
+  h.reset(n);
+  return h;
+}
+
+TEST(IndexedDaryHeap, PushPopDrainsInPriorityOrder) {
+  Heap h = make_heap(16);
+  const double gains[] = {0.5, 2.0, 1.0, 0.25, 3.0, 1.5};
+  for (std::uint32_t i = 0; i < 6; ++i) h.push(i, Key{gains[i], 0, i});
+  EXPECT_EQ(h.size(), 6u);
+
+  std::vector<double> popped;
+  while (!h.empty()) {
+    popped.push_back(h.top().key.gain);
+    h.pop();
+  }
+  const std::vector<double> want = {3.0, 2.0, 1.5, 1.0, 0.5, 0.25};
+  EXPECT_EQ(popped, want);
+  EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(IndexedDaryHeap, DuplicatePrimaryKeysPopInIdOrder) {
+  Heap h = make_heap(32);
+  // Same (gain, delta) everywhere: the embedded id must break the tie.
+  for (std::uint32_t id : {7u, 3u, 31u, 0u, 12u}) {
+    h.push(id, Key{1.0, -2, id});
+  }
+  std::vector<std::uint32_t> popped;
+  while (!h.empty()) {
+    popped.push_back(h.top().id);
+    h.pop();
+  }
+  const std::vector<std::uint32_t> want = {0, 3, 7, 12, 31};
+  EXPECT_EQ(popped, want);
+}
+
+TEST(IndexedDaryHeap, UpdateKeyMovesBothDirections) {
+  Heap h = make_heap(8);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    h.push(i, Key{static_cast<double>(i), 0, i});
+  }
+  EXPECT_EQ(h.top().id, 3u);
+
+  // Raise id 0 above everything.
+  h.update_key(0, Key{10.0, 0, 0});
+  EXPECT_EQ(h.top().id, 0u);
+  EXPECT_EQ(h.key_of(0).gain, 10.0);
+
+  // Sink it back below everything.
+  h.update_key(0, Key{-1.0, 0, 0});
+  EXPECT_EQ(h.top().id, 3u);
+
+  std::vector<std::uint32_t> popped;
+  while (!h.empty()) {
+    popped.push_back(h.top().id);
+    h.pop();
+  }
+  const std::vector<std::uint32_t> want = {3, 2, 1, 0};
+  EXPECT_EQ(popped, want);
+}
+
+TEST(IndexedDaryHeap, EraseRemovesFromAnywhere) {
+  Heap h = make_heap(8);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    h.push(i, Key{static_cast<double>(i), 0, i});
+  }
+  h.erase(5);  // the top
+  h.erase(2);  // somewhere in the middle
+  EXPECT_FALSE(h.contains(5));
+  EXPECT_FALSE(h.contains(2));
+  EXPECT_TRUE(h.contains(4));
+
+  std::vector<std::uint32_t> popped;
+  while (!h.empty()) {
+    popped.push_back(h.top().id);
+    h.pop();
+  }
+  const std::vector<std::uint32_t> want = {4, 3, 1, 0};
+  EXPECT_EQ(popped, want);
+}
+
+TEST(IndexedDaryHeap, ClearEmptiesAndAllowsReuse) {
+  Heap h = make_heap(8);
+  for (std::uint32_t i = 0; i < 5; ++i) h.push(i, Key{1.0, 0, i});
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_FALSE(h.contains(i));
+
+  h.push(3, Key{2.0, 0, 3});
+  h.push(1, Key{5.0, 0, 1});
+  EXPECT_EQ(h.top().id, 1u);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(IndexedDaryHeap, RandomizedChurnMatchesStdSet) {
+  constexpr std::uint32_t kIds = 300;
+  Heap h = make_heap(kIds);
+  std::set<Key, KeyLess> reference;
+  std::vector<bool> present(kIds, false);
+  std::vector<Key> key_of(kIds);
+  Rng rng(20260729);
+
+  auto random_key = [&](std::uint32_t id) {
+    return Key{static_cast<double>(rng.next_below(40)) * 0.25,
+               static_cast<std::int32_t>(rng.next_below(5)) - 2, id};
+  };
+
+  for (int step = 0; step < 20'000; ++step) {
+    const std::uint32_t id = static_cast<std::uint32_t>(rng.next_below(kIds));
+    switch (rng.next_below(4)) {
+      case 0:  // push or re-key
+        if (!present[id]) {
+          key_of[id] = random_key(id);
+          h.push(id, key_of[id]);
+          reference.insert(key_of[id]);
+          present[id] = true;
+        } else {
+          reference.erase(key_of[id]);
+          key_of[id] = random_key(id);
+          h.update_key(id, key_of[id]);
+          reference.insert(key_of[id]);
+        }
+        break;
+      case 1:  // erase
+        if (present[id]) {
+          h.erase(id);
+          reference.erase(key_of[id]);
+          present[id] = false;
+        }
+        break;
+      case 2:  // pop
+        if (!reference.empty()) {
+          const Key top = *reference.begin();
+          ASSERT_EQ(h.top().id, top.id);
+          h.pop();
+          reference.erase(reference.begin());
+          present[top.id] = false;
+        }
+        break;
+      default:  // membership probe
+        ASSERT_EQ(h.contains(id), present[id]);
+        break;
+    }
+    ASSERT_EQ(h.size(), reference.size());
+    if (!reference.empty()) {
+      ASSERT_EQ(h.top().id, reference.begin()->id);
+      ASSERT_EQ(h.top().key.gain, reference.begin()->gain);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gtl
