@@ -33,7 +33,8 @@ struct Quality {
 
 Quality evaluate(const PlantedGraph& pg, const FinderConfig& cfg) {
   Timer timer;
-  const FinderResult res = find_tangled_logic(pg.netlist, cfg);
+  Finder finder(pg.netlist, cfg);
+  const FinderResult& res = finder.run();
   Quality q;
   q.seconds = timer.seconds();
   q.planted = pg.gtl_members.size();
@@ -61,8 +62,17 @@ std::string fmt_quality(const Quality& q) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Detection-quality ablations: ordering criterion, selection "
+             "metric, Phase III refinement, seed budget.")
+      .describe("seeds=N", "baseline seed budget (default 400)")
+      .describe("threads=N", "worker threads (0 = all hardware threads)");
+  bench::describe_common_options(args);
+  if (bench::help_exit(args)) return 0;
   const Scale scale = parse_scale(args);
+  const auto arg_seeds = args.get_int("seeds", 400);
+  const auto arg_threads = args.get_int("threads", 0);
+  if (bench::cli_error_exit(args)) return 2;
   bench::banner("Ablations — ordering criterion, metric, refinement, seeds",
                 scale);
   const double f = bench::size_factor(scale) * 20.0;  // default == x1 here
@@ -79,10 +89,11 @@ int main(int argc, char** argv) {
   std::cout << "workload: " << fmt_int(gcfg.num_cells) << " cells, 4 planted GTLs\n\n";
 
   FinderConfig base;
-  base.num_seeds = static_cast<std::size_t>(args.get_int("seeds", 400));
+  base.num_seeds = static_cast<std::size_t>(arg_seeds);
   base.max_ordering_length = gcfg.gtls[0].size * 4;
-  base.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  base.num_threads = static_cast<std::size_t>(arg_threads);
   base.rng_seed = 5;
+  if (bench::config_error_exit(base)) return 2;
 
   Table t("ablation results");
   t.set_header({"variant", "recovered", "mean miss", "mean over",

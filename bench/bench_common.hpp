@@ -2,20 +2,52 @@
 // Shared plumbing for the experiment harness.  Every bench binary
 // regenerates one table or figure of the paper; all of them accept
 //   --scale=smoke|default|paper   (see util/cli.hpp)
-//   --seeds=N --threads=N --out=DIR
+//   --seeds=N --threads=N --out=DIR --help
 // and print the paper's reference values next to the measured ones so the
 // shape comparison is immediate.
+//
+// CLI conventions (util/cli.hpp): binaries register options up front,
+// print generated --help on request, and exit nonzero on unparseable
+// values or invalid finder configs instead of running with silently
+// substituted defaults.
 
 #include <filesystem>
 #include <iostream>
 #include <string>
 
+#include "finder/finder.hpp"
 #include "finder/tangled_logic_finder.hpp"
 #include "util/cli.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace gtl::bench {
+
+/// Register the options shared by every bench binary.
+inline void describe_common_options(CliArgs& args) {
+  args.describe("scale=smoke|default|paper",
+                "experiment scale (default: default)")
+      .describe("out=DIR", "output directory for figures/CSVs "
+                           "(default: bench_out)");
+}
+
+/// Print the generated help when --help was given; true => exit 0.
+inline bool help_exit(const CliArgs& args) { return cli_help_exit(args); }
+
+/// Report any recorded CLI parse error; true => exit nonzero.
+inline bool cli_error_exit(const CliArgs& args) {
+  return gtl::cli_error_exit(args);
+}
+
+/// Reject an out-of-range finder config (Status, not abort); true =>
+/// exit nonzero.
+inline bool config_error_exit(const FinderConfig& cfg) {
+  const Status st = cfg.validate();
+  if (st.is_ok()) return false;
+  std::cerr << "error: " << st.to_string() << "\n";
+  return true;
+}
 
 /// Linear size factor applied to the paper's |V| and structure sizes.
 inline double size_factor(Scale scale) {

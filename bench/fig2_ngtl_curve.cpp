@@ -15,8 +15,13 @@
 
 int main(int argc, char** argv) {
   using namespace gtl;
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Reproduce Figure 2: nGTL-Score agglomeration curves inside "
+             "and outside a planted GTL.");
+  bench::describe_common_options(args);
+  if (bench::help_exit(args)) return 0;
   const Scale scale = parse_scale(args);
+  if (bench::cli_error_exit(args)) return 2;
   bench::banner("Figure 2 — nGTL-Score vs group size", scale);
 
   const auto fx = bench::make_curve_fixture(scale);

@@ -17,8 +17,17 @@
 
 int main(int argc, char** argv) {
   using namespace gtl;
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Reproduce Figure 4: render the GTLs found in the bigblue1 "
+             "stand-in on its placement.")
+      .describe("seeds=N", "random starting seeds (default 100)")
+      .describe("threads=N", "worker threads (0 = all hardware threads)");
+  bench::describe_common_options(args);
+  if (bench::help_exit(args)) return 0;
   const Scale scale = parse_scale(args);
+  const auto arg_seeds = args.get_int("seeds", 100);
+  const auto arg_threads = args.get_int("threads", 0);
+  if (bench::cli_error_exit(args)) return 2;
   bench::banner("Figure 4 — GTLs found in bigblue1, shown on placement",
                 scale);
 
@@ -27,13 +36,15 @@ int main(int argc, char** argv) {
   const SyntheticCircuit circuit = generate_synthetic_circuit(cfg, rng);
 
   FinderConfig fcfg;
-  fcfg.num_seeds = static_cast<std::size_t>(args.get_int("seeds", 100));
+  fcfg.num_seeds = static_cast<std::size_t>(arg_seeds);
   fcfg.max_ordering_length = std::max<std::size_t>(
       2'000, circuit.netlist.num_cells() / 8);
-  fcfg.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  fcfg.num_threads = static_cast<std::size_t>(arg_threads);
   fcfg.rng_seed = 99;
+  if (bench::config_error_exit(fcfg)) return 2;
   Timer timer;
-  const FinderResult found = find_tangled_logic(circuit.netlist, fcfg);
+  Finder finder(circuit.netlist, fcfg);
+  const FinderResult& found = finder.run();
   std::cout << "finder: " << found.gtls.size() << " GTLs in "
             << fmt_double(timer.seconds(), 1) << "s\n";
 

@@ -21,8 +21,13 @@
 
 int main(int argc, char** argv) {
   using namespace gtl;
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Reproduce Figure 5: compare nGTL-S / GTL-SD / ratio-cut "
+             "curves on the bigblue1 stand-in.");
+  bench::describe_common_options(args);
+  if (bench::help_exit(args)) return 0;
   const Scale scale = parse_scale(args);
+  if (bench::cli_error_exit(args)) return 2;
   bench::banner("Figure 5 — nGTL-S / GTL-SD / ratio-cut curves (bigblue1)",
                 scale);
 

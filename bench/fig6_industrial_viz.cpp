@@ -16,8 +16,17 @@
 
 int main(int argc, char** argv) {
   using namespace gtl;
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Reproduce Figure 6: highlight the industrial circuit's GTLs "
+             "on its placement.")
+      .describe("seeds=N", "random starting seeds (default 150)")
+      .describe("threads=N", "worker threads (0 = all hardware threads)");
+  bench::describe_common_options(args);
+  if (bench::help_exit(args)) return 0;
   const Scale scale = parse_scale(args);
+  const auto arg_seeds = args.get_int("seeds", 150);
+  const auto arg_threads = args.get_int("threads", 0);
+  if (bench::cli_error_exit(args)) return 2;
   bench::banner("Figure 6 — GTLs of the industrial circuit on placement",
                 scale);
 
@@ -29,12 +38,14 @@ int main(int argc, char** argv) {
   for (const auto& s : cfg.structures) largest = std::max(largest, s.size);
 
   FinderConfig fcfg;
-  fcfg.num_seeds = static_cast<std::size_t>(args.get_int("seeds", 150));
+  fcfg.num_seeds = static_cast<std::size_t>(arg_seeds);
   fcfg.max_ordering_length = largest * 4;
-  fcfg.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  fcfg.num_threads = static_cast<std::size_t>(arg_threads);
   fcfg.rng_seed = 66;
+  if (bench::config_error_exit(fcfg)) return 2;
   Timer timer;
-  const FinderResult found = find_tangled_logic(circuit.netlist, fcfg);
+  Finder finder(circuit.netlist, fcfg);
+  const FinderResult& found = finder.run();
 
   // Keep the strong GTLs (the ROMs score ~0.02-0.1; background communities
   // score 0.5+).

@@ -22,8 +22,17 @@
 
 int main(int argc, char** argv) {
   using namespace gtl;
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Reproduce Figures 1 & 7: congestion maps before/after "
+             "inflating strong-GTL cells 4x.")
+      .describe("seeds=N", "random starting seeds (default 150)")
+      .describe("threads=N", "worker threads (0 = all hardware threads)");
+  bench::describe_common_options(args);
+  if (bench::help_exit(args)) return 0;
   const Scale scale = parse_scale(args);
+  const auto arg_seeds = args.get_int("seeds", 150);
+  const auto arg_threads = args.get_int("threads", 0);
+  if (bench::cli_error_exit(args)) return 2;
   bench::banner("Figures 1 & 7 — congestion before/after GTL cell inflation",
                 scale);
 
@@ -69,12 +78,14 @@ int main(int argc, char** argv) {
   std::uint32_t largest = 0;
   for (const auto& s : cfg.structures) largest = std::max(largest, s.size);
   FinderConfig fcfg;
-  fcfg.num_seeds = static_cast<std::size_t>(args.get_int("seeds", 150));
+  fcfg.num_seeds = static_cast<std::size_t>(arg_seeds);
   fcfg.max_ordering_length = largest * 4;
-  fcfg.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  fcfg.num_threads = static_cast<std::size_t>(arg_threads);
   fcfg.rng_seed = 17;
+  if (bench::config_error_exit(fcfg)) return 2;
   Timer find_timer;
-  const FinderResult found = find_tangled_logic(circuit.netlist, fcfg);
+  Finder finder(circuit.netlist, fcfg);
+  const FinderResult& found = finder.run();
   std::vector<CellId> inflate_set;
   std::size_t strong = 0;
   for (const auto& g : found.gtls) {

@@ -16,8 +16,8 @@
 #include <set>
 #include <vector>
 
+#include "finder/finder.hpp"
 #include "finder/refine.hpp"
-#include "finder/tangled_logic_finder.hpp"
 #include "graphgen/planted_graph.hpp"
 #include "metrics/baselines.hpp"
 #include "metrics/group_connectivity.hpp"
@@ -306,13 +306,46 @@ void BM_FinderRefinementAblation(benchmark::State& state) {
   cfg.max_ordering_length = 3'200;
   cfg.num_threads = 1;
   cfg.refine_seeds = static_cast<std::size_t>(state.range(0));
+  Finder finder(pg.netlist, cfg);
   for (auto _ : state) {
-    const FinderResult res = find_tangled_logic(pg.netlist, cfg);
+    const FinderResult& res = finder.run();
     benchmark::DoNotOptimize(res.gtls.data());
   }
 }
 BENCHMARK(BM_FinderRefinementAblation)->Arg(0)->Arg(3)
     ->Unit(benchmark::kMillisecond);
+
+/// The repeated-query serving scenario: many small finder queries against
+/// one resident netlist.  Cold start pays thread spawn plus O(|V|)
+/// engine/scratch allocation on every call (the old one-shot API);
+/// session reuse pays them once.
+FinderConfig repeated_query_config() {
+  FinderConfig cfg;
+  cfg.num_seeds = 4;
+  cfg.max_ordering_length = 250;
+  cfg.num_threads = 4;
+  cfg.rng_seed = 5;
+  return cfg;
+}
+
+void BM_FinderColdStart(benchmark::State& state) {
+  const PlantedGraph& pg = graph_of_size(8'000);
+  const FinderConfig cfg = repeated_query_config();
+  for (auto _ : state) {
+    Finder finder(pg.netlist, cfg);
+    benchmark::DoNotOptimize(finder.run().gtls.data());
+  }
+}
+BENCHMARK(BM_FinderColdStart)->Unit(benchmark::kMillisecond);
+
+void BM_FinderReuse(benchmark::State& state) {
+  const PlantedGraph& pg = graph_of_size(8'000);
+  Finder finder(pg.netlist, repeated_query_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.run().gtls.data());
+  }
+}
+BENCHMARK(BM_FinderReuse)->Unit(benchmark::kMillisecond);
 
 /// The paper's Ch. II argument: GTL metrics are cheap; edge separability
 /// (max-flow per pair) is not.  Same 60-cell cluster, both costs.

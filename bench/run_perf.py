@@ -45,7 +45,8 @@ import sys
 
 DEFAULT_FILTER = (
     "BM_OrderingGrow|BM_Frontier|BM_GroupConnectivity|BM_GroupAssignSmall|"
-    "BM_RefineCandidate|BM_LargeNetThreshold"
+    "BM_RefineCandidate|BM_LargeNetThreshold|"
+    "BM_FinderColdStart$|BM_FinderReuse$"
 )
 
 SCHEMA = "gtl-bench-v1"

@@ -35,8 +35,16 @@ std::uint32_t scaled(std::uint32_t v, double f, std::uint32_t floor_v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Reproduce Table 1: rediscover planted GTLs in random graphs.")
+      .describe("seeds=N", "random starting seeds per case (default 100)")
+      .describe("threads=N", "worker threads (0 = all hardware threads)");
+  bench::describe_common_options(args);
+  if (bench::help_exit(args)) return 0;
   const Scale scale = parse_scale(args);
+  const auto arg_seeds = args.get_int("seeds", 100);
+  const auto arg_threads = args.get_int("threads", 0);
+  if (bench::cli_error_exit(args)) return 2;
   bench::banner("Table 1 — random graphs with planted GTLs", scale);
   const double f = size_factor(scale);
 
@@ -69,13 +77,15 @@ int main(int argc, char** argv) {
     const PlantedGraph pg = generate_planted_graph(gcfg, rng);
 
     FinderConfig fcfg;
-    fcfg.num_seeds = static_cast<std::size_t>(args.get_int("seeds", 100));
+    fcfg.num_seeds = static_cast<std::size_t>(arg_seeds);
     fcfg.max_ordering_length =
         std::min<std::size_t>(gcfg.num_cells, largest * 4);
-    fcfg.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    fcfg.num_threads = static_cast<std::size_t>(arg_threads);
     fcfg.rng_seed = 42 + c.id;
+    if (bench::config_error_exit(fcfg)) return 2;
     Timer timer;
-    const FinderResult res = find_tangled_logic(pg.netlist, fcfg);
+    Finder finder(pg.netlist, fcfg);
+    const FinderResult& res = finder.run();
 
     bool first_row = true;
     for (const auto& g : res.gtls) {

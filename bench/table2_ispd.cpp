@@ -39,8 +39,18 @@ constexpr PaperRow kPaper[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Reproduce Table 2 on synthetic ISPD 05/06 stand-ins "
+             "(or real data via --aux).")
+      .describe("aux=FILE", "Bookshelf .aux file with the real benchmark")
+      .describe("seeds=N", "random starting seeds per design (default 100)")
+      .describe("threads=N", "worker threads (0 = all hardware threads)");
+  bench::describe_common_options(args);
+  if (bench::help_exit(args)) return 0;
   const Scale scale = parse_scale(args);
+  const auto arg_seeds = args.get_int("seeds", 100);
+  const auto arg_threads = args.get_int("threads", 0);
+  if (bench::cli_error_exit(args)) return 2;
   bench::banner("Table 2 — ISPD 05/06 placement benchmarks", scale);
   const double f = bench::size_factor(scale);
 
@@ -67,13 +77,15 @@ int main(int argc, char** argv) {
     }
 
     FinderConfig fcfg;
-    fcfg.num_seeds = static_cast<std::size_t>(args.get_int("seeds", 100));
+    fcfg.num_seeds = static_cast<std::size_t>(arg_seeds);
     fcfg.max_ordering_length = std::max<std::size_t>(
         2'000, static_cast<std::size_t>(netlist.num_cells() / 8));
-    fcfg.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    fcfg.num_threads = static_cast<std::size_t>(arg_threads);
     fcfg.rng_seed = 4242 + b;
+    if (bench::config_error_exit(fcfg)) return 2;
     Timer timer;
-    const FinderResult res = find_tangled_logic(netlist, fcfg);
+    Finder finder(netlist, fcfg);
+    const FinderResult& res = finder.run();
     const double secs = timer.seconds();
 
     for (std::size_t i = 0; i < std::min<std::size_t>(3, res.gtls.size());

@@ -15,8 +15,17 @@
 
 int main(int argc, char** argv) {
   using namespace gtl;
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Reproduce Table 3: recover the five dissolved ROM blocks of "
+             "the industrial-circuit stand-in.")
+      .describe("seeds=N", "random starting seeds (default 150)")
+      .describe("threads=N", "worker threads (0 = all hardware threads)");
+  bench::describe_common_options(args);
+  if (bench::help_exit(args)) return 0;
   const Scale scale = parse_scale(args);
+  const auto arg_seeds = args.get_int("seeds", 150);
+  const auto arg_threads = args.get_int("threads", 0);
+  if (bench::cli_error_exit(args)) return 2;
   bench::banner("Table 3 — GTLs found on the industrial circuit", scale);
   const double f = bench::size_factor(scale);
 
@@ -28,12 +37,14 @@ int main(int argc, char** argv) {
   for (const auto& s : cfg.structures) largest = std::max(largest, s.size);
 
   FinderConfig fcfg;
-  fcfg.num_seeds = static_cast<std::size_t>(args.get_int("seeds", 150));
+  fcfg.num_seeds = static_cast<std::size_t>(arg_seeds);
   fcfg.max_ordering_length = largest * 4;
-  fcfg.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  fcfg.num_threads = static_cast<std::size_t>(arg_threads);
   fcfg.rng_seed = 77;
+  if (bench::config_error_exit(fcfg)) return 2;
   Timer timer;
-  const FinderResult res = find_tangled_logic(circuit.netlist, fcfg);
+  Finder finder(circuit.netlist, fcfg);
+  const FinderResult& res = finder.run();
   std::cout << "finder: " << res.gtls.size() << " GTLs in "
             << fmt_double(timer.seconds(), 1) << "s on "
             << fmt_int(static_cast<long long>(circuit.netlist.num_cells()))

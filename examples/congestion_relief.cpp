@@ -10,7 +10,7 @@
 #include <algorithm>
 #include <iostream>
 
-#include "finder/tangled_logic_finder.hpp"
+#include "finder/finder.hpp"
 #include "graphgen/synthetic_circuit.hpp"
 #include "place/congestion.hpp"
 #include "place/inflation.hpp"
@@ -21,14 +21,30 @@
 
 int main(int argc, char** argv) {
   using namespace gtl;
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Detect tangled logic, inflate GTL cells, re-place, and "
+             "compare congestion before/after (paper §5.1.3).")
+      .describe("cells=N", "design size in cells (default 12000)")
+      .describe("factor=F", "cell inflation factor (default 4.0)")
+      .describe("out=DIR", "output directory (default relief_out)");
+  if (cli_help_exit(args)) return 0;
+  const auto num_cells = args.get_int("cells", 12'000);
+  const double factor = args.get_double("factor", 4.0);
+  if (num_cells < 1'000 || num_cells > 10'000'000) {
+    args.record_error(Status::invalid_argument(
+        "--cells must be in [1000, 10000000]"));
+  }
+  if (!(factor >= 1.0 && factor <= 64.0)) {
+    args.record_error(
+        Status::invalid_argument("--factor must be in [1, 64]"));
+  }
+  if (cli_error_exit(args)) return 2;
   const auto out = std::filesystem::path(args.get("out", "relief_out"));
   std::filesystem::create_directories(out);
 
   // A mid-size design with two dissolved-ROM structures in the upper die.
   SyntheticCircuitConfig cfg;
-  cfg.num_cells =
-      static_cast<std::uint32_t>(args.get_int("cells", 12'000));
+  cfg.num_cells = static_cast<std::uint32_t>(num_cells);
   cfg.num_pads = 48;
   for (const double cx : {0.3, 0.7}) {
     StructureSpec rom;
@@ -71,7 +87,12 @@ int main(int argc, char** argv) {
   FinderConfig fcfg;
   fcfg.num_seeds = 120;
   fcfg.max_ordering_length = cfg.num_cells / 2;
-  const FinderResult found = find_tangled_logic(circuit.netlist, fcfg);
+  if (const Status st = fcfg.validate(); !st.is_ok()) {
+    std::cerr << "error: " << st.to_string() << "\n";
+    return 2;
+  }
+  Finder finder(circuit.netlist, fcfg);
+  const FinderResult& found = finder.run();
   std::vector<CellId> strong;
   for (const auto& g : found.gtls) {
     if (g.score < 0.3) {
@@ -81,7 +102,6 @@ int main(int argc, char** argv) {
   std::cout << "\n" << found.gtls.size() << " GTLs found; inflating "
             << strong.size() << " cells of the strong ones\n";
 
-  const double factor = args.get_double("factor", 4.0);
   const Netlist inflated = inflate_cells(circuit.netlist, strong, factor);
   const Placement after =
       place_quadratic(inflated, circuit.hint_x, circuit.hint_y, pcfg);

@@ -3,37 +3,83 @@
 //
 //   $ ./examples/find_structures --aux=path/to/bigblue1.aux
 //   $ ./examples/find_structures                  # demo: synthetic bigblue1
-//
-// Options: --seeds=N (default 100), --max-order=Z, --score=ngtl|gtlsd,
-//          --report=FILE (default gtl_report.txt), --threads=N
+//   $ ./examples/find_structures --help           # full option list
 //
 // The report lists every GTL (one per line: score, size, cut, members),
-// ready to feed placement constraints or cell-inflation scripts.
+// ready to feed placement constraints or cell-inflation scripts.  With
+// --json=FILE the full FinderResult is also written as JSON — the same
+// schema a service front-end would return.
 
 #include <fstream>
 #include <iostream>
 
-#include "finder/tangled_logic_finder.hpp"
+#include "finder/finder.hpp"
+#include "finder/finder_json.hpp"
 #include "graphgen/presets.hpp"
 #include "netlist/bookshelf.hpp"
 #include "netlist/netlist_stats.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// One-line heartbeat per phase plus a coarse per-seed ticker — the
+/// pattern a long-running CLI wants (quiet but alive).
+class PhaseLogger : public gtl::ProgressObserver {
+ public:
+  void on_phase_start(gtl::FinderPhase phase, std::size_t items) override {
+    std::cout << "  [" << gtl::finder_phase_name(phase) << "] " << items
+              << " items...\n";
+  }
+  void on_phase_end(gtl::FinderPhase phase, double seconds) override {
+    std::cout << "  [" << gtl::finder_phase_name(phase) << "] done in "
+              << seconds << "s\n";
+  }
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gtl;
-  const CliArgs args(argc, argv);
+  CliArgs args(argc, argv);
+  args.usage("Find tangled logic structures in a Bookshelf design (or a "
+             "synthetic bigblue1 stand-in) and write a GTL report.")
+      .describe("aux=FILE", "Bookshelf .aux file; omit for the synthetic demo")
+      .describe("factor=F", "synthetic stand-in size factor (default 0.05)")
+      .describe("seeds=N", "random starting seeds (default 100)")
+      .describe("max-order=Z", "max ordering length (default: cells/8 + 1000)")
+      .describe("threads=N", "worker threads (0 = all hardware threads)")
+      .describe("score=ngtl|gtlsd", "selection metric (default gtlsd)")
+      .describe("report=FILE", "report path (default gtl_report.txt)")
+      .describe("json=FILE", "also write the FinderResult as JSON")
+      .describe("progress", "log per-phase progress");
+  if (cli_help_exit(args)) return 0;
+
+  const std::string aux = args.get("aux");
+  const double factor = args.get_double("factor", 0.05);
+  const auto seeds = args.get_int("seeds", 100);
+  const auto threads = args.get_int("threads", 0);
+  // -1 = absent: the default depends on the netlist size, known later.
+  const auto max_order = args.get_int("max-order", -1);
+  const std::string score = args.get("score", "gtlsd");
+  if (score != "gtlsd" && score != "ngtl") {
+    args.record_error(Status::parse_error("--score=" + score +
+                                          ": expected ngtl or gtlsd"));
+  }
+  const std::string report_path = args.get("report", "gtl_report.txt");
+  const std::string json_path = args.get("json");
+  if (cli_error_exit(args)) return 2;
 
   // --- load or synthesize the design ---
   Netlist netlist;
-  const std::string aux = args.get("aux");
   if (!aux.empty()) {
     std::cout << "loading " << aux << "...\n";
     netlist = read_bookshelf(aux).netlist;
   } else {
     std::cout << "no --aux given: generating a bigblue1-scale synthetic "
                  "stand-in (see DESIGN.md)\n";
-    const auto cfg = ispd_like_config("bigblue1", 0.05);
+    const auto cfg = ispd_like_config("bigblue1", factor);
     Rng rng(1);
     netlist = generate_synthetic_circuit(cfg, rng).netlist;
   }
@@ -44,18 +90,33 @@ int main(int argc, char** argv) {
             << " nets, A(G) = " << fmt_double(summary.avg_pins_per_cell, 2)
             << ", max net " << summary.max_net_size << " pins\n";
 
-  // --- run the finder ---
+  // --- configure, validate, run ---
   FinderConfig fcfg;
-  fcfg.num_seeds = static_cast<std::size_t>(args.get_int("seeds", 100));
-  fcfg.max_ordering_length = static_cast<std::size_t>(args.get_int(
-      "max-order", static_cast<std::int64_t>(netlist.num_cells() / 8 + 1000)));
-  fcfg.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
-  fcfg.score =
-      args.get("score", "gtlsd") == "ngtl" ? ScoreKind::kNgtlS
-                                           : ScoreKind::kGtlSd;
-  const FinderResult result = find_tangled_logic(netlist, fcfg);
-  std::cout << "found " << result.gtls.size() << " disjoint GTLs in "
-            << fmt_double(result.total_seconds, 1) << "s (p = "
+  fcfg.num_seeds = static_cast<std::size_t>(seeds);
+  fcfg.max_ordering_length = max_order >= 0
+      ? static_cast<std::size_t>(max_order)
+      : netlist.num_cells() / 8 + 1000;
+  fcfg.num_threads = static_cast<std::size_t>(threads);
+  fcfg.score = score == "ngtl" ? ScoreKind::kNgtlS : ScoreKind::kGtlSd;
+  if (const Status st = fcfg.validate(); !st.is_ok()) {
+    std::cerr << "error: " << st.to_string() << "\n";
+    return 2;
+  }
+
+  Finder finder(netlist, fcfg);
+  PhaseLogger logger;
+  if (args.has("progress")) finder.set_observer(&logger);
+
+  const OrderingSet& orderings = finder.grow_orderings();
+  const CandidateSet& cands = finder.extract_candidates();
+  const FinderResult& result = finder.refine_and_prune();
+  std::cout << "phase I grew " << orderings.num_completed()
+            << " orderings in " << fmt_double(orderings.seconds, 1)
+            << "s; phase II kept " << cands.candidates.size() << " of "
+            << cands.extracted << " candidates in "
+            << fmt_double(cands.seconds, 1) << "s\n"
+            << "found " << result.gtls.size() << " disjoint GTLs in "
+            << fmt_double(result.total_seconds, 1) << "s total (p = "
             << fmt_double(result.context.rent_exponent, 3) << ")\n\n";
 
   // --- console summary ---
@@ -70,8 +131,7 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
-  // --- machine-readable report ---
-  const std::string report_path = args.get("report", "gtl_report.txt");
+  // --- machine-readable reports ---
   std::ofstream report(report_path);
   report << "# gtl_report: score size cut members...\n";
   for (const auto& g : result.gtls) {
@@ -87,5 +147,11 @@ int main(int argc, char** argv) {
     report << '\n';
   }
   std::cout << "\nfull report written to " << report_path << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    json << to_json(result).dump(2) << "\n";
+    std::cout << "JSON result written to " << json_path << "\n";
+  }
   return 0;
 }

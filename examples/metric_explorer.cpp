@@ -23,13 +23,27 @@
 #include "finder/score_curve.hpp"
 #include "metrics/scores.hpp"
 #include "order/linear_ordering.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gtl;
+  CliArgs args(argc, argv);
+  args.usage("Score three clusters (sub-GTL, full GTL, background) under "
+             "the paper's metrics and the classical baselines (Ch. II).")
+      .describe("cells=N", "design size in cells (default 8000)");
+  if (cli_help_exit(args)) return 0;
+  const auto num_cells = args.get_int("cells", 8'000);
+  // The demo needs room for a 400-cell GTL plus a 400-cell background
+  // cluster of ordinary logic.
+  if (num_cells < 2'000 || num_cells > 10'000'000) {
+    args.record_error(Status::invalid_argument(
+        "--cells must be in [2000, 10000000]"));
+  }
+  if (cli_error_exit(args)) return 2;
 
   PlantedGraphConfig cfg;
-  cfg.num_cells = 8'000;
+  cfg.num_cells = static_cast<std::uint32_t>(num_cells);
   cfg.gtls.push_back({400, 1});
   Rng rng(3);
   const PlantedGraph graph = generate_planted_graph(cfg, rng);

@@ -1,19 +1,64 @@
-// Quickstart: build a netlist, run the tangled-logic finder, read results.
+// Quickstart: build a netlist, run the tangled-logic finder through the
+// gtl::Finder session API, read results.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [--seeds=N] [--quiet]
 //
 // The netlist here is a small random graph with one planted dense
 // structure, so you can see the finder rediscover known ground truth.
 // With your own data, build the Netlist through NetlistBuilder (or load a
 // Bookshelf design via read_bookshelf) and the rest is identical.
+//
+// This example doubles as living documentation of the session API:
+// phase-by-phase execution with inspectable intermediates, a progress
+// observer, and validated configs.  The one-shot find_tangled_logic()
+// wrapper still exists for throwaway calls and produces byte-identical
+// results.
 
 #include <iostream>
 
-#include "finder/tangled_logic_finder.hpp"
+#include "finder/finder.hpp"
 #include "graphgen/planted_graph.hpp"
+#include "util/cli.hpp"
 
-int main() {
+namespace {
+
+// A ProgressObserver receives pipeline events (serialized, possibly from
+// worker threads) — here we log them; a service would update a request
+// status page or decide to trip a CancelToken.
+class ConsoleProgress : public gtl::ProgressObserver {
+ public:
+  void on_phase_start(gtl::FinderPhase phase, std::size_t items) override {
+    std::cout << "[progress] " << gtl::finder_phase_name(phase) << ": "
+              << items << " work items\n";
+  }
+  void on_ordering_grown(std::size_t done, std::size_t total) override {
+    if (done % 25 == 0 || done == total) {
+      std::cout << "[progress]   ordering " << done << "/" << total << "\n";
+    }
+  }
+  void on_candidates_extracted(std::size_t extracted,
+                               std::size_t deduped) override {
+    std::cout << "[progress]   " << extracted << " candidates ("
+              << deduped << " unique)\n";
+  }
+  void on_pruned(std::size_t kept, std::size_t refined) override {
+    std::cout << "[progress]   " << kept << " of " << refined
+              << " refined candidates survive pruning\n";
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace gtl;
+  CliArgs args(argc, argv);
+  args.usage("Find the planted tangled structure in a small random graph "
+             "(session-API tour).")
+      .describe("seeds=N", "random starting seeds (default 100)")
+      .describe("quiet", "suppress the progress observer");
+  if (cli_help_exit(args)) return 0;
+  const auto num_seeds = args.get_int("seeds", 100);
+  if (cli_error_exit(args)) return 2;
 
   // 1. Get a netlist.  10K cells, one 500-cell tangled structure.
   PlantedGraphConfig gcfg;
@@ -31,16 +76,39 @@ int main() {
   //      (the paper uses 100);
   //    - max_ordering_length (Z): must exceed the largest GTL you expect
   //      (the paper uses 100K on million-cell designs).
+  //    validate() range-checks every field and returns a Status instead
+  //    of throwing — the rejection path for service/CLI inputs.
   FinderConfig fcfg;
-  fcfg.num_seeds = 100;
+  fcfg.num_seeds = static_cast<std::size_t>(num_seeds);
   fcfg.max_ordering_length = 2'000;
   fcfg.score = ScoreKind::kGtlSd;  // the paper's final metric
+  if (const Status st = fcfg.validate(); !st.is_ok()) {
+    std::cerr << "error: " << st.to_string() << "\n";
+    return 2;
+  }
 
-  // 3. Run.  Phases I-III execute per-seed in parallel.
-  const FinderResult result = find_tangled_logic(netlist, fcfg);
-  std::cout << "ran " << result.orderings_grown << " orderings in "
-            << result.total_seconds << "s; Rent exponent estimate p = "
-            << result.context.rent_exponent << "\n\n";
+  // 3. Open a session and run the phases individually.  A session owns
+  //    its thread pool and per-worker scratch, so repeated runs on the
+  //    same netlist skip every cold-start allocation; run() composes the
+  //    three phases when the intermediates are not needed.
+  Finder finder(netlist, fcfg);
+  ConsoleProgress progress;
+  if (!args.has("quiet")) finder.set_observer(&progress);
+
+  const OrderingSet& orderings = finder.grow_orderings();  // Phase I
+  std::cout << "phase I:   grew " << orderings.num_completed()
+            << " orderings in " << orderings.seconds << "s\n";
+
+  const CandidateSet& cands = finder.extract_candidates();  // Phase II
+  std::cout << "phase II:  " << cands.extracted << " candidates ("
+            << cands.candidates.size()
+            << " unique) in " << cands.seconds
+            << "s; Rent exponent estimate p = "
+            << cands.context.rent_exponent << "\n";
+
+  const FinderResult& result = finder.refine_and_prune();  // Phase III
+  std::cout << "phase III: " << result.gtls.size() << " disjoint GTLs in "
+            << result.phase3_seconds << "s\n\n";
 
   // 4. Read the results: disjoint GTLs, best (lowest) score first.
   //    Scores are normalized: ~1 is average logic, < 0.1 is a strong GTL.

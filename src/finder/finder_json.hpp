@@ -1,0 +1,44 @@
+#pragma once
+// JSON (de)serialization of FinderConfig and FinderResult, for the
+// service/CLI boundary: a request config arrives as JSON, is parsed and
+// validate()d without exceptions, and the result ships back as JSON.
+//
+// Conventions:
+//   * parsing is strict — an unknown key is an error (catches typos in
+//     request configs instead of silently running with defaults);
+//   * absent keys keep their C++ defaults, so partial configs work;
+//   * doubles round-trip bit-exactly (shortest to_chars form), so
+//     serialize -> parse -> serialize is a fixed point.
+
+#include <string_view>
+
+#include "finder/finder.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace gtl {
+
+/// FinderConfig -> JSON object (every field, including defaults).
+[[nodiscard]] JsonValue to_json(const FinderConfig& cfg);
+
+/// JSON object -> FinderConfig.  Strict keys; does NOT validate() —
+/// callers decide when to range-check the assembled config.
+[[nodiscard]] Status finder_config_from_json(const JsonValue& json,
+                                             FinderConfig* out);
+
+/// Parse JSON text straight into a config (parse + from_json).
+[[nodiscard]] Status parse_finder_config(std::string_view text,
+                                         FinderConfig* out);
+
+/// FinderResult -> JSON object (GTL member lists included).
+[[nodiscard]] JsonValue to_json(const FinderResult& result);
+
+/// JSON object -> FinderResult (strict keys, as above).
+[[nodiscard]] Status finder_result_from_json(const JsonValue& json,
+                                             FinderResult* out);
+
+/// Parse JSON text straight into a result (parse + from_json).
+[[nodiscard]] Status parse_finder_result(std::string_view text,
+                                         FinderResult* out);
+
+}  // namespace gtl

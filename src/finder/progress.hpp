@@ -1,0 +1,95 @@
+#pragma once
+// Observability & control for the Finder session (service embedding):
+//
+//   ProgressObserver — callback interface reporting pipeline progress at
+//     the granularity the paper's algorithm naturally exposes: phases
+//     entered/finished, seeds (orderings) completed, candidates
+//     extracted/refined, and how many survive the final pruning.
+//
+//   CancelToken — cooperative cancellation flag, checked by the Finder at
+//     seed granularity (before growing each ordering, before refining
+//     each candidate).  Cancellation never corrupts a session: work
+//     completed before the check produces exactly the bytes a full run
+//     would have produced for those seeds, and the partial result is
+//     returned (see finder.hpp).
+//
+// Threading contract: observer callbacks may fire on Finder worker
+// threads but are serialized (never concurrent with each other), so an
+// observer needs no internal locking.  Callbacks must not re-enter the
+// Finder.  CancelToken is safe to trip from any thread, including from
+// inside an observer callback.
+
+#include <atomic>
+#include <cstddef>
+
+namespace gtl {
+
+/// The three phases of the paper's detector (Ch. IV).
+enum class FinderPhase {
+  kGrowOrderings,      ///< Phase I: seeded linear orderings
+  kExtractCandidates,  ///< Phase II: score curves -> clear minima
+  kRefineAndPrune,     ///< Phase III: genetic refinement + pruning
+};
+
+[[nodiscard]] constexpr const char* finder_phase_name(FinderPhase phase) {
+  switch (phase) {
+    case FinderPhase::kGrowOrderings: return "grow_orderings";
+    case FinderPhase::kExtractCandidates: return "extract_candidates";
+    case FinderPhase::kRefineAndPrune: return "refine_and_prune";
+  }
+  return "unknown";
+}
+
+/// Override any subset; the defaults ignore every event.
+class ProgressObserver {
+ public:
+  virtual ~ProgressObserver() = default;
+
+  /// A phase begins; `work_items` is its item count (seeds for Phase I/II,
+  /// deduplicated candidates for Phase III).
+  virtual void on_phase_start(FinderPhase /*phase*/,
+                              std::size_t /*work_items*/) {}
+
+  /// A phase finished (or was cut short by cancellation).
+  virtual void on_phase_end(FinderPhase /*phase*/, double /*seconds*/) {}
+
+  /// An ordering finished growing; fires once per completed seed.
+  virtual void on_ordering_grown(std::size_t /*completed*/,
+                                 std::size_t /*total*/) {}
+
+  /// Phase II summary: candidates found, and how many remain after
+  /// deduplication (what Phase III will actually refine).
+  virtual void on_candidates_extracted(std::size_t /*extracted*/,
+                                       std::size_t /*after_dedup*/) {}
+
+  /// A candidate finished refinement; fires once per completed candidate.
+  virtual void on_candidate_refined(std::size_t /*completed*/,
+                                    std::size_t /*total*/) {}
+
+  /// Final pruning done: `kept` disjoint GTLs survive out of `refined`.
+  virtual void on_pruned(std::size_t /*kept*/, std::size_t /*refined*/) {}
+};
+
+/// Cooperative cancellation flag (thread-safe, reusable via reset()).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  /// Re-arm the token for another run.
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace gtl

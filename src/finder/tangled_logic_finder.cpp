@@ -1,185 +1,10 @@
 #include "finder/tangled_logic_finder.hpp"
 
-#include <algorithm>
-#include <optional>
-#include <unordered_map>
-
-#include "order/linear_ordering.hpp"
-#include "util/require.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
-#include "util/thread_pool.hpp"
-#include "util/timer.hpp"
-
 namespace gtl {
-namespace {
-
-/// Stable 64-bit mix for deriving per-index RNG streams.
-std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
-  std::uint64_t x = base ^ (0x9E3779B97F4A7C15ULL + index * 0xBF58476D1CE4E5B9ULL);
-  x ^= x >> 30;
-  x *= 0x94D049BB133111EBULL;
-  x ^= x >> 27;
-  return x;
-}
-
-/// FNV-style hash of a member list, for candidate deduplication.
-std::uint64_t hash_members(const std::vector<CellId>& cells) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const CellId c : cells) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-}  // namespace
 
 FinderResult find_tangled_logic(const Netlist& nl, const FinderConfig& cfg) {
-  Timer total_timer;
-  FinderResult result;
-  result.context.avg_pins_per_cell = nl.average_pins_per_cell();
-
-  // Collect movable cells (fixed pads never seed or join a GTL).
-  std::vector<CellId> movable;
-  movable.reserve(nl.num_movable());
-  for (CellId c = 0; c < nl.num_cells(); ++c) {
-    if (!nl.is_fixed(c)) movable.push_back(c);
-  }
-  if (movable.empty() || cfg.num_seeds == 0) {
-    result.total_seconds = total_timer.seconds();
-    return result;
-  }
-
-  // I.1: random seeds (distinct when the design is large enough).
-  Rng master(cfg.rng_seed);
-  std::vector<CellId> seeds;
-  seeds.reserve(cfg.num_seeds);
-  if (cfg.num_seeds <= movable.size()) {
-    for (const std::uint32_t idx : master.sample_distinct(
-             static_cast<std::uint32_t>(movable.size()),
-             static_cast<std::uint32_t>(cfg.num_seeds))) {
-      seeds.push_back(movable[idx]);
-    }
-  } else {
-    for (std::size_t i = 0; i < cfg.num_seeds; ++i) {
-      seeds.push_back(movable[master.next_below(movable.size())]);
-    }
-  }
-
-  OrderingConfig ocfg;
-  ocfg.max_length = cfg.max_ordering_length;
-  ocfg.large_net_threshold = cfg.large_net_threshold;
-  ocfg.min_cut_first = cfg.min_cut_first;
-
-  ThreadPool pool(cfg.num_threads);
-  const std::size_t n_workers = pool.size();
-
-  // ---- Phases I + II: grow orderings, extract candidates ----
-  Timer phase12_timer;
-  std::vector<std::optional<Candidate>> raw(seeds.size());
-  std::vector<double> rent_estimates(seeds.size(), -1.0);
-  {
-    const std::size_t chunk = (seeds.size() + n_workers - 1) / n_workers;
-    pool.parallel_for(n_workers, [&](std::size_t w) {
-      const std::size_t lo = w * chunk;
-      const std::size_t hi = std::min(seeds.size(), lo + chunk);
-      if (lo >= hi) return;
-      OrderingEngine engine(nl, ocfg);
-      for (std::size_t i = lo; i < hi; ++i) {
-        const LinearOrdering ordering = engine.grow(seeds[i]);
-        if (ordering.cells.size() < 2) continue;
-        const ScoreCurve curve = compute_score_curve(nl, ordering, cfg.curve);
-        rent_estimates[i] = curve.rent_exponent;
-        const auto minimum =
-            find_clear_minimum(curve.values(cfg.score), cfg.minimum);
-        if (!minimum) continue;
-        const std::size_t k = minimum->prefix_size;
-        Candidate c;
-        c.cells.assign(ordering.cells.begin(),
-                       ordering.cells.begin() + static_cast<std::ptrdiff_t>(k));
-        std::sort(c.cells.begin(), c.cells.end());
-        c.cut = ordering.prefix_cut[k - 1];
-        c.avg_pins = static_cast<double>(ordering.prefix_pins[k - 1]) /
-                     static_cast<double>(k);
-        c.ngtl_s = curve.ngtl_s[k - 1];
-        c.gtl_sd = curve.gtl_sd[k - 1];
-        c.score = curve.values(cfg.score)[k - 1];
-        c.seed = seeds[i];
-        c.rent_exponent_used = curve.rent_exponent;
-        raw[i] = std::move(c);
-      }
-    });
-  }
-  result.orderings_grown = seeds.size();
-  result.phase1_2_seconds = phase12_timer.seconds();
-
-  // Global Rent exponent: mean of the per-ordering estimates (paper
-  // §3.2.2); all Phase III scoring uses this shared context.
-  std::vector<double> valid_rents;
-  for (const double p : rent_estimates) {
-    if (p >= 0.0) valid_rents.push_back(p);
-  }
-  result.context.rent_exponent =
-      valid_rents.empty() ? 0.6 : std::clamp(mean(valid_rents), 0.1, 1.0);
-
-  // Deduplicate identical candidates (same member list => same refined
-  // outcome; pruning would discard the duplicates anyway).
-  std::vector<Candidate> initial;
-  for (auto& c : raw) {
-    if (c) {
-      ++result.candidates_before_refine;
-      initial.push_back(std::move(*c));
-    }
-  }
-  if (cfg.dedup_candidates) {
-    std::unordered_map<std::uint64_t, std::size_t> seen;
-    std::vector<Candidate> unique;
-    for (auto& c : initial) {
-      const std::uint64_t h = hash_members(c.cells);
-      const auto it = seen.find(h);
-      if (it != seen.end() && unique[it->second].cells == c.cells) continue;
-      seen.emplace(h, unique.size());
-      unique.push_back(std::move(c));
-    }
-    initial = std::move(unique);
-  }
-  result.candidates_after_dedup = initial.size();
-
-  // ---- Phase III: refine (parallel) + prune (serial) ----
-  Timer phase3_timer;
-  std::vector<Candidate> refined(initial.size());
-  {
-    RefineConfig rcfg;
-    rcfg.extra_seeds = cfg.refine_seeds;
-    rcfg.min_size = cfg.minimum.min_size;
-    const std::size_t chunk =
-        initial.empty() ? 1 : (initial.size() + n_workers - 1) / n_workers;
-    pool.parallel_for(n_workers, [&](std::size_t w) {
-      const std::size_t lo = w * chunk;
-      const std::size_t hi = std::min(initial.size(), lo + chunk);
-      if (lo >= hi) return;
-      OrderingEngine engine(nl, ocfg);
-      GroupConnectivity group(nl);
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (cfg.refine_seeds == 0) {
-          Candidate c = score_members(initial[i].cells, group, result.context,
-                                      cfg.score);
-          c.seed = initial[i].seed;
-          refined[i] = std::move(c);
-        } else {
-          Rng rng(mix_seed(cfg.rng_seed, 0x5EEDBEEF + i));
-          refined[i] = refine_candidate(nl, initial[i], engine, result.context,
-                                        cfg.score, rcfg, cfg.minimum,
-                                        cfg.curve, rng);
-        }
-      }
-    });
-  }
-  result.gtls = prune_overlapping(std::move(refined), nl.num_cells());
-  result.phase3_seconds = phase3_timer.seconds();
-  result.total_seconds = total_timer.seconds();
-  return result;
+  Finder finder(nl, cfg);
+  return finder.run();
 }
 
 }  // namespace gtl

@@ -1,66 +1,28 @@
 #pragma once
-// TangledLogicFinder — the paper's top-level procedure (Ch. IV):
+// Compatibility wrapper around the gtl::Finder session API (finder.hpp).
 //
-//   TangledLogicFinder(G, m, Z):
-//     Phase I   grow m seeded linear orderings (parallel, one per seed)
-//     Phase II  extract a candidate GTL from each ordering's score curve
-//     Phase III refine each candidate via the genetic family, then prune
-//               overlapping candidates best-score-first
+// find_tangled_logic() predates the session API: it runs the paper's
+// three-phase pipeline as an opaque one-shot, re-paying thread spawn and
+// scratch allocation on every call.  It now simply constructs a Finder
+// and calls run(); results are byte-identical by construction and pinned
+// by tests/finder/finder_equivalence_test.cpp.
 //
-// All per-seed work is embarrassingly parallel (the paper uses 8
-// pthreads); only the final pruning is serial.  Results are deterministic
-// for a given `rng_seed`, independent of thread count: every seed index
-// gets its own derived RNG stream.
+// Status: kept indefinitely as the convenience entry point for one-off
+// calls (scripts, tests, single-query tools).  New code that runs
+// repeated queries, needs progress/cancellation, or wants the Phase I/II
+// artifacts should use gtl::Finder directly — see README "API".
+//
+// Behavioral change vs the pre-session API: configs now pass through
+// FinderConfig::validate(), so out-of-range fields that the old
+// monolith silently tolerated (e.g. max_ordering_length < 2) throw
+// std::logic_error here.  Callers with untrusted configs should call
+// cfg.validate() first and branch on the returned Status.
 
-#include <cstdint>
-#include <vector>
-
-#include "finder/candidate.hpp"
-#include "finder/refine.hpp"
-#include "netlist/netlist.hpp"
+#include "finder/finder.hpp"
 
 namespace gtl {
 
-struct FinderConfig {
-  /// m: number of random starting seeds.
-  std::size_t num_seeds = 100;
-  /// Z: maximum linear ordering length.
-  std::size_t max_ordering_length = 100'000;
-  /// Paper's large-net update skip (0 = exact).
-  std::uint32_t large_net_threshold = 20;
-  /// Ablation: rank frontier cells by min-cut first (see OrderingConfig).
-  bool min_cut_first = false;
-  /// Φ used for selection and pruning (paper's final choice: GTL-SD).
-  ScoreKind score = ScoreKind::kGtlSd;
-  MinimumConfig minimum;
-  CurveConfig curve;
-  /// l: inner re-growths per candidate in Phase III; 0 skips refinement
-  /// (ablation knob).
-  std::size_t refine_seeds = 3;
-  /// Worker threads; 0 = hardware concurrency.
-  std::size_t num_threads = 0;
-  std::uint64_t rng_seed = 1;
-  /// Deduplicate identical Phase II candidates before refinement (pure
-  /// speed optimization: duplicates refine to overlapping results that
-  /// pruning would discard anyway).
-  bool dedup_candidates = true;
-};
-
-struct FinderResult {
-  /// Final disjoint GTLs, best (lowest) Φ first.
-  std::vector<Candidate> gtls;
-  /// The shared scoring context (global Rent exponent = mean over all m
-  /// ordering estimates; A_G from the netlist).
-  ScoreContext context;
-  std::size_t orderings_grown = 0;
-  std::size_t candidates_before_refine = 0;
-  std::size_t candidates_after_dedup = 0;
-  double phase1_2_seconds = 0.0;
-  double phase3_seconds = 0.0;
-  double total_seconds = 0.0;
-};
-
-/// Run the full three-phase finder.
+/// Run the full three-phase finder (one-shot; see header comment).
 [[nodiscard]] FinderResult find_tangled_logic(const Netlist& nl,
                                               const FinderConfig& cfg = {});
 

@@ -1,11 +1,14 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <string_view>
 
 namespace gtl {
 
 CliArgs::CliArgs(int argc, char** argv) {
+  program_ = argc > 0 && argv[0] != nullptr ? argv[0] : "program";
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (arg.rfind("--", 0) != 0) continue;
@@ -20,6 +23,34 @@ CliArgs::CliArgs(int argc, char** argv) {
   }
 }
 
+CliArgs& CliArgs::usage(std::string summary) {
+  summary_ = std::move(summary);
+  return *this;
+}
+
+CliArgs& CliArgs::describe(std::string spec, std::string help) {
+  options_.emplace_back(std::move(spec), std::move(help));
+  return *this;
+}
+
+bool CliArgs::help_requested() const { return has("help") || has("h"); }
+
+void CliArgs::print_help(std::ostream& os) const {
+  os << "usage: " << program_ << " [--option=value ...]\n";
+  if (!summary_.empty()) os << "\n" << summary_ << "\n";
+  os << "\noptions:\n";
+  std::size_t width = 6;  // fits "--help"
+  for (const auto& [spec, help] : options_) {
+    width = std::max(width, spec.size() + 2);
+  }
+  for (const auto& [spec, help] : options_) {
+    os << "  --" << spec << std::string(width - spec.size() - 2 + 2, ' ')
+       << help << "\n";
+  }
+  os << "  --help" << std::string(width - 6 + 2, ' ')
+     << "show this help and exit\n";
+}
+
 std::string CliArgs::get(const std::string& key,
                          const std::string& fallback) const {
   const auto it = kv_.find(key);
@@ -28,27 +59,74 @@ std::string CliArgs::get(const std::string& key,
 
 std::int64_t CliArgs::get_int(const std::string& key,
                               std::int64_t fallback) const {
-  const auto it = kv_.find(key);
-  if (it == kv_.end()) return fallback;
-  char* end = nullptr;
-  const long long v = std::strtoll(it->second.c_str(), &end, 10);
-  return (end && *end == '\0') ? v : fallback;
+  std::int64_t value = fallback;
+  (void)parse_int(key, &value);  // strict parser records the error
+  return value;
 }
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
+  double value = fallback;
+  (void)parse_double(key, &value);  // strict parser records the error
+  return value;
+}
+
+Status CliArgs::parse_int(const std::string& key, std::int64_t* out) const {
   const auto it = kv_.find(key);
-  if (it == kv_.end()) return fallback;
+  if (it == kv_.end()) return Status::ok();
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || end == nullptr || *end != '\0') {
+    const Status st = Status::parse_error("--" + key + "=" + it->second +
+                                          ": not an integer");
+    record_error(st);
+    return st;
+  }
+  *out = v;
+  return Status::ok();
+}
+
+Status CliArgs::parse_double(const std::string& key, double* out) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return Status::ok();
   char* end = nullptr;
   const double v = std::strtod(it->second.c_str(), &end);
-  return (end && *end == '\0') ? v : fallback;
+  if (end == it->second.c_str() || end == nullptr || *end != '\0') {
+    const Status st = Status::parse_error("--" + key + "=" + it->second +
+                                          ": not a number");
+    record_error(st);
+    return st;
+  }
+  *out = v;
+  return Status::ok();
 }
 
 bool CliArgs::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+void CliArgs::record_error(Status st) const {
+  if (status_.is_ok() && !st.is_ok()) status_ = std::move(st);
+}
+
+bool cli_help_exit(const CliArgs& args) {
+  if (!args.help_requested()) return false;
+  args.print_help(std::cout);
+  return true;
+}
+
+bool cli_error_exit(const CliArgs& args) {
+  const Status st = args.status();
+  if (st.is_ok()) return false;
+  std::cerr << "error: " << st.to_string() << "\n(--help for usage)\n";
+  return true;
+}
 
 Scale parse_scale(const CliArgs& args) {
   const std::string s = args.get("scale", "default");
   if (s == "smoke") return Scale::kSmoke;
   if (s == "paper") return Scale::kPaper;
+  if (s != "default") {
+    args.record_error(Status::parse_error(
+        "--scale=" + s + ": expected smoke, default, or paper"));
+  }
   return Scale::kDefault;
 }
 

@@ -1,10 +1,32 @@
 #pragma once
 // Minimal command-line option parsing shared by bench/ and examples/.
 // Supports  --key=value  and  --flag  forms.
+//
+// Binaries register their options with describe() (which powers the
+// generated --help text) and check status() after reading them: a value
+// that fails to parse as its requested type is reported through
+// gtl::Status instead of being silently replaced by the fallback.
+//
+//   CliArgs args(argc, argv);
+//   args.usage("Reproduce Table 1 on planted random graphs.")
+//       .describe("seeds=N", "random starting seeds (default 100)")
+//       .describe("threads=N", "worker threads (default: all cores)");
+//   if (args.help_requested()) { args.print_help(std::cout); return 0; }
+//   const auto seeds = args.get_int("seeds", 100);
+//   ...
+//   if (const Status st = args.status(); !st.is_ok()) {
+//     std::cerr << "error: " << st.to_string() << "\n";
+//     return 2;
+//   }
 
 #include <cstdint>
 #include <map>
+#include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
 
 namespace gtl {
 
@@ -13,24 +35,65 @@ class CliArgs {
  public:
   CliArgs(int argc, char** argv);
 
+  /// One-line program description shown at the top of --help.
+  CliArgs& usage(std::string summary);
+
+  /// Register an option for --help.  `spec` is the key with an optional
+  /// value hint after '='  (e.g. "seeds=N" registers --seeds).
+  CliArgs& describe(std::string spec, std::string help);
+
+  /// True when --help (or --h) was given.
+  [[nodiscard]] bool help_requested() const;
+
+  /// Generated help: usage line, summary, and every describe()d option.
+  void print_help(std::ostream& os) const;
+
   /// Value of --key, or `fallback` if absent.
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback = {}) const;
 
-  /// Integer value of --key, or `fallback` if absent/unparseable.
+  /// Integer value of --key, or `fallback` if absent.  An unparseable
+  /// value returns the fallback AND records an error in status().
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const;
 
-  /// Double value of --key, or `fallback` if absent/unparseable.
+  /// Double value of --key, same error contract as get_int.
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
 
-  /// True if --key was given (as flag or with truthy value).
+  /// Strict accessors: absent key leaves *out untouched and returns OK;
+  /// an unparseable value returns (and records) a parse error.
+  [[nodiscard]] Status parse_int(const std::string& key,
+                                 std::int64_t* out) const;
+  [[nodiscard]] Status parse_double(const std::string& key,
+                                    double* out) const;
+
+  /// True if --key was given (as flag or with a value).
   [[nodiscard]] bool has(const std::string& key) const;
 
+  /// First error recorded by any accessor (or by parse_scale), or OK.
+  [[nodiscard]] Status status() const { return status_; }
+
+  /// Record an error against this command line (first one wins).  Used
+  /// by helpers layered on CliArgs, e.g. parse_scale.
+  void record_error(Status st) const;
+
  private:
+  std::string program_;
+  std::string summary_;
+  /// (spec, help) in registration order.
+  std::vector<std::pair<std::string, std::string>> options_;
   std::map<std::string, std::string> kv_;
+  mutable Status status_;
 };
+
+/// Print the generated help to stdout when --help was given; true =>
+/// the caller should exit 0.
+[[nodiscard]] bool cli_help_exit(const CliArgs& args);
+
+/// Report any recorded parse error to stderr with a --help hint;
+/// true => the caller should exit nonzero (conventionally 2).
+[[nodiscard]] bool cli_error_exit(const CliArgs& args);
 
 /// Standard experiment scale selector used by every bench binary.
 /// "smoke"  — seconds-scale sanity run;
@@ -38,7 +101,8 @@ class CliArgs {
 /// "paper"  — full paper sizes (hours on laptop hardware).
 enum class Scale { kSmoke, kDefault, kPaper };
 
-/// Parse --scale=smoke|default|paper (defaults to kDefault).
+/// Parse --scale=smoke|default|paper (defaults to kDefault).  An unknown
+/// value returns kDefault and records an error in args.status().
 [[nodiscard]] Scale parse_scale(const CliArgs& args);
 
 /// Human-readable name of a scale value.

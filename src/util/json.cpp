@@ -1,0 +1,541 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace gtl {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan; emit null (the conventional lossy mapping).
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // Shortest representation that round-trips exactly.
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  out.append(buf, res.ptr);
+}
+
+/// Containers recurse; bound the depth so hostile request bodies (100k
+/// bytes of '[') get a Status instead of a stack overflow.
+constexpr int kMaxParseDepth = 256;
+
+class Parser {
+ public:
+  Parser(std::string_view text) : text_(text) {}
+
+  Status parse_document(JsonValue* out) {
+    GTL_RETURN_IF_ERROR(parse_value(out));
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return err("trailing characters after JSON document");
+    }
+    return Status::ok();
+  }
+
+ private:
+  Status err(const std::string& what) const {
+    return Status::parse_error(what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status expect(char c) {
+    if (!consume(c)) {
+      return err(std::string("expected '") + c + "'");
+    }
+    return Status::ok();
+  }
+
+  Status parse_value(JsonValue* out) {
+    if (depth_ >= kMaxParseDepth) {
+      return err("nesting exceeds the depth limit of 256");
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) return err("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        std::string s;
+        GTL_RETURN_IF_ERROR(parse_string(&s));
+        *out = JsonValue(std::move(s));
+        return Status::ok();
+      }
+      case 't':
+        GTL_RETURN_IF_ERROR(parse_literal("true"));
+        *out = JsonValue(true);
+        return Status::ok();
+      case 'f':
+        GTL_RETURN_IF_ERROR(parse_literal("false"));
+        *out = JsonValue(false);
+        return Status::ok();
+      case 'n':
+        GTL_RETURN_IF_ERROR(parse_literal("null"));
+        *out = JsonValue(nullptr);
+        return Status::ok();
+      default: return parse_number(out);
+    }
+  }
+
+  Status parse_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return err("invalid literal");
+    }
+    pos_ += lit.size();
+    return Status::ok();
+  }
+
+  Status parse_object(JsonValue* out) {
+    GTL_RETURN_IF_ERROR(expect('{'));
+    ++depth_;
+    JsonValue::Object obj;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      *out = JsonValue(std::move(obj));
+      return Status::ok();
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      GTL_RETURN_IF_ERROR(parse_string(&key));
+      skip_ws();
+      GTL_RETURN_IF_ERROR(expect(':'));
+      JsonValue value;
+      GTL_RETURN_IF_ERROR(parse_value(&value));
+      if (!obj.emplace(std::move(key), std::move(value)).second) {
+        return err("duplicate object key");
+      }
+      skip_ws();
+      if (consume(',')) continue;
+      GTL_RETURN_IF_ERROR(expect('}'));
+      break;
+    }
+    --depth_;
+    *out = JsonValue(std::move(obj));
+    return Status::ok();
+  }
+
+  Status parse_array(JsonValue* out) {
+    GTL_RETURN_IF_ERROR(expect('['));
+    ++depth_;
+    JsonValue::Array arr;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      *out = JsonValue(std::move(arr));
+      return Status::ok();
+    }
+    while (true) {
+      JsonValue value;
+      GTL_RETURN_IF_ERROR(parse_value(&value));
+      arr.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      GTL_RETURN_IF_ERROR(expect(']'));
+      break;
+    }
+    --depth_;
+    *out = JsonValue(std::move(arr));
+    return Status::ok();
+  }
+
+  Status parse_string(std::string* out) {
+    GTL_RETURN_IF_ERROR(expect('"'));
+    std::string s;
+    while (true) {
+      if (pos_ >= text_.size()) return err("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return err("unescaped control character in string");
+      }
+      if (c != '\\') {
+        s += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return err("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'n': s += '\n'; break;
+        case 'r': s += '\r'; break;
+        case 't': s += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          GTL_RETURN_IF_ERROR(parse_hex4(&cp));
+          // Surrogate pair?
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < text_.size() &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            std::uint32_t lo = 0;
+            GTL_RETURN_IF_ERROR(parse_hex4(&lo));
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return err("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          append_utf8(s, cp);
+          break;
+        }
+        default: return err("invalid escape character");
+      }
+    }
+    *out = std::move(s);
+    return Status::ok();
+  }
+
+  Status parse_hex4(std::uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return err("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return err("invalid hex digit in \\u escape");
+      }
+    }
+    *out = v;
+    return Status::ok();
+  }
+
+  static void append_utf8(std::string& s, std::uint32_t cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    const std::size_t digits_start = start + (text_[start] == '-' ? 1u : 0u);
+    bool integral = pos_ > digits_start;
+    if (!integral) return err("invalid number");
+    if (pos_ - digits_start > 1 && text_[digits_start] == '0') {
+      return err("leading zeros are not allowed");
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      if (consume('.')) {
+        const std::size_t frac = pos_;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9') {
+          ++pos_;
+        }
+        if (pos_ == frac) return err("missing digits after decimal point");
+      }
+      if (consume('e') || consume('E')) {
+        if (!consume('+')) consume('-');
+        const std::size_t exp = pos_;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9') {
+          ++pos_;
+        }
+        if (pos_ == exp) return err("missing exponent digits");
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (integral) {
+      if (tok[0] == '-') {
+        std::int64_t i = 0;
+        const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+        if (r.ec == std::errc() && r.ptr == tok.data() + tok.size()) {
+          *out = JsonValue(i);
+          return Status::ok();
+        }
+      } else {
+        std::uint64_t u = 0;
+        const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), u);
+        if (r.ec == std::errc() && r.ptr == tok.data() + tok.size()) {
+          if (u <= static_cast<std::uint64_t>(
+                       std::numeric_limits<std::int64_t>::max())) {
+            *out = JsonValue(static_cast<std::int64_t>(u));
+          } else {
+            *out = JsonValue(u);
+          }
+          return Status::ok();
+        }
+      }
+      // Integer overflow: fall through to double.
+    }
+    double d = 0.0;
+    const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (r.ec != std::errc() || r.ptr != tok.data() + tok.size()) {
+      return err("invalid number");
+    }
+    *out = JsonValue(d);
+    return Status::ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void dump_value(const JsonValue& v, std::string& out, int indent, int depth);
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+void dump_value(const JsonValue& v, std::string& out, int indent, int depth) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: out += "null"; break;
+    case JsonValue::Kind::kBool: {
+      bool b = false;
+      (void)v.get_bool(&b);
+      out += b ? "true" : "false";
+      break;
+    }
+    case JsonValue::Kind::kInt: {
+      std::int64_t i = 0;
+      (void)v.get_int64(&i);
+      out += std::to_string(i);
+      break;
+    }
+    case JsonValue::Kind::kUint: {
+      std::uint64_t u = 0;
+      (void)v.get_uint64(&u);
+      out += std::to_string(u);
+      break;
+    }
+    case JsonValue::Kind::kDouble: {
+      double d = 0.0;
+      (void)v.get_double(&d);
+      append_double(out, d);
+      break;
+    }
+    case JsonValue::Kind::kString: {
+      std::string s;
+      (void)v.get_string(&s);
+      append_escaped(out, s);
+      break;
+    }
+    case JsonValue::Kind::kArray: {
+      const auto& arr = v.array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& e : arr) {
+        if (!first) out += ',';
+        first = false;
+        if (indent >= 0) append_newline_indent(out, indent, depth + 1);
+        dump_value(e, out, indent, depth + 1);
+      }
+      if (indent >= 0) append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& obj = v.object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : obj) {
+        if (!first) out += ',';
+        first = false;
+        if (indent >= 0) append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, key);
+        out += indent >= 0 ? ": " : ":";
+        dump_value(value, out, indent, depth + 1);
+      }
+      if (indent >= 0) append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Status JsonValue::get_bool(bool* out) const {
+  if (const bool* b = std::get_if<bool>(&v_)) {
+    *out = *b;
+    return Status::ok();
+  }
+  return Status::invalid_argument("JSON value is not a bool");
+}
+
+Status JsonValue::get_int64(std::int64_t* out) const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) {
+    *out = *i;
+    return Status::ok();
+  }
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&v_)) {
+    if (*u > static_cast<std::uint64_t>(
+                 std::numeric_limits<std::int64_t>::max())) {
+      return Status::out_of_range("JSON integer exceeds int64 range");
+    }
+    *out = static_cast<std::int64_t>(*u);
+    return Status::ok();
+  }
+  return Status::invalid_argument("JSON value is not an integer");
+}
+
+Status JsonValue::get_uint64(std::uint64_t* out) const {
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&v_)) {
+    *out = *u;
+    return Status::ok();
+  }
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) {
+    if (*i < 0) return Status::out_of_range("negative value for uint64");
+    *out = static_cast<std::uint64_t>(*i);
+    return Status::ok();
+  }
+  return Status::invalid_argument("JSON value is not an integer");
+}
+
+Status JsonValue::get_double(double* out) const {
+  if (const double* d = std::get_if<double>(&v_)) {
+    *out = *d;
+    return Status::ok();
+  }
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) {
+    *out = static_cast<double>(*i);
+    return Status::ok();
+  }
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&v_)) {
+    *out = static_cast<double>(*u);
+    return Status::ok();
+  }
+  return Status::invalid_argument("JSON value is not a number");
+}
+
+Status JsonValue::get_string(std::string* out) const {
+  if (const std::string* s = std::get_if<std::string>(&v_)) {
+    *out = *s;
+    return Status::ok();
+  }
+  return Status::invalid_argument("JSON value is not a string");
+}
+
+const JsonValue::Array& JsonValue::array() const {
+  GTL_REQUIRE(is_array(), "JsonValue::array on non-array");
+  return std::get<Array>(v_);
+}
+
+JsonValue::Array& JsonValue::array() {
+  GTL_REQUIRE(is_array(), "JsonValue::array on non-array");
+  return std::get<Array>(v_);
+}
+
+const JsonValue::Object& JsonValue::object() const {
+  GTL_REQUIRE(is_object(), "JsonValue::object on non-object");
+  return std::get<Object>(v_);
+}
+
+JsonValue::Object& JsonValue::object() {
+  GTL_REQUIRE(is_object(), "JsonValue::object on non-object");
+  return std::get<Object>(v_);
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  GTL_REQUIRE(is_object(), "JsonValue::find on non-object");
+  const auto& obj = std::get<Object>(v_);
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  GTL_REQUIRE(is_object(), "JsonValue::set on non-object");
+  auto& obj = std::get<Object>(v_);
+  return obj.insert_or_assign(key, std::move(value)).first->second;
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+Status JsonValue::parse(std::string_view text, JsonValue* out) {
+  Parser p(text);
+  return p.parse_document(out);
+}
+
+}  // namespace gtl

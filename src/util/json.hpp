@@ -1,0 +1,94 @@
+#pragma once
+// Minimal JSON document model for config/result (de)serialization.
+//
+// Scope: exactly what a service or CLI front-end needs to round-trip
+// FinderConfig / FinderResult and the bench trajectory files — objects,
+// arrays, strings, bools, null, and numbers.  Numbers keep their integer
+// identity (int64/uint64) when the text has no fraction/exponent, so
+// 64-bit ids and seeds survive a round trip bit-exactly; doubles are
+// emitted with shortest round-trippable formatting (std::to_chars).
+//
+// Errors are reported through gtl::Status (no exceptions on bad input);
+// parse() gives byte offsets in its messages.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gtl {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  /// std::map keeps dump() output deterministically key-sorted.
+  using Object = std::map<std::string, JsonValue>;
+
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}
+  JsonValue(bool b) : v_(b) {}
+  JsonValue(std::int64_t i) : v_(i) {}
+  JsonValue(std::uint64_t u) : v_(u) {}
+  JsonValue(int i) : v_(static_cast<std::int64_t>(i)) {}
+  JsonValue(unsigned u) : v_(static_cast<std::uint64_t>(u)) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+  JsonValue(const char* s) : v_(std::string(s)) {}
+  JsonValue(Array a) : v_(std::move(a)) {}
+  JsonValue(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const { return static_cast<Kind>(v_.index()); }
+  [[nodiscard]] bool is_null() const { return kind() == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind() == Kind::kBool; }
+  [[nodiscard]] bool is_number() const {
+    return kind() == Kind::kInt || kind() == Kind::kUint ||
+           kind() == Kind::kDouble;
+  }
+  [[nodiscard]] bool is_string() const { return kind() == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind() == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind() == Kind::kObject; }
+
+  // Typed readers: Status-returning, with numeric range checks.
+  [[nodiscard]] Status get_bool(bool* out) const;
+  [[nodiscard]] Status get_int64(std::int64_t* out) const;
+  [[nodiscard]] Status get_uint64(std::uint64_t* out) const;
+  [[nodiscard]] Status get_double(double* out) const;
+  [[nodiscard]] Status get_string(std::string* out) const;
+
+  /// Unchecked accessors; GTL_REQUIRE the kind (programmer error).
+  [[nodiscard]] const Array& array() const;
+  [[nodiscard]] Array& array();
+  [[nodiscard]] const Object& object() const;
+  [[nodiscard]] Object& object();
+
+  // Object helpers (require is_object()).
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Pointer to the member, or nullptr when absent.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Insert-or-assign a member.
+  JsonValue& set(const std::string& key, JsonValue value);
+
+  /// Serialize. indent < 0: compact one-liner; otherwise pretty-printed
+  /// with `indent` spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document (trailing garbage is an error).
+  [[nodiscard]] static Status parse(std::string_view text, JsonValue* out);
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b) {
+    return a.v_ == b.v_;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      v_;
+};
+
+}  // namespace gtl

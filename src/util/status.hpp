@@ -1,0 +1,95 @@
+#pragma once
+// Expected-style error reporting for user-facing entry points.
+//
+// GTL_REQUIRE (util/require.hpp) guards *programmer* errors — API misuse
+// that indicates a bug in the calling code — and throws.  Status carries
+// *user input* errors (bad config files, malformed CLI values, unparsable
+// JSON) back to the caller as a value, so services and CLIs can reject a
+// request without exceptions or aborts.  Functions that produce a value
+// take an out-parameter and return Status; `GTL_RETURN_IF_ERROR` chains
+// them.
+
+#include <string>
+#include <utility>
+
+namespace gtl {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< a value is outside its documented domain
+  kOutOfRange,       ///< a numeric value over/underflows its target type
+  kParseError,       ///< text input is syntactically malformed
+  kNotFound,         ///< a required key/field is absent
+  kCancelled,        ///< the operation was cancelled cooperatively
+};
+
+[[nodiscard]] constexpr const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid argument";
+    case StatusCode::kOutOfRange: return "out of range";
+    case StatusCode::kParseError: return "parse error";
+    case StatusCode::kNotFound: return "not found";
+    case StatusCode::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status invalid_argument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  [[nodiscard]] static Status out_of_range(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  [[nodiscard]] static Status parse_error(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  [[nodiscard]] static Status not_found(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  [[nodiscard]] static Status cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code name>: <message>".
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace gtl
+
+/// Propagate a non-OK Status to the caller.
+#define GTL_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    if (::gtl::Status gtl_status_ = (expr); !gtl_status_.is_ok()) { \
+      return gtl_status_;                          \
+    }                                              \
+  } while (false)

@@ -4,7 +4,7 @@
 // stream (the stream-level half lives in
 // tests/util/thread_pool_determinism_test.cpp).
 
-#include "finder/tangled_logic_finder.hpp"
+#include "finder/finder.hpp"
 
 #include <gtest/gtest.h>
 
@@ -22,7 +22,8 @@ FinderResult run_finder(const Netlist& nl, std::size_t num_threads) {
   cfg.refine_seeds = 1;
   cfg.num_threads = num_threads;
   cfg.rng_seed = 7;
-  return find_tangled_logic(nl, cfg);
+  Finder finder(nl, cfg);
+  return finder.run();
 }
 
 TEST(FinderDeterminism, ResultsIndependentOfThreadCount) {

@@ -1,4 +1,4 @@
-#include "finder/tangled_logic_finder.hpp"
+#include "finder/finder.hpp"
 
 #include <gtest/gtest.h>
 
@@ -9,6 +9,14 @@
 
 namespace gtl {
 namespace {
+
+/// All pipeline-behavior tests run through the session API (the
+/// canonical entry point); the one-shot wrapper is pinned against it in
+/// finder_equivalence_test.cpp.
+FinderResult run_finder(const Netlist& nl, const FinderConfig& cfg) {
+  Finder finder(nl, cfg);
+  return finder.run();
+}
 
 FinderConfig small_finder_config() {
   FinderConfig cfg;
@@ -26,7 +34,7 @@ TEST(TangledLogicFinder, FindsSinglePlantedGtl) {
   Rng rng(1);
   const PlantedGraph pg = generate_planted_graph(gcfg, rng);
 
-  const FinderResult res = find_tangled_logic(pg.netlist, small_finder_config());
+  const FinderResult res = run_finder(pg.netlist, small_finder_config());
   ASSERT_EQ(res.gtls.size(), 1u);
   const auto rec = recovery_stats(pg.gtl_members[0], res.gtls[0].cells);
   EXPECT_LT(rec.miss_fraction, 0.02);
@@ -47,7 +55,7 @@ TEST(TangledLogicFinder, FindsTwoGtlsOfDifferentSizes) {
   FinderConfig fcfg = small_finder_config();
   fcfg.num_seeds = 120;
   fcfg.max_ordering_length = 3000;
-  const FinderResult res = find_tangled_logic(pg.netlist, fcfg);
+  const FinderResult res = run_finder(pg.netlist, fcfg);
   ASSERT_EQ(res.gtls.size(), 2u);
 
   // Match found GTLs to ground truth by best overlap.
@@ -69,7 +77,7 @@ TEST(TangledLogicFinder, NoGtlsInPureRandomGraph) {
 
   FinderConfig fcfg = small_finder_config();
   fcfg.num_seeds = 15;
-  const FinderResult res = find_tangled_logic(pg.netlist, fcfg);
+  const FinderResult res = run_finder(pg.netlist, fcfg);
   EXPECT_TRUE(res.gtls.empty());
 }
 
@@ -82,7 +90,7 @@ TEST(TangledLogicFinder, ResultsDisjoint) {
 
   FinderConfig fcfg = small_finder_config();
   fcfg.num_seeds = 60;
-  const FinderResult res = find_tangled_logic(pg.netlist, fcfg);
+  const FinderResult res = run_finder(pg.netlist, fcfg);
   std::vector<bool> seen(pg.netlist.num_cells(), false);
   for (const auto& g : res.gtls) {
     for (const CellId c : g.cells) {
@@ -99,7 +107,7 @@ TEST(TangledLogicFinder, ResultsSortedBestFirst) {
   Rng rng(5);
   const PlantedGraph pg = generate_planted_graph(gcfg, rng);
   const FinderResult res =
-      find_tangled_logic(pg.netlist, small_finder_config());
+      run_finder(pg.netlist, small_finder_config());
   for (std::size_t i = 1; i < res.gtls.size(); ++i) {
     EXPECT_LE(res.gtls[i - 1].score, res.gtls[i].score);
   }
@@ -116,8 +124,8 @@ TEST(TangledLogicFinder, DeterministicAcrossThreadCounts) {
   one.num_threads = 1;
   FinderConfig four = small_finder_config();
   four.num_threads = 4;
-  const FinderResult a = find_tangled_logic(pg.netlist, one);
-  const FinderResult b = find_tangled_logic(pg.netlist, four);
+  const FinderResult a = run_finder(pg.netlist, one);
+  const FinderResult b = run_finder(pg.netlist, four);
   ASSERT_EQ(a.gtls.size(), b.gtls.size());
   for (std::size_t i = 0; i < a.gtls.size(); ++i) {
     EXPECT_EQ(a.gtls[i].cells, b.gtls[i].cells);
@@ -130,7 +138,7 @@ TEST(TangledLogicFinder, ZeroSeedsYieldsEmptyResult) {
   const Netlist nl = testing::make_grid3x3();
   FinderConfig cfg;
   cfg.num_seeds = 0;
-  const FinderResult res = find_tangled_logic(nl, cfg);
+  const FinderResult res = run_finder(nl, cfg);
   EXPECT_TRUE(res.gtls.empty());
   EXPECT_EQ(res.orderings_grown, 0u);
 }
@@ -141,7 +149,7 @@ TEST(TangledLogicFinder, AllFixedNetlistIsSafe) {
   nb.add_cell("p1", 1, 1, true);
   nb.add_net({CellId{0}, CellId{1}});
   const Netlist nl = nb.build();
-  const FinderResult res = find_tangled_logic(nl, FinderConfig{});
+  const FinderResult res = run_finder(nl, FinderConfig{});
   EXPECT_TRUE(res.gtls.empty());
 }
 
@@ -156,7 +164,7 @@ TEST(TangledLogicFinder, RefinementAblationStillFinds) {
 
   FinderConfig fcfg = small_finder_config();
   fcfg.refine_seeds = 0;
-  const FinderResult res = find_tangled_logic(pg.netlist, fcfg);
+  const FinderResult res = run_finder(pg.netlist, fcfg);
   ASSERT_EQ(res.gtls.size(), 1u);
   const auto rec = recovery_stats(pg.gtl_members[0], res.gtls[0].cells);
   EXPECT_LT(rec.miss_fraction, 0.1);
@@ -171,7 +179,7 @@ TEST(TangledLogicFinder, NgtlScoreKindWorksToo) {
 
   FinderConfig fcfg = small_finder_config();
   fcfg.score = ScoreKind::kNgtlS;
-  const FinderResult res = find_tangled_logic(pg.netlist, fcfg);
+  const FinderResult res = run_finder(pg.netlist, fcfg);
   ASSERT_EQ(res.gtls.size(), 1u);
   EXPECT_DOUBLE_EQ(res.gtls[0].score, res.gtls[0].ngtl_s);
 }
@@ -183,7 +191,7 @@ TEST(TangledLogicFinder, StatsArePopulated) {
   Rng rng(9);
   const PlantedGraph pg = generate_planted_graph(gcfg, rng);
   const FinderResult res =
-      find_tangled_logic(pg.netlist, small_finder_config());
+      run_finder(pg.netlist, small_finder_config());
   EXPECT_GT(res.candidates_before_refine, 0u);
   EXPECT_GT(res.candidates_after_dedup, 0u);
   EXPECT_LE(res.candidates_after_dedup, res.candidates_before_refine);

@@ -6,7 +6,7 @@
 
 #include <algorithm>
 
-#include "finder/tangled_logic_finder.hpp"
+#include "finder/finder.hpp"
 #include "graphgen/planted_graph.hpp"
 #include "graphgen/presets.hpp"
 #include "graphgen/synthetic_circuit.hpp"
@@ -34,6 +34,11 @@ SyntheticCircuit make_industrial_mini() {
   return generate_synthetic_circuit(cfg, rng);
 }
 
+FinderResult run_finder(const Netlist& nl, const FinderConfig& cfg) {
+  Finder finder(nl, cfg);
+  return finder.run();
+}
+
 FinderConfig mini_finder() {
   FinderConfig f;
   f.num_seeds = 40;
@@ -45,7 +50,7 @@ FinderConfig mini_finder() {
 
 TEST(EndToEnd, FinderRecoversStructureInRentCircuit) {
   const SyntheticCircuit c = make_industrial_mini();
-  const FinderResult res = find_tangled_logic(c.netlist, mini_finder());
+  const FinderResult res = run_finder(c.netlist, mini_finder());
   ASSERT_GE(res.gtls.size(), 1u);
   // The top GTL must be the planted ROM.
   const auto rec = recovery_stats(c.planted[0], res.gtls[0].cells);
@@ -90,7 +95,7 @@ TEST(EndToEnd, InflationReducesCongestion) {
   // Find the GTLs and inflate the strong ones (paper §3.1: scores well
   // below 1, e.g. < 0.1, mark strong GTLs; weakly tangled background
   // communities at 0.5-0.7 are reported but not worth the area).
-  const FinderResult found = find_tangled_logic(c.netlist, mini_finder());
+  const FinderResult found = run_finder(c.netlist, mini_finder());
   ASSERT_GE(found.gtls.size(), 1u);
   std::vector<CellId> inflate_set;
   for (const auto& g : found.gtls) {
@@ -129,8 +134,8 @@ TEST(EndToEnd, BookshelfExportedCircuitGivesSameGtls) {
   const BookshelfDesign back = read_bookshelf(dir / "mini.aux");
   std::filesystem::remove_all(dir);
 
-  const FinderResult a = find_tangled_logic(c.netlist, mini_finder());
-  const FinderResult b = find_tangled_logic(back.netlist, mini_finder());
+  const FinderResult a = run_finder(c.netlist, mini_finder());
+  const FinderResult b = run_finder(back.netlist, mini_finder());
   ASSERT_EQ(a.gtls.size(), b.gtls.size());
   ASSERT_FALSE(a.gtls.empty());
   EXPECT_EQ(a.gtls[0].cells, b.gtls[0].cells);
@@ -169,7 +174,7 @@ TEST(EndToEnd, IndustrialPresetPipelineAtSmokeScale) {
   FinderConfig fcfg = mini_finder();
   fcfg.num_seeds = 150;  // smallest ROM is ~2.7% of the design
   fcfg.max_ordering_length = 3'000;
-  const FinderResult res = find_tangled_logic(c.netlist, fcfg);
+  const FinderResult res = run_finder(c.netlist, fcfg);
   // All five ROMs recovered (sizes ~640/640/635/640/219 at this scale).
   EXPECT_GE(res.gtls.size(), 5u);
   for (const auto& truth : c.planted) {

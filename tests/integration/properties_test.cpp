@@ -6,7 +6,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "finder/tangled_logic_finder.hpp"
+#include "finder/finder.hpp"
 #include "graphgen/planted_graph.hpp"
 #include "metrics/group_connectivity.hpp"
 #include "metrics/scores.hpp"
@@ -15,6 +15,12 @@
 
 namespace gtl {
 namespace {
+
+FinderResult run_finder(const Netlist& nl, const FinderConfig& cfg) {
+  Finder finder(nl, cfg);
+  return finder.run();
+}
+
 
 // ---------- Property: ordering invariants across seeds ----------
 
@@ -117,7 +123,7 @@ TEST_P(FinderProperty, OutputInvariants) {
   fcfg.max_ordering_length = 4 * param.gtl_size;
   fcfg.num_threads = 2;
   fcfg.rng_seed = param.graph_seed + 1;
-  const FinderResult res = find_tangled_logic(pg.netlist, fcfg);
+  const FinderResult res = run_finder(pg.netlist, fcfg);
 
   std::vector<bool> claimed(pg.netlist.num_cells(), false);
   GroupConnectivity check(pg.netlist);
@@ -166,7 +172,7 @@ TEST_P(RecoveryProperty, PlantedGtlRecoveredAcrossSizes) {
   fcfg.max_ordering_length = gtl_size * 4;
   fcfg.num_threads = 2;
   fcfg.rng_seed = 5;
-  const FinderResult res = find_tangled_logic(pg.netlist, fcfg);
+  const FinderResult res = run_finder(pg.netlist, fcfg);
   ASSERT_EQ(res.gtls.size(), 1u) << "GTL size " << gtl_size;
   const auto rec = recovery_stats(pg.gtl_members[0], res.gtls[0].cells);
   // Paper Table 1: miss <= 0.14%, over <= 0.5%; we allow a loose 5%.

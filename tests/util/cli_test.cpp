@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
 namespace gtl {
@@ -33,10 +34,62 @@ TEST(CliArgs, BareFlagIsTrue) {
   EXPECT_EQ(args.get("verbose"), "true");
 }
 
-TEST(CliArgs, UnparseableNumberFallsBack) {
+TEST(CliArgs, UnparseableNumberFallsBackAndRecordsError) {
   const auto args = make_args({"--n=abc"});
+  EXPECT_TRUE(args.status().is_ok());
   EXPECT_EQ(args.get_int("n", 9), 9);
-  EXPECT_DOUBLE_EQ(args.get_double("n", 2.5), 2.5);
+  // Not silent anymore: the error is reported through Status.
+  const Status st = args.status();
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("--n=abc"), std::string::npos);
+}
+
+TEST(CliArgs, PartialAndEmptyNumbersAreErrors) {
+  const auto partial = make_args({"--n=12x"});
+  EXPECT_EQ(partial.get_int("n", 5), 5);
+  EXPECT_FALSE(partial.status().is_ok());
+  const auto empty = make_args({"--n="});
+  EXPECT_EQ(empty.get_int("n", 5), 5);
+  EXPECT_FALSE(empty.status().is_ok());
+}
+
+TEST(CliArgs, FirstRecordedErrorWins) {
+  const auto args = make_args({"--a=x", "--b=y"});
+  (void)args.get_int("a", 0);
+  (void)args.get_double("b", 0.0);
+  EXPECT_NE(args.status().message().find("--a=x"), std::string::npos);
+}
+
+TEST(CliArgs, StrictParsersReportWithoutFallback) {
+  const auto args = make_args({"--n=5", "--bad=zz"});
+  std::int64_t n = 0;
+  EXPECT_TRUE(args.parse_int("n", &n).is_ok());
+  EXPECT_EQ(n, 5);
+  std::int64_t untouched = 77;
+  EXPECT_TRUE(args.parse_int("absent", &untouched).is_ok());
+  EXPECT_EQ(untouched, 77);
+  EXPECT_FALSE(args.parse_int("bad", &untouched).is_ok());
+  EXPECT_EQ(untouched, 77);
+}
+
+TEST(CliArgs, HelpRequestedAndGeneratedText) {
+  auto args = make_args({"--help"});
+  EXPECT_TRUE(args.help_requested());
+  EXPECT_FALSE(make_args({"--seeds=3"}).help_requested());
+
+  args.usage("Test program summary.")
+      .describe("seeds=N", "random starting seeds")
+      .describe("verbose", "print more");
+  std::ostringstream os;
+  args.print_help(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("usage:"), std::string::npos);
+  EXPECT_NE(text.find("Test program summary."), std::string::npos);
+  EXPECT_NE(text.find("--seeds=N"), std::string::npos);
+  EXPECT_NE(text.find("random starting seeds"), std::string::npos);
+  EXPECT_NE(text.find("--verbose"), std::string::npos);
+  EXPECT_NE(text.find("--help"), std::string::npos);
 }
 
 TEST(CliArgs, ParsesDouble) {
@@ -55,10 +108,17 @@ TEST(Scale, ParseAndName) {
   EXPECT_EQ(parse_scale(make_args({"--scale=paper"})), Scale::kPaper);
   EXPECT_EQ(parse_scale(make_args({"--scale=default"})), Scale::kDefault);
   EXPECT_EQ(parse_scale(make_args({})), Scale::kDefault);
-  EXPECT_EQ(parse_scale(make_args({"--scale=garbage"})), Scale::kDefault);
   EXPECT_STREQ(scale_name(Scale::kSmoke), "smoke");
   EXPECT_STREQ(scale_name(Scale::kPaper), "paper");
   EXPECT_STREQ(scale_name(Scale::kDefault), "default");
+}
+
+TEST(Scale, UnknownScaleDefaultsButRecordsError) {
+  const auto args = make_args({"--scale=garbage"});
+  EXPECT_EQ(parse_scale(args), Scale::kDefault);
+  const Status st = args.status();
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("garbage"), std::string::npos);
 }
 
 }  // namespace

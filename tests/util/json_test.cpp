@@ -1,0 +1,177 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace gtl {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  const Status st = JsonValue::parse(text, &v);
+  EXPECT_TRUE(st.is_ok()) << text << " -> " << st.to_string();
+  return v;
+}
+
+Status parse_err(const std::string& text) {
+  JsonValue v;
+  const Status st = JsonValue::parse(text, &v);
+  EXPECT_FALSE(st.is_ok()) << text << " unexpectedly parsed";
+  return st;
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  bool b = false;
+  ASSERT_TRUE(parse_ok("true").get_bool(&b).is_ok());
+  EXPECT_TRUE(b);
+  std::string s;
+  ASSERT_TRUE(parse_ok("\"hi\"").get_string(&s).is_ok());
+  EXPECT_EQ(s, "hi");
+}
+
+TEST(Json, IntegersKeepIdentity) {
+  std::int64_t i = 0;
+  ASSERT_TRUE(parse_ok("-42").get_int64(&i).is_ok());
+  EXPECT_EQ(i, -42);
+
+  // A value above int64 max parses as uint64 and survives exactly.
+  std::uint64_t u = 0;
+  ASSERT_TRUE(parse_ok("18446744073709551615").get_uint64(&u).is_ok());
+  EXPECT_EQ(u, std::numeric_limits<std::uint64_t>::max());
+
+  // Integers read as doubles when asked.
+  double d = 0.0;
+  ASSERT_TRUE(parse_ok("7").get_double(&d).is_ok());
+  EXPECT_EQ(d, 7.0);
+
+  // But a fractional number is not an integer.
+  EXPECT_FALSE(parse_ok("1.5").get_int64(&i).is_ok());
+  // And a negative number is not a uint64.
+  EXPECT_EQ(parse_ok("-1").get_uint64(&u).code(), StatusCode::kOutOfRange);
+}
+
+TEST(Json, DoublesRoundTripBitExactly) {
+  for (const double d : {0.1, 1e-300, 3.141592653589793, -2.5e17,
+                         0.6849315068493151}) {
+    const std::string text = JsonValue(d).dump();
+    double back = 0.0;
+    ASSERT_TRUE(parse_ok(text).get_double(&back).is_ok()) << text;
+    EXPECT_EQ(back, d) << text;
+  }
+}
+
+TEST(Json, NonFiniteDoublesDumpAsNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+}
+
+TEST(Json, StringEscapes) {
+  std::string s;
+  ASSERT_TRUE(
+      parse_ok(R"("a\"b\\c\nd\te\u0041")").get_string(&s).is_ok());
+  EXPECT_EQ(s, "a\"b\\c\nd\teA");
+
+  // Escaping round trip: dump then parse recovers the original.
+  const std::string nasty = "line1\nline2\t\"quoted\"\\slash\x01";
+  std::string back;
+  ASSERT_TRUE(parse_ok(JsonValue(nasty).dump()).get_string(&back).is_ok());
+  EXPECT_EQ(back, nasty);
+}
+
+TEST(Json, UnicodeEscapes) {
+  std::string s;
+  ASSERT_TRUE(parse_ok(R"("\u00e9\u4e2d")").get_string(&s).is_ok());
+  EXPECT_EQ(s, "\xc3\xa9\xe4\xb8\xad");  // é and 中 in UTF-8
+  // Surrogate pair: U+1F600.
+  ASSERT_TRUE(parse_ok(R"("\ud83d\ude00")").get_string(&s).is_ok());
+  EXPECT_EQ(s, "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, NestedContainers) {
+  const JsonValue v = parse_ok(R"({"a": [1, {"b": true}, null], "c": {}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_TRUE(a->array()[2].is_null());
+  EXPECT_TRUE(v.find("c")->is_object());
+  EXPECT_TRUE(v.find("c")->object().empty());
+  EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(Json, DumpIsDeterministicAndReparsable) {
+  const std::string text =
+      R"({"z": 1, "a": [true, "x"], "m": {"k": 2.5}})";
+  const JsonValue v = parse_ok(text);
+  const std::string compact = v.dump();
+  // Keys come out sorted: deterministic output for diffs and caching.
+  EXPECT_EQ(compact, R"({"a":[true,"x"],"m":{"k":2.5},"z":1})");
+  EXPECT_EQ(parse_ok(compact), v);
+  // Pretty output reparses to the same document.
+  EXPECT_EQ(parse_ok(v.dump(2)), v);
+}
+
+TEST(Json, SetAndMutateObjects) {
+  JsonValue v{JsonValue::Object{}};
+  v.set("x", JsonValue(std::int64_t{1}));
+  v.set("x", JsonValue("two"));
+  std::string s;
+  ASSERT_TRUE(v.find("x")->get_string(&s).is_ok());
+  EXPECT_EQ(s, "two");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_EQ(parse_err("").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_err("{").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_err("[1,]").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_err("tru").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_err("1 2").code(), StatusCode::kParseError);  // trailing
+  EXPECT_EQ(parse_err("\"unterminated").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_err("\"bad\\escape\"").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_err("{\"a\":1,\"a\":2}").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_err("01").code(), StatusCode::kParseError);  // no octal
+  EXPECT_EQ(parse_err("1.").code(), StatusCode::kParseError);
+  EXPECT_EQ(parse_err("1e").code(), StatusCode::kParseError);
+  // Errors carry a byte offset.
+  EXPECT_NE(parse_err("[1, x]").message().find("byte"), std::string::npos);
+}
+
+TEST(Json, HostileNestingRejectedNotCrashed) {
+  // Service boundary: deep nesting must yield a Status, never a stack
+  // overflow.
+  const std::string deep(100'000, '[');
+  EXPECT_EQ(parse_err(deep).code(), StatusCode::kParseError);
+  const std::string deep_obj = [] {
+    std::string s;
+    for (int i = 0; i < 10'000; ++i) s += "{\"a\":";
+    return s;
+  }();
+  EXPECT_EQ(parse_err(deep_obj).code(), StatusCode::kParseError);
+  // 255 levels is still fine.
+  std::string ok255(255, '[');
+  ok255 += "1";
+  ok255.append(255, ']');
+  EXPECT_TRUE(parse_ok(ok255).is_array());
+}
+
+TEST(Json, TypedAccessorsRejectWrongKinds) {
+  bool b = false;
+  EXPECT_FALSE(parse_ok("1").get_bool(&b).is_ok());
+  std::string s;
+  EXPECT_FALSE(parse_ok("1").get_string(&s).is_ok());
+  double d = 0.0;
+  EXPECT_FALSE(parse_ok("\"1\"").get_double(&d).is_ok());
+  // Container accessors on wrong kinds are programmer errors.
+  EXPECT_THROW((void)parse_ok("1").array(), std::logic_error);
+  EXPECT_THROW((void)parse_ok("[]").object(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,51 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gtl {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status st;
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_TRUE(st.message().empty());
+  EXPECT_EQ(st.to_string(), "ok");
+  EXPECT_EQ(st, Status::ok());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status st = Status::invalid_argument("num_seeds too large");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "num_seeds too large");
+  EXPECT_EQ(st.to_string(), "invalid argument: num_seeds too large");
+
+  EXPECT_EQ(Status::out_of_range("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::parse_error("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(status_code_name(StatusCode::kParseError), "parse error");
+}
+
+Status fails_then_succeeds(bool fail, int* reached) {
+  GTL_RETURN_IF_ERROR(fail ? Status::invalid_argument("boom") : Status::ok());
+  ++*reached;
+  return Status::ok();
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  int reached = 0;
+  EXPECT_TRUE(fails_then_succeeds(false, &reached).is_ok());
+  EXPECT_EQ(reached, 1);
+  const Status st = fails_then_succeeds(true, &reached);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(reached, 1);  // early return skipped the increment
+}
+
+}  // namespace
+}  // namespace gtl
