@@ -46,8 +46,15 @@ import sys
 DEFAULT_FILTER = (
     "BM_OrderingGrow|BM_Frontier|BM_GroupConnectivity|BM_GroupAssignSmall|"
     "BM_RefineCandidate|BM_LargeNetThreshold|"
-    "BM_FinderColdStart$|BM_FinderReuse$"
+    "BM_ScoreCurve|BM_RefinePhase|BM_FinderRun|"
+    "BM_FinderColdStart|BM_FinderReuse"
 )
+
+# --compare flags any tracked benchmark slower than the last recorded run
+# by more than this factor.  Advisory: the exit code stays 0 (CI smoke
+# runners are noisy, shared, and differently sized — a flag is a prompt
+# to re-measure on quiet hardware, not a verdict).
+REGRESSION_FACTOR = 1.15
 
 SCHEMA = "gtl-bench-v1"
 
@@ -102,6 +109,10 @@ def extract_run(raw, label, repetitions):
             if b.get("aggregate_name") != "median":
                 continue
             name = name.rsplit("_median", 1)[0]
+        # UseRealTime benchmarks report as "<name>/real_time"; strip the
+        # marker so their keys line up with the pre-UseRealTime history.
+        if name.endswith("/real_time"):
+            name = name[: -len("/real_time")]
         entry = {
             "real_time_ns": to_ns(b["real_time"], b.get("time_unit", "ns")),
             "cpu_time_ns": to_ns(b["cpu_time"], b.get("time_unit", "ns")),
@@ -131,16 +142,47 @@ def load_doc(path):
 
 
 def print_comparison(prev, cur):
-    print(f"{'benchmark':<42} {'prev':>12} {'cur':>12} {'speedup':>8}")
-    for name, entry in sorted(cur["benchmarks"].items()):
+    """Real-time ratio table vs `prev` (wall clock is the only meaningful
+    axis for the pool-threaded Finder benchmarks, whose work happens off
+    the benchmark thread).  Rows slower than REGRESSION_FACTOR x the
+    recorded time are flagged; returns the flagged names (advisory — the
+    caller/CI must not fail on them)."""
+    flagged = []
+    missing = []
+    print(f"{'benchmark':<42} {'prev ns':>12} {'cur ns':>12} {'speedup':>8}")
+    names = sorted(set(prev["benchmarks"]) | set(cur["benchmarks"]))
+    for name in names:
         old = prev["benchmarks"].get(name)
+        entry = cur["benchmarks"].get(name)
+        if entry is None:
+            # A tracked benchmark that vanished is worse than a slow one:
+            # surface it instead of silently shrinking the table.
+            print(f"{name:<42} {old['real_time_ns']:>12.0f} {'-':>12} "
+                  f"{'MISSING':>8}")
+            missing.append(name)
+            continue
         if old is None:
-            print(f"{name:<42} {'-':>12} {entry['cpu_time_ns']:>12.0f} "
+            print(f"{name:<42} {'-':>12} {entry['real_time_ns']:>12.0f} "
                   f"{'new':>8}")
             continue
-        ratio = old["cpu_time_ns"] / entry["cpu_time_ns"]
-        print(f"{name:<42} {old['cpu_time_ns']:>12.0f} "
-              f"{entry['cpu_time_ns']:>12.0f} {ratio:>7.2f}x")
+        ratio = old["real_time_ns"] / entry["real_time_ns"]
+        flag = ""
+        if entry["real_time_ns"] > old["real_time_ns"] * REGRESSION_FACTOR:
+            flag = "  !! regressed"
+            flagged.append(name)
+        print(f"{name:<42} {old['real_time_ns']:>12.0f} "
+              f"{entry['real_time_ns']:>12.0f} {ratio:>7.2f}x{flag}")
+    if missing:
+        print(f"ADVISORY: {len(missing)} recorded benchmark(s) missing "
+              "from this run: " + ", ".join(missing))
+    if flagged:
+        print(f"ADVISORY: {len(flagged)} benchmark(s) regressed "
+              f"> {REGRESSION_FACTOR:.2f}x vs the last recorded run: "
+              + ", ".join(flagged))
+    elif not missing:
+        print(f"no benchmark regressed > {REGRESSION_FACTOR:.2f}x vs the "
+              "last recorded run")
+    return flagged
 
 
 def main():

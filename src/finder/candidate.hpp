@@ -36,12 +36,32 @@ struct Candidate {
                                       const ScoreContext& ctx,
                                       ScoreKind kind);
 
+/// score_members for a member list that is ALREADY sorted by cell id —
+/// the refine hot path, where every genetic-family list is sorted by
+/// construction (set algebra over sorted inputs).  Skips the defensive
+/// sort; asserts the precondition in debug builds.  Bitwise-identical to
+/// score_members on sorted input (sorting unique sorted ids is the
+/// identity).
+[[nodiscard]] Candidate score_sorted_members(std::span<const CellId> members,
+                                             GroupConnectivity& group,
+                                             const ScoreContext& ctx,
+                                             ScoreKind kind);
+
 /// Phase II: extract a candidate from an ordering, or nullopt when its
 /// score curve has no clear minimum (seed was outside any GTL).
 /// The candidate's scores use the ordering's own Rent exponent estimate.
 [[nodiscard]] std::optional<Candidate> extract_candidate(
     const Netlist& nl, const LinearOrdering& ordering, ScoreKind kind,
     const CurveConfig& curve_cfg = {}, const MinimumConfig& min_cfg = {});
+
+/// Scratch-backed extract_candidate: identical results (pinned by
+/// tests/finder/score_curve_equivalence_test.cpp), but the curve lives in
+/// `scratch` — zero steady-state allocation per inner re-growth, and only
+/// the selected Φ's full curve is computed.
+[[nodiscard]] std::optional<Candidate> extract_candidate(
+    const Netlist& nl, const LinearOrdering& ordering, ScoreKind kind,
+    const CurveConfig& curve_cfg, const MinimumConfig& min_cfg,
+    CurveScratch& scratch);
 
 // --- sorted-vector set algebra (member lists are sorted by id) ---
 
@@ -51,6 +71,17 @@ struct Candidate {
                                                    std::span<const CellId> b);
 [[nodiscard]] std::vector<CellId> set_difference(std::span<const CellId> a,
                                                  std::span<const CellId> b);
+
+// In-place variants for preallocated merge buffers (the refine arena):
+// `out` is cleared (capacity kept) and filled; it must not alias a or b.
+
+void set_union_into(std::span<const CellId> a, std::span<const CellId> b,
+                    std::vector<CellId>& out);
+void set_intersection_into(std::span<const CellId> a,
+                           std::span<const CellId> b,
+                           std::vector<CellId>& out);
+void set_difference_into(std::span<const CellId> a, std::span<const CellId> b,
+                         std::vector<CellId>& out);
 /// True iff the sorted lists share at least one cell.
 [[nodiscard]] bool sets_overlap(std::span<const CellId> a,
                                 std::span<const CellId> b);

@@ -127,9 +127,12 @@ GroupConnectivity& Finder::group_for(std::size_t worker) {
 }
 
 void Finder::notify_phase_start(FinderPhase phase, std::size_t work_items) {
+  // Called between dispatches (no workers running), so the relaxed reset
+  // cannot race with the per-item increments below.
+  progress_counter_.store(0, std::memory_order_relaxed);
+  if (observer_ == nullptr) return;
   std::lock_guard<std::mutex> lk(observer_mu_);
-  progress_counter_ = 0;
-  if (observer_ != nullptr) observer_->on_phase_start(phase, work_items);
+  observer_->on_phase_start(phase, work_items);
 }
 
 void Finder::notify_phase_end(FinderPhase phase, double seconds) {
@@ -138,20 +141,51 @@ void Finder::notify_phase_end(FinderPhase phase, double seconds) {
   observer_->on_phase_end(phase, seconds);
 }
 
+// The two per-item notifications are the hottest synchronization points
+// in the pipeline (every seed, every candidate, every worker).  With no
+// observer attached they must not serialize the workers through
+// observer_mu_ — one relaxed atomic increment and out.  With an observer
+// the increment moves under the lock, so delivered (done, total) pairs
+// stay strictly increasing exactly as before.
+
 void Finder::notify_ordering_grown(std::size_t total) {
-  std::lock_guard<std::mutex> lk(observer_mu_);
-  ++progress_counter_;
-  if (observer_ != nullptr) {
-    observer_->on_ordering_grown(progress_counter_, total);
+  if (observer_ == nullptr) {
+    progress_counter_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
+  std::lock_guard<std::mutex> lk(observer_mu_);
+  const std::size_t done =
+      progress_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  observer_->on_ordering_grown(done, total);
 }
 
 void Finder::notify_candidate_refined(std::size_t total) {
-  std::lock_guard<std::mutex> lk(observer_mu_);
-  ++progress_counter_;
-  if (observer_ != nullptr) {
-    observer_->on_candidate_refined(progress_counter_, total);
+  if (observer_ == nullptr) {
+    progress_counter_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
+  std::lock_guard<std::mutex> lk(observer_mu_);
+  const std::size_t done =
+      progress_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  observer_->on_candidate_refined(done, total);
+}
+
+void Finder::dispatch_items(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (cfg_.dynamic_scheduling) {
+    pool_.parallel_for_dynamic(n, fn);
+    return;
+  }
+  // Static ablation path: the pre-PR chunking, one contiguous block per
+  // worker.
+  const std::size_t n_workers = pool_.size();
+  const std::size_t chunk = (n + n_workers - 1) / n_workers;
+  pool_.parallel_for(n_workers, [&](std::size_t w) {
+    const std::size_t lo = w * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) fn(i, w);
+  });
 }
 
 const OrderingSet& Finder::grow_orderings() {
@@ -187,22 +221,14 @@ const OrderingSet& Finder::grow_orderings() {
   orderings_.completed.assign(m, 0);
   notify_phase_start(FinderPhase::kGrowOrderings, m);
 
-  if (m > 0) {
-    const std::size_t n_workers = pool_.size();
-    const std::size_t chunk = (m + n_workers - 1) / n_workers;
-    pool_.parallel_for(n_workers, [&](std::size_t w) {
-      const std::size_t lo = w * chunk;
-      const std::size_t hi = std::min(m, lo + chunk);
-      if (lo >= hi) return;
-      OrderingEngine& engine = engine_for(w);
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (cancel_requested()) return;
-        orderings_.orderings[i] = engine.grow(orderings_.seeds[i]);
-        orderings_.completed[i] = 1;
-        notify_ordering_grown(m);
-      }
-    });
-  }
+  // Seed i writes only slot i, so results are independent of which
+  // worker pulls which ticket.
+  dispatch_items(m, [&](std::size_t i, std::size_t w) {
+    if (cancel_requested()) return;
+    orderings_.orderings[i] = engine_for(w).grow(orderings_.seeds[i]);
+    orderings_.completed[i] = 1;
+    notify_ordering_grown(m);
+  });
   if (cancel_requested()) cancelled_ = true;
 
   orderings_.seconds = timer.seconds();
@@ -232,43 +258,44 @@ const CandidateSet& Finder::extract_candidates() {
   std::vector<Candidate> raw(m);
   std::vector<std::uint8_t> has_candidate(m, 0);
   std::vector<double> rent_estimates(m, -1.0);
-  if (m > 0) {
-    const std::size_t n_workers = pool_.size();
-    const std::size_t chunk = (m + n_workers - 1) / n_workers;
-    pool_.parallel_for(n_workers, [&](std::size_t w) {
-      const std::size_t lo = w * chunk;
-      const std::size_t hi = std::min(m, lo + chunk);
-      if (lo >= hi) return;
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (honor_token && cancel_requested()) return;
-        if (!orderings_.completed[i]) continue;
-        const LinearOrdering& ordering = orderings_.orderings[i];
-        if (ordering.cells.size() < 2) continue;
-        const ScoreCurve curve =
-            compute_score_curve(*nl_, ordering, cfg_.curve);
-        rent_estimates[i] = curve.rent_exponent;
-        const auto minimum =
-            find_clear_minimum(curve.values(cfg_.score), cfg_.minimum);
-        if (!minimum) continue;
-        const std::size_t k = minimum->prefix_size;
-        Candidate c;
-        c.cells.assign(
-            ordering.cells.begin(),
-            ordering.cells.begin() + static_cast<std::ptrdiff_t>(k));
-        std::sort(c.cells.begin(), c.cells.end());
-        c.cut = ordering.prefix_cut[k - 1];
-        c.avg_pins = static_cast<double>(ordering.prefix_pins[k - 1]) /
-                     static_cast<double>(k);
-        c.ngtl_s = curve.ngtl_s[k - 1];
-        c.gtl_sd = curve.gtl_sd[k - 1];
-        c.score = curve.values(cfg_.score)[k - 1];
-        c.seed = orderings_.seeds[i];
-        c.rent_exponent_used = curve.rent_exponent;
-        raw[i] = std::move(c);
-        has_candidate[i] = 1;
-      }
-    });
-  }
+  dispatch_items(m, [&](std::size_t i, std::size_t w) {
+    if (honor_token && cancel_requested()) return;
+    if (!orderings_.completed[i]) return;
+    const LinearOrdering& ordering = orderings_.orderings[i];
+    if (ordering.cells.size() < 2) return;
+    // Only the selected Φ's curve is computed, into this worker's
+    // reusable scratch; values is bound once and serves both the
+    // minimum search and the score-at-k reads below.
+    const SelectedScoreCurve curve = compute_selected_curve(
+        *nl_, ordering, cfg_.curve, cfg_.score, scratch_[w].curve);
+    rent_estimates[i] = curve.rent_exponent;
+    const auto minimum = find_clear_minimum(curve.values, cfg_.minimum);
+    if (!minimum) return;
+    const std::size_t k = minimum->prefix_size;
+    Candidate c;
+    c.cells.assign(ordering.cells.begin(),
+                   ordering.cells.begin() + static_cast<std::ptrdiff_t>(k));
+    std::sort(c.cells.begin(), c.cells.end());
+    c.cut = ordering.prefix_cut[k - 1];
+    c.avg_pins = static_cast<double>(ordering.prefix_pins[k - 1]) /
+                 static_cast<double>(k);
+    // The non-selected Φ at k is the one scoring call the dropped curve
+    // would have made there (same args => same bits).
+    const auto cut = static_cast<double>(c.cut);
+    const auto size = static_cast<double>(k);
+    if (cfg_.score == ScoreKind::kNgtlS) {
+      c.ngtl_s = curve.values[k - 1];
+      c.gtl_sd = gtl_sd_score(cut, size, c.avg_pins, curve.context);
+    } else {
+      c.ngtl_s = ngtl_score(cut, size, curve.context);
+      c.gtl_sd = curve.values[k - 1];
+    }
+    c.score = curve.values[k - 1];
+    c.seed = orderings_.seeds[i];
+    c.rent_exponent_used = curve.rent_exponent;
+    raw[i] = std::move(c);
+    has_candidate[i] = 1;
+  });
   if (honor_token && cancel_requested()) cancelled_ = true;
 
   // Global Rent exponent: mean of the per-ordering estimates (paper
@@ -339,29 +366,28 @@ const FinderResult& Finder::refine_and_prune() {
     RefineConfig rcfg;
     rcfg.extra_seeds = cfg_.refine_seeds;
     rcfg.min_size = cfg_.minimum.min_size;
-    const std::size_t n_workers = pool_.size();
-    const std::size_t chunk = n == 0 ? 1 : (n + n_workers - 1) / n_workers;
-    pool_.parallel_for(n_workers, [&](std::size_t w) {
-      const std::size_t lo = w * chunk;
-      const std::size_t hi = std::min(n, lo + chunk);
-      if (lo >= hi) return;
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (honor_token && cancel_requested()) return;
-        if (cfg_.refine_seeds == 0) {
-          Candidate c = score_members(initial[i].cells, group_for(w),
-                                      result_.context, cfg_.score);
-          c.seed = initial[i].seed;
-          refined[i] = std::move(c);
-        } else {
-          Rng rng(mix_seed(cfg_.rng_seed, 0x5EEDBEEF + i));
-          refined[i] =
-              refine_candidate(*nl_, initial[i], engine_for(w),
-                               result_.context, cfg_.score, rcfg,
-                               cfg_.minimum, cfg_.curve, rng);
-        }
-        refine_done[i] = 1;
-        notify_candidate_refined(n);
+    dispatch_items(n, [&](std::size_t i, std::size_t w) {
+      if (honor_token && cancel_requested()) return;
+      if (cfg_.refine_seeds == 0) {
+        // Candidate member lists are sorted by construction (Phase II
+        // sorts every extraction), so the defensive re-sort is skipped.
+        Candidate c = score_sorted_members(initial[i].cells, group_for(w),
+                                           result_.context, cfg_.score);
+        c.seed = initial[i].seed;
+        refined[i] = std::move(c);
+      } else {
+        // The refine path runs entirely on this worker's reused scratch:
+        // the session tracker (no O(nets+cells) GroupConnectivity build
+        // per candidate) and the family arena.  The RNG still derives
+        // from the item index, so results are schedule-independent.
+        Rng rng(mix_seed(cfg_.rng_seed, 0x5EEDBEEF + i));
+        refined[i] = refine_candidate(*nl_, initial[i], engine_for(w),
+                                      group_for(w), scratch_[w].arena,
+                                      result_.context, cfg_.score, rcfg,
+                                      cfg_.minimum, cfg_.curve, rng);
       }
+      refine_done[i] = 1;
+      notify_candidate_refined(n);
     });
   }
   if (honor_token && cancel_requested()) cancelled_ = true;

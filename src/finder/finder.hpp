@@ -32,7 +32,9 @@
 // FinderConfig (notably rng_seed), never on num_threads or on how many
 // times the session has been reused.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -70,6 +72,15 @@ struct FinderConfig {
   /// speed optimization: duplicates refine to overlapping results that
   /// pruning would discard anyway).
   bool dedup_candidates = true;
+  /// Pull work items from a shared ticket counter instead of pre-carving
+  /// static per-worker chunks.  Per-seed cost varies wildly (dense
+  /// regions grow slowly), so static chunking leaves workers idle behind
+  /// the unluckiest chunk; dynamic scheduling fills them.  Results are
+  /// byte-identical either way — every work item writes only its own
+  /// slot and derives its RNG from its index, never from its worker
+  /// (pinned by tests/finder/finder_scheduling_test.cpp).  The knob
+  /// exists for ablation and scheduler-equivalence testing.
+  bool dynamic_scheduling = true;
 
   /// Check every field against its documented domain.  Returns OK or an
   /// invalid-argument Status naming the offending field — never throws,
@@ -190,9 +201,17 @@ class Finder {
   enum class Stage { kIdle, kGrown, kExtracted, kDone };
 
   /// Per-worker reusable scratch; allocated lazily, kept across runs.
+  /// Ownership rule: scratch_[w] is touched only by the task holding
+  /// worker slot w of the current dispatch, and no phase reads scratch
+  /// contents written for another work item — which is why reuse across
+  /// items, runs, and scheduling modes cannot change results.
   struct WorkerScratch {
     std::unique_ptr<OrderingEngine> engine;
     std::unique_ptr<GroupConnectivity> group;
+    /// Phase II curve buffers (selected-Φ values + shared ln tables).
+    CurveScratch curve;
+    /// Phase III genetic-family merge buffers + inner-regrowth curves.
+    RefineArena arena;
   };
 
   [[nodiscard]] bool cancel_requested() const {
@@ -200,6 +219,11 @@ class Finder {
   }
   [[nodiscard]] OrderingEngine& engine_for(std::size_t worker);
   [[nodiscard]] GroupConnectivity& group_for(std::size_t worker);
+
+  /// Run fn(item, worker_slot) for item in [0, n) on the pool, using the
+  /// configured scheduler (dynamic ticket counter vs static chunks).
+  void dispatch_items(std::size_t n,
+                      const std::function<void(std::size_t, std::size_t)>& fn);
 
   void notify_phase_start(FinderPhase phase, std::size_t work_items);
   void notify_phase_end(FinderPhase phase, double seconds);
@@ -224,9 +248,12 @@ class Finder {
   CandidateSet candidates_;
   FinderResult result_;
 
-  // Observer serialization (callbacks fire from worker threads).
+  // Observer serialization (callbacks fire from worker threads).  The
+  // progress counter is atomic so the no-observer fast path never takes
+  // the mutex; with an observer attached, count-and-callback happen
+  // under the lock, keeping the delivered counts strictly increasing.
   std::mutex observer_mu_;
-  std::size_t progress_counter_ = 0;
+  std::atomic<std::size_t> progress_counter_{0};
 };
 
 }  // namespace gtl

@@ -29,11 +29,29 @@ struct RefineConfig {
   std::size_t min_size = 30;
 };
 
-/// Refine one candidate. `engine` supplies Phase I re-growths; `ctx` is
-/// the shared scoring context so family members are comparable.
+/// Per-worker reusable scratch for refine_candidate: the genetic family's
+/// member-list buffers (up to (l+1) + 4·C(l+1,2) sorted lists, cleared
+/// but keeping capacity between candidates) and the curve scratch that
+/// backs the inner re-growth extractions.  One arena per worker thread;
+/// contents never leak between candidates, so reuse cannot affect
+/// results.
+struct RefineArena {
+  std::vector<std::vector<CellId>> lists;
+  CurveScratch curve;
+};
+
+/// Refine one candidate. `engine` supplies Phase I re-growths; `group`
+/// and `arena` are caller-owned scratch (reused across candidates — the
+/// zero-alloc steady state); `ctx` is the shared scoring context so
+/// family members are comparable.  Precondition: `initial.cells` is
+/// sorted by cell id (every Candidate producer sorts).  Only the winning
+/// family member is materialized into a Candidate; losers are scored in
+/// place on `group` with no copies, sorts, or allocation.
 [[nodiscard]] Candidate refine_candidate(const Netlist& nl,
                                          const Candidate& initial,
                                          OrderingEngine& engine,
+                                         GroupConnectivity& group,
+                                         RefineArena& arena,
                                          const ScoreContext& ctx,
                                          ScoreKind kind,
                                          const RefineConfig& cfg,

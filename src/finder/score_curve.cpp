@@ -48,7 +48,97 @@ ScoreCurve compute_score_curve(const Netlist& nl,
   return out;
 }
 
-std::optional<ClearMinimum> find_clear_minimum(const std::vector<double>& curve,
+namespace {
+
+/// Cap on the ln T memo (128 KiB per scratch): covers every realistic
+/// prefix cut; larger cuts pay one live std::log.
+constexpr std::size_t kLogCutCap = 16'384;
+
+double memoized_log_cut(CurveScratch& scratch, std::int64_t cut) {
+  if (cut >= 0 && static_cast<std::size_t>(cut) < kLogCutCap) {
+    const auto c = static_cast<std::size_t>(cut);
+    if (c >= scratch.log_cut.size()) {
+      const std::size_t c0 = scratch.log_cut.size();
+      const std::size_t grown =
+          std::min(kLogCutCap, std::max<std::size_t>(2 * (c + 1), 256));
+      scratch.log_cut.resize(grown);
+      for (std::size_t x = c0; x < grown; ++x) {
+        scratch.log_cut[x] =
+            std::log(x == 0 ? 1e-9 : static_cast<double>(x));
+      }
+    }
+    return scratch.log_cut[c];
+  }
+  return std::log(std::max(static_cast<double>(cut), 1e-9));
+}
+
+}  // namespace
+
+SelectedScoreCurve compute_selected_curve(const Netlist& nl,
+                                          const LinearOrdering& ordering,
+                                          const CurveConfig& cfg,
+                                          ScoreKind kind,
+                                          CurveScratch& scratch) {
+  GTL_REQUIRE(!ordering.cells.empty(), "ordering is empty");
+  const std::size_t n = ordering.cells.size();
+  GTL_REQUIRE(ordering.prefix_cut.size() == n &&
+                  ordering.prefix_pins.size() == n,
+              "ordering prefix arrays inconsistent");
+
+  SelectedScoreCurve out;
+  out.context.avg_pins_per_cell = nl.average_pins_per_cell();
+
+  if (scratch.log_k.size() < n + 1) {
+    const std::size_t k0 = std::max<std::size_t>(scratch.log_k.size(), 1);
+    scratch.log_k.resize(n + 1);
+    for (std::size_t k = k0; k <= n; ++k) {
+      scratch.log_k[k] = std::log(static_cast<double>(k));
+    }
+  }
+
+  // Rent pass: the same k-order accumulation as compute_score_curve, with
+  // ln k and ln T read from the memo tables (same std::log call, same
+  // argument => same bits).
+  double p_sum = 0.0;
+  std::size_t p_count = 0;
+  for (std::size_t k = std::max<std::size_t>(cfg.rent_min_k, 2); k <= n; ++k) {
+    const std::int64_t cut = ordering.prefix_cut[k - 1];
+    const double a_c = static_cast<double>(ordering.prefix_pins[k - 1]) /
+                       static_cast<double>(k);
+    p_sum += group_rent_exponent_prelogged(memoized_log_cut(scratch, cut),
+                                           static_cast<double>(k), a_c,
+                                           scratch.log_k[k]);
+    ++p_count;
+  }
+  out.rent_exponent = p_count > 0 ? p_sum / static_cast<double>(p_count) : 0.6;
+  out.rent_exponent = std::clamp(out.rent_exponent, 0.1, 1.0);
+  out.context.rent_exponent = out.rent_exponent;
+
+  // Score pass: only the curve the caller selects minima on (the other Φ
+  // is needed at one k only — callers evaluate it point-wise).  This pass
+  // cannot fuse with the rent pass above: it needs the final clamped mean.
+  scratch.values.resize(n);
+  if (kind == ScoreKind::kNgtlS) {
+    for (std::size_t k = 1; k <= n; ++k) {
+      scratch.values[k - 1] =
+          ngtl_score(static_cast<double>(ordering.prefix_cut[k - 1]),
+                     static_cast<double>(k), out.context);
+    }
+  } else {
+    for (std::size_t k = 1; k <= n; ++k) {
+      const auto size = static_cast<double>(k);
+      const double a_c =
+          static_cast<double>(ordering.prefix_pins[k - 1]) / size;
+      scratch.values[k - 1] =
+          gtl_sd_score(static_cast<double>(ordering.prefix_cut[k - 1]), size,
+                       a_c, out.context);
+    }
+  }
+  out.values = std::span<const double>(scratch.values.data(), n);
+  return out;
+}
+
+std::optional<ClearMinimum> find_clear_minimum(std::span<const double> curve,
                                                const MinimumConfig& cfg) {
   const std::size_t n = curve.size();
   if (n < cfg.min_size || cfg.min_size == 0) return std::nullopt;

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "metrics/scores.hpp"
@@ -57,6 +58,48 @@ struct CurveConfig {
                                              const LinearOrdering& ordering,
                                              const CurveConfig& cfg = {});
 
+/// Reusable scratch backing compute_selected_curve.  One instance per
+/// worker thread; every buffer keeps its capacity across seeds, so the
+/// steady-state fast path allocates nothing.  The ln tables are shared
+/// across seeds — k and the (small, heavily repeating) integer cuts are
+/// the same arguments to the same std::log call no matter which ordering
+/// is being scored, so memoizing them cannot change a single bit.
+struct CurveScratch {
+  /// Selected Φ per prefix; compute_selected_curve's return value points
+  /// here, valid until the next call with this scratch.
+  std::vector<double> values;
+  /// log_k[k] = std::log(double(k)); index 0 unused, extended lazily.
+  std::vector<double> log_k;
+  /// log_cut[c] = std::log(double(c)) for c >= 1; log_cut[0] =
+  /// std::log(1e-9), the T = 0 guard value.  Capped (large cuts fall back
+  /// to a live std::log).
+  std::vector<double> log_cut;
+};
+
+/// One score curve instead of three: the Φ the finder actually selects
+/// minima on.  Everything is bitwise-identical to the corresponding
+/// ScoreCurve fields (pinned by tests/finder/score_curve_equivalence_
+/// test.cpp, which embeds the full three-curve implementation as a
+/// reference): the rent estimate runs the same k-order accumulation, and
+/// values(kind)[k-1] comes from the same ngtl_score/gtl_sd_score call.
+/// The other Φ at a chosen k is one extra call with `context` — see
+/// extract_candidate.  Costs ~1 transcendental per prefix (vs 5) and no
+/// allocation in steady state; full fusion into one pass is impossible
+/// because every score depends on the final rent exponent, which is the
+/// mean over all prefixes.
+struct SelectedScoreCurve {
+  /// Φ_kind(C_k) at index k-1, backed by the scratch passed in.
+  std::span<const double> values;
+  double rent_exponent = 0.6;
+  /// A_G plus the rent estimate above — the context every curve value
+  /// was computed with.
+  ScoreContext context;
+};
+
+[[nodiscard]] SelectedScoreCurve compute_selected_curve(
+    const Netlist& nl, const LinearOrdering& ordering, const CurveConfig& cfg,
+    ScoreKind kind, CurveScratch& scratch);
+
 /// Parameters of the clear-minimum test.
 struct MinimumConfig {
   std::size_t min_size = 30;       ///< ignore tiny prefixes (paper §3.1)
@@ -72,9 +115,10 @@ struct ClearMinimum {
   double value = 0.0;           ///< Φ(C_{k*})
 };
 
-/// Find the clear minimum of `curve` (one of ScoreCurve's value vectors),
-/// or nullopt if no prefix passes the three checks.
+/// Find the clear minimum of `curve` (one of ScoreCurve's value vectors
+/// or a SelectedScoreCurve's values), or nullopt if no prefix passes the
+/// three checks.
 [[nodiscard]] std::optional<ClearMinimum> find_clear_minimum(
-    const std::vector<double>& curve, const MinimumConfig& cfg = {});
+    std::span<const double> curve, const MinimumConfig& cfg = {});
 
 }  // namespace gtl

@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace gtl {
 
@@ -38,6 +40,26 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Wait for EVERY future before rethrowing the first captured exception.
+/// Rethrowing from the first failed get() would unwind this frame while
+/// later tasks are still running — and they reference the caller's
+/// stack-local fn (and, for the dynamic variant, the ticket counter).
+void join_all_then_throw(std::vector<std::future<void>>& futs) {
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
@@ -46,7 +68,26 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futs.push_back(submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futs) f.get();  // propagate exceptions
+  join_all_then_throw(futs);
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<std::size_t> next{0};
+  const std::size_t slots = std::min(size(), n);
+  std::vector<std::future<void>> futs;
+  futs.reserve(slots);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    futs.push_back(submit([&fn, &next, n, slot] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i, slot);
+      }
+    }));
+  }
+  join_all_then_throw(futs);
 }
 
 }  // namespace gtl

@@ -44,7 +44,24 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// If any fn throws, the first exception (in index order) is rethrown
+  /// — but only after every task has finished, since running tasks still
+  /// reference the caller's fn.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Run fn(i, slot) for i in [0, n): min(size(), n) tasks pull indices
+  /// from a shared atomic ticket counter, so an expensive index never
+  /// pins a whole pre-carved chunk behind it (dynamic load balancing).
+  /// `slot` is a stable per-task id in [0, min(size(), n)) — use it to
+  /// address per-worker scratch.  Determinism contract: the *set* of
+  /// (i, result) pairs is independent of the interleaving as long as fn
+  /// writes only to per-index state and per-slot scratch whose contents
+  /// do not leak between indices; which slot processes which index is
+  /// NOT deterministic.  With one worker (or n == 1) indices are
+  /// processed in increasing order.
+  void parallel_for_dynamic(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
   void worker_loop();

@@ -112,6 +112,7 @@ FinderConfig non_default_config() {
   cfg.num_threads = 3;
   cfg.rng_seed = 0xDEADBEEFDEADBEEFULL;  // > int64 max: uint64 must survive
   cfg.dedup_candidates = false;
+  cfg.dynamic_scheduling = false;
   return cfg;
 }
 
@@ -131,6 +132,7 @@ void expect_config_eq(const FinderConfig& a, const FinderConfig& b) {
   EXPECT_EQ(a.num_threads, b.num_threads);
   EXPECT_EQ(a.rng_seed, b.rng_seed);
   EXPECT_EQ(a.dedup_candidates, b.dedup_candidates);
+  EXPECT_EQ(a.dynamic_scheduling, b.dynamic_scheduling);
 }
 
 TEST(FinderConfigJson, RoundTripsDefaults) {

@@ -49,8 +49,9 @@ TEST(Refine, ImprovesSloppyCandidate) {
   OrderingEngine engine(f.pg.netlist,
                         {.max_length = 1200, .large_net_threshold = 20});
   Rng rng(9);
+  RefineArena arena;
   const Candidate refined =
-      refine_candidate(f.pg.netlist, initial, engine, f.ctx,
+      refine_candidate(f.pg.netlist, initial, engine, group, arena, f.ctx,
                        ScoreKind::kGtlSd, {}, {}, {}, rng);
   EXPECT_LE(refined.score, initial.score);
   const auto rec = recovery_stats(f.pg.gtl_members[0], refined.cells);
@@ -69,8 +70,9 @@ TEST(Refine, NeverWorsensScore) {
   OrderingEngine engine(f.pg.netlist,
                         {.max_length = 1200, .large_net_threshold = 20});
   Rng rng(10);
+  RefineArena arena;
   const Candidate refined =
-      refine_candidate(f.pg.netlist, initial, engine, f.ctx,
+      refine_candidate(f.pg.netlist, initial, engine, group, arena, f.ctx,
                        ScoreKind::kGtlSd, {}, {}, {}, rng);
   EXPECT_LE(refined.score, initial.score + 1e-12);
 }
@@ -84,8 +86,9 @@ TEST(Refine, KeepsSeedAttribution) {
   OrderingEngine engine(f.pg.netlist,
                         {.max_length = 800, .large_net_threshold = 20});
   Rng rng(11);
+  RefineArena arena;
   const Candidate refined =
-      refine_candidate(f.pg.netlist, initial, engine, f.ctx,
+      refine_candidate(f.pg.netlist, initial, engine, group, arena, f.ctx,
                        ScoreKind::kGtlSd, {}, {}, {}, rng);
   EXPECT_EQ(refined.seed, 1234u);
 }

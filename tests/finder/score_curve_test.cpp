@@ -194,5 +194,97 @@ TEST(ClearMinimum, ConfigurableThreshold) {
   EXPECT_TRUE(find_clear_minimum(curve, loose).has_value());
 }
 
+// ---- edge_fraction / floor-arithmetic boundaries ----
+
+TEST(ClearMinimum, EdgeFractionZeroAdmitsFinalPoint) {
+  // With no right-edge guard (and the rise test disabled via factor 1),
+  // a minimum at the very last index is acceptable: last_valid ==
+  // floor(n * 1.0) == n exactly, with no off-by-one past the array.
+  std::vector<double> curve(100);
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    curve[i] = 2.0 - 1.98 * static_cast<double>(i) / 99.0;  // falls to 0.02
+  }
+  MinimumConfig cfg;
+  cfg.edge_fraction = 0.0;
+  cfg.rise_factor = 1.0;  // max_after == min itself must pass
+  const auto m = find_clear_minimum(curve, cfg);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->prefix_size, 100u);
+  // The default rise_factor (> 1) must still reject the same curve: a
+  // still-falling curve has no boundary.
+  MinimumConfig guard;
+  guard.edge_fraction = 0.0;
+  EXPECT_FALSE(find_clear_minimum(curve, guard).has_value());
+}
+
+TEST(ClearMinimum, EdgeFractionHalfSearchesFirstHalfOnly) {
+  // edge_fraction = 0.5 (the validation maximum): only k <= n/2 are
+  // eligible.  A dip at 60 of 100 is out of reach — the search clamps to
+  // the best eligible point on the falling flank, k = 50.
+  const auto curve = v_shape(100, 60, 0.05);
+  MinimumConfig cfg;
+  cfg.edge_fraction = 0.5;
+  const auto clamped = find_clear_minimum(curve, cfg);
+  ASSERT_TRUE(clamped.has_value());
+  EXPECT_EQ(clamped->prefix_size, 50u);
+  EXPECT_EQ(clamped->value, curve[49]);
+  // A dip inside the eligible half is found exactly.
+  const auto early = v_shape(100, 40, 0.05);
+  const auto m = find_clear_minimum(early, cfg);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->prefix_size, 40u);
+}
+
+TEST(ClearMinimum, LastValidBelowMinSizeRejected) {
+  // n = 40 with edge_fraction = 0.5: last_valid = 20 < min_size = 30,
+  // so there is no eligible k at all — must return nullopt instead of
+  // scanning an empty (or inverted) range.
+  const auto curve = v_shape(40, 20, 0.01);
+  MinimumConfig cfg;
+  cfg.edge_fraction = 0.5;
+  ASSERT_EQ(cfg.min_size, 30u);
+  EXPECT_FALSE(find_clear_minimum(curve, cfg).has_value());
+}
+
+TEST(ClearMinimum, AllEqualCurve) {
+  // A flat curve has a "minimum" at min_size but no drop before it and
+  // no rise after it: rejected under the default factors, accepted when
+  // both factors are relaxed to exactly 1 (max == min passes >=).
+  const std::vector<double> flat(200, 0.3);
+  EXPECT_FALSE(find_clear_minimum(flat).has_value());
+
+  MinimumConfig relaxed;
+  relaxed.drop_factor = 1.0;
+  relaxed.rise_factor = 1.0;
+  const auto m = find_clear_minimum(flat, relaxed);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->prefix_size, relaxed.min_size);  // first eligible k wins ties
+  EXPECT_EQ(m->value, 0.3);
+
+  // A flat curve above the accept threshold stays rejected even relaxed.
+  const std::vector<double> high(200, 0.9);
+  EXPECT_FALSE(find_clear_minimum(high, relaxed).has_value());
+}
+
+TEST(ClearMinimum, FloorBoundaryExactFraction) {
+  // edge_fraction = 0.25 (exactly representable, so the floor arithmetic
+  // is deterministic): n = 100 gives last_valid = 75.  A dip at 75 is
+  // eligible and found exactly; a dip at 76 is one past the boundary and
+  // the search clamps to 75 on the falling flank.
+  MinimumConfig cfg;
+  cfg.edge_fraction = 0.25;
+  cfg.rise_factor = 1.0;  // isolate the edge guard from the rise test
+  const auto at75 = v_shape(100, 75, 0.05);
+  const auto m = find_clear_minimum(at75, cfg);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->prefix_size, 75u);
+
+  const auto at76 = v_shape(100, 76, 0.05);
+  const auto m76 = find_clear_minimum(at76, cfg);
+  ASSERT_TRUE(m76.has_value());
+  EXPECT_EQ(m76->prefix_size, 75u);
+  EXPECT_EQ(m76->value, at76[74]);
+}
+
 }  // namespace
 }  // namespace gtl

@@ -48,6 +48,59 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, DynamicVisitsEveryIndexOnceWithValidSlots) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  std::atomic<bool> slot_ok{true};
+  pool.parallel_for_dynamic(100, [&](std::size_t i, std::size_t slot) {
+    hits[i].fetch_add(1);
+    if (slot >= 4) slot_ok = false;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_TRUE(slot_ok.load());
+}
+
+TEST(ThreadPool, DynamicMoreWorkersThanItems) {
+  // Only min(size, n) slots may appear: per-slot scratch sized to the
+  // item count must stay in bounds.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  std::atomic<bool> slot_ok{true};
+  pool.parallel_for_dynamic(3, [&](std::size_t i, std::size_t slot) {
+    hits[i].fetch_add(1);
+    if (slot >= 3) slot_ok = false;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_TRUE(slot_ok.load());
+}
+
+TEST(ThreadPool, DynamicZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for_dynamic(
+      0, [](std::size_t, std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, DynamicSingleWorkerRunsInIndexOrder) {
+  // The deterministic-prefix guarantee for cancelled runs rests on this:
+  // one worker drains the ticket counter in increasing order.
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for_dynamic(
+      64, [&](std::size_t i, std::size_t) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, DynamicPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_dynamic(8,
+                                [](std::size_t i, std::size_t) {
+                                  if (i == 3) throw std::runtime_error("x");
+                                }),
+      std::runtime_error);
+}
+
 TEST(ThreadPool, ManyTasksComplete) {
   ThreadPool pool(4);
   std::atomic<long> sum{0};
