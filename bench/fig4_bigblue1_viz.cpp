@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "graphgen/presets.hpp"
+#include "netlist/netlist_io.hpp"
 #include "place/quadratic_placer.hpp"
 #include "viz/plots.hpp"
 
@@ -21,19 +22,64 @@ int main(int argc, char** argv) {
   args.usage("Reproduce Figure 4: render the GTLs found in the bigblue1 "
              "stand-in on its placement.")
       .describe("seeds=N", "random starting seeds (default 100)")
-      .describe("threads=N", "worker threads (0 = all hardware threads)");
+      .describe("threads=N", "worker threads (0 = all hardware threads)")
+      .describe("snapshot=FILE", "binary snapshot cache for the generated "
+                                 "stand-in: load FILE if it exists, else "
+                                 "write it after generating");
   bench::describe_common_options(args);
   if (bench::help_exit(args)) return 0;
   const Scale scale = parse_scale(args);
   const auto arg_seeds = args.get_int("seeds", 100);
   const auto arg_threads = args.get_int("threads", 0);
+  const std::string snapshot = args.get("snapshot");
   if (bench::cli_error_exit(args)) return 2;
   bench::banner("Figure 4 — GTLs found in bigblue1, shown on placement",
                 scale);
 
-  const auto cfg = ispd_like_config("bigblue1", bench::size_factor(scale));
-  Rng rng(4444);
-  const SyntheticCircuit circuit = generate_synthetic_circuit(cfg, rng);
+  // The circuit: generated fresh, or reloaded from the snapshot cache
+  // (netlist + hint placement; the die extent is recovered from the pad
+  // ring, which the generator places exactly on the die boundary).
+  BookshelfDesign d;
+  SnapshotCacheResult cache;
+  const Status load_st = load_with_snapshot_cache(
+      snapshot,
+      [&](BookshelfDesign* out) -> Status {
+        const auto cfg =
+            ispd_like_config("bigblue1", bench::size_factor(scale));
+        Rng rng(4444);
+        SyntheticCircuit generated = generate_synthetic_circuit(cfg, rng);
+        out->netlist = std::move(generated.netlist);
+        out->x = std::move(generated.hint_x);
+        out->y = std::move(generated.hint_y);
+        return Status::ok();
+      },
+      &d, &cache);
+  if (!load_st.is_ok()) {
+    std::cerr << "error: " << load_st.to_string()
+              << "\n(delete the stale snapshot to regenerate)\n";
+    return 2;
+  }
+  if (cache.hit) {
+    // Identify what the cache actually holds: a hit overrides --scale,
+    // so a stale snapshot must at least be visible in the log.
+    std::cout << "loaded snapshot " << snapshot << " ("
+              << d.netlist.num_cells() << " cells, " << d.netlist.num_nets()
+              << " nets; cache overrides --scale)\n";
+  }
+  for (const std::string& note : cache.notes) std::cout << note << "\n";
+  if (d.x.empty()) {
+    std::cerr << "error: snapshot " << snapshot
+              << " carries no placement hints\n";
+    return 2;
+  }
+  SyntheticCircuit circuit;
+  circuit.netlist = std::move(d.netlist);
+  circuit.hint_x = std::move(d.x);
+  circuit.hint_y = std::move(d.y);
+  for (CellId c = 0; c < circuit.netlist.num_cells(); ++c) {
+    circuit.die_width = std::max(circuit.die_width, circuit.hint_x[c]);
+    circuit.die_height = std::max(circuit.die_height, circuit.hint_y[c]);
+  }
 
   FinderConfig fcfg;
   fcfg.num_seeds = static_cast<std::size_t>(arg_seeds);

@@ -11,7 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <vector>
@@ -19,8 +21,11 @@
 #include "finder/finder.hpp"
 #include "finder/refine.hpp"
 #include "graphgen/planted_graph.hpp"
+#include "graphgen/presets.hpp"
 #include "metrics/baselines.hpp"
 #include "metrics/group_connectivity.hpp"
+#include "netlist/bookshelf.hpp"
+#include "netlist/netlist_io.hpp"
 #include "order/linear_ordering.hpp"
 #include "place/congestion.hpp"
 #include "place/linear_system.hpp"
@@ -477,6 +482,77 @@ void BM_ClusterScoreAdhesion(benchmark::State& state) {
   state.SetLabel("12-cell cluster only; quadratic in cluster size");
 }
 BENCHMARK(BM_ClusterScoreAdhesion)->Unit(benchmark::kMillisecond);
+
+/// On-disk design corpus for the I/O benchmarks: a quarter-scale named
+/// bigblue1 stand-in written once as Bookshelf text.  Parse throughput
+/// is the entry fee every real-corpus run pays before any phase starts.
+struct BookshelfCorpus {
+  std::filesystem::path dir;
+  std::int64_t text_bytes = 0;      // .nodes + .nets + .pl
+  std::int64_t snapshot_bytes = 0;  // bench.snap
+  // The corpus dir is per-process (unique nonce); clean it up at exit
+  // so repeated runs do not accumulate multi-MB trees in /tmp.
+  ~BookshelfCorpus() {
+    if (!dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+};
+
+const BookshelfCorpus& bookshelf_corpus() {
+  static const BookshelfCorpus corpus = [] {
+    BookshelfCorpus c;
+    SyntheticCircuitConfig cfg = ispd_like_config("bigblue1", 0.25);
+    cfg.with_names = true;
+    Rng rng(2028);
+    SyntheticCircuit circuit = generate_synthetic_circuit(cfg, rng);
+    BookshelfDesign d;
+    d.netlist = std::move(circuit.netlist);
+    d.x = std::move(circuit.hint_x);
+    d.y = std::move(circuit.hint_y);
+    // Per-process directory: concurrent runs (or another user's leftover
+    // tree in a sticky /tmp) must not share corpus files.
+    const auto nonce = static_cast<unsigned long long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    c.dir = std::filesystem::temp_directory_path() /
+            ("gtl_bench_bookshelf_" + std::to_string(nonce));
+    write_bookshelf(d, c.dir, "bench");
+    write_snapshot(d, c.dir / "bench.snap");
+    for (const char* ext : {".nodes", ".nets", ".pl"}) {
+      c.text_bytes += static_cast<std::int64_t>(
+          std::filesystem::file_size(c.dir / ("bench" + std::string(ext))));
+    }
+    c.snapshot_bytes = static_cast<std::int64_t>(
+        std::filesystem::file_size(c.dir / "bench.snap"));
+    return c;
+  }();
+  return corpus;
+}
+
+/// Full .nodes/.nets/.pl text parse of the corpus design.
+void BM_BookshelfParse(benchmark::State& state) {
+  const BookshelfCorpus& c = bookshelf_corpus();
+  for (auto _ : state) {
+    const BookshelfDesign d = read_bookshelf_files(
+        c.dir / "bench.nodes", c.dir / "bench.nets", c.dir / "bench.pl");
+    benchmark::DoNotOptimize(d.netlist.num_pins());
+  }
+  state.SetBytesProcessed(state.iterations() * c.text_bytes);
+}
+BENCHMARK(BM_BookshelfParse)->Unit(benchmark::kMillisecond);
+
+/// Binary snapshot reload of the same design — the cache-hit path for
+/// repeated loads of a real-benchmark corpus.
+void BM_SnapshotLoad(benchmark::State& state) {
+  const BookshelfCorpus& c = bookshelf_corpus();
+  for (auto _ : state) {
+    const BookshelfDesign d = read_snapshot(c.dir / "bench.snap");
+    benchmark::DoNotOptimize(d.netlist.num_pins());
+  }
+  state.SetBytesProcessed(state.iterations() * c.snapshot_bytes);
+}
+BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond);
 
 /// Congestion-map construction throughput.
 void BM_CongestionMap(benchmark::State& state) {

@@ -47,7 +47,8 @@ DEFAULT_FILTER = (
     "BM_OrderingGrow|BM_Frontier|BM_GroupConnectivity|BM_GroupAssignSmall|"
     "BM_RefineCandidate|BM_LargeNetThreshold|"
     "BM_ScoreCurve|BM_RefinePhase|BM_FinderRun|"
-    "BM_FinderColdStart|BM_FinderReuse"
+    "BM_FinderColdStart|BM_FinderReuse|"
+    "BM_BookshelfParse|BM_SnapshotLoad"
 )
 
 # --compare flags any tracked benchmark slower than the last recorded run

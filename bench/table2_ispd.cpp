@@ -15,6 +15,7 @@
 #include "bench_common.hpp"
 #include "graphgen/presets.hpp"
 #include "netlist/bookshelf.hpp"
+#include "netlist/netlist_io.hpp"
 
 namespace {
 
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
   args.usage("Reproduce Table 2 on synthetic ISPD 05/06 stand-ins "
              "(or real data via --aux).")
       .describe("aux=FILE", "Bookshelf .aux file with the real benchmark")
+      .describe("snapshot=FILE", "binary snapshot cache for --aux: load "
+                                 "FILE if it exists, else write it after "
+                                 "parsing")
       .describe("seeds=N", "random starting seeds per design (default 100)")
       .describe("threads=N", "worker threads (0 = all hardware threads)");
   bench::describe_common_options(args);
@@ -50,6 +54,11 @@ int main(int argc, char** argv) {
   const Scale scale = parse_scale(args);
   const auto arg_seeds = args.get_int("seeds", 100);
   const auto arg_threads = args.get_int("threads", 0);
+  const std::string snapshot = args.get("snapshot");
+  if (!snapshot.empty() && !args.has("aux")) {
+    args.record_error(Status::invalid_argument(
+        "--snapshot caches a single real design; it requires --aux"));
+  }
   if (bench::cli_error_exit(args)) return 2;
   bench::banner("Table 2 — ISPD 05/06 placement benchmarks", scale);
   const double f = bench::size_factor(scale);
@@ -66,8 +75,35 @@ int main(int argc, char** argv) {
     Netlist netlist;
     std::string case_name;
     if (!aux.empty()) {
-      const BookshelfDesign d = read_bookshelf(aux);
-      netlist = d.netlist;
+      // Snapshot cache: first run parses the Bookshelf text and fills the
+      // cache, every later run reloads in ~O(read) time.
+      BookshelfDesign d;
+      SnapshotCacheResult cache;
+      const Status st = load_with_snapshot_cache(
+          snapshot,
+          [&](BookshelfDesign* out) -> Status {
+            GTL_RETURN_IF_ERROR(try_read_bookshelf(aux, out));
+            for (const std::string& w : out->warnings) {
+              std::cerr << "warning: " << w << "\n";
+            }
+            return Status::ok();
+          },
+          &d, &cache);
+      if (!st.is_ok()) {
+        std::cerr << "error: " << st.to_string()
+                  << "\n(delete the stale snapshot to re-parse --aux)\n";
+        return 2;
+      }
+      for (const std::string& note : cache.notes) {
+        std::cerr << note << "\n";
+      }
+      if (cache.hit) {
+        std::cout << "loaded snapshot " << snapshot << " ("
+                  << d.netlist.num_cells() << " cells, "
+                  << d.netlist.num_nets()
+                  << " nets; cache overrides --aux)\n";
+      }
+      netlist = std::move(d.netlist);
       case_name = std::filesystem::path(aux).stem().string();
     } else {
       const auto cfg = ispd_like_config(names[b], f);

@@ -17,6 +17,7 @@
 #include "finder/finder_json.hpp"
 #include "graphgen/presets.hpp"
 #include "netlist/bookshelf.hpp"
+#include "netlist/netlist_io.hpp"
 #include "netlist/netlist_stats.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -46,6 +47,10 @@ int main(int argc, char** argv) {
   args.usage("Find tangled logic structures in a Bookshelf design (or a "
              "synthetic bigblue1 stand-in) and write a GTL report.")
       .describe("aux=FILE", "Bookshelf .aux file; omit for the synthetic demo")
+      .describe("snapshot=FILE", "binary snapshot cache: load FILE if it "
+                                 "exists, else write it after loading")
+      .describe("save-bookshelf=DIR", "also write the loaded design as "
+                                      "Bookshelf corpus.{aux,nodes,nets,pl}")
       .describe("factor=F", "synthetic stand-in size factor (default 0.05)")
       .describe("seeds=N", "random starting seeds (default 100)")
       .describe("max-order=Z", "max ordering length (default: cells/8 + 1000)")
@@ -57,6 +62,8 @@ int main(int argc, char** argv) {
   if (cli_help_exit(args)) return 0;
 
   const std::string aux = args.get("aux");
+  const std::string snapshot = args.get("snapshot");
+  const std::string save_bookshelf = args.get("save-bookshelf");
   const double factor = args.get_double("factor", 0.05);
   const auto seeds = args.get_int("seeds", 100);
   const auto threads = args.get_int("threads", 0);
@@ -72,17 +79,60 @@ int main(int argc, char** argv) {
   if (cli_error_exit(args)) return 2;
 
   // --- load or synthesize the design ---
-  Netlist netlist;
-  if (!aux.empty()) {
-    std::cout << "loading " << aux << "...\n";
-    netlist = read_bookshelf(aux).netlist;
-  } else {
-    std::cout << "no --aux given: generating a bigblue1-scale synthetic "
-                 "stand-in (see DESIGN.md)\n";
-    const auto cfg = ispd_like_config("bigblue1", factor);
-    Rng rng(1);
-    netlist = generate_synthetic_circuit(cfg, rng).netlist;
+  // Snapshot cache protocol (load_with_snapshot_cache): an existing
+  // --snapshot is the cache hit (O(read) load); otherwise load --aux
+  // text or generate the synthetic stand-in, then fill the cache so the
+  // next run takes the fast path.
+  BookshelfDesign design;
+  SnapshotCacheResult cache;
+  Timer load_timer;
+  const Status load_st = load_with_snapshot_cache(
+      snapshot,
+      [&](BookshelfDesign* out) -> Status {
+        if (!aux.empty()) {
+          std::cout << "loading " << aux << "...\n";
+          GTL_RETURN_IF_ERROR(try_read_bookshelf(aux, out));
+          for (const std::string& w : out->warnings) {
+            std::cerr << "warning: " << w << "\n";
+          }
+          std::cout << "parsed in " << fmt_double(load_timer.seconds(), 2)
+                    << "s\n";
+          return Status::ok();
+        }
+        std::cout << "no --aux given: generating a bigblue1-scale synthetic "
+                     "stand-in (see DESIGN.md)\n";
+        auto cfg = ispd_like_config("bigblue1", factor);
+        cfg.with_names = true;
+        Rng rng(1);
+        SyntheticCircuit circuit = generate_synthetic_circuit(cfg, rng);
+        out->netlist = std::move(circuit.netlist);
+        out->x = std::move(circuit.hint_x);
+        out->y = std::move(circuit.hint_y);
+        return Status::ok();
+      },
+      &design, &cache);
+  if (!load_st.is_ok()) {
+    std::cerr << "error: " << load_st.to_string() << "\n";
+    return 2;
   }
+  if (cache.hit) {
+    std::cout << "snapshot " << snapshot << " loaded in "
+              << fmt_double(load_timer.seconds(), 2) << "s ("
+              << design.netlist.num_cells() << " cells"
+              << (!aux.empty() ? "; cache overrides --aux" : "") << ")\n";
+  }
+  for (const std::string& note : cache.notes) std::cout << note << "\n";
+  if (!save_bookshelf.empty()) {
+    try {
+      write_bookshelf(design, save_bookshelf, "corpus");
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << "Bookshelf corpus written to " << save_bookshelf
+              << "/corpus.aux\n";
+  }
+  const Netlist& netlist = design.netlist;
 
   const NetlistSummary summary = summarize(netlist);
   std::cout << "design: " << fmt_int(static_cast<long long>(summary.num_cells))

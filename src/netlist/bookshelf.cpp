@@ -1,221 +1,525 @@
 #include "netlist/bookshelf.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
 
+#include "util/fileio.hpp"
 #include "util/strings.hpp"
 
 namespace gtl {
 namespace {
 
-[[noreturn]] void fail(const std::filesystem::path& file, std::size_t line,
-                       const std::string& what) {
-  throw std::runtime_error("bookshelf: " + file.string() + ":" +
-                           std::to_string(line) + ": " + what);
+// ---------------------------------------------------------------------------
+// Zero-copy scanning layer.
+//
+// Each file is slurped in one gulp and tokenized in place: tokens are
+// string_views into the buffer, numbers go through std::from_chars, and
+// the per-line token vector is reused, so steady-state parsing allocates
+// only for the strings the Netlist itself must own (cell/net names).
+// The line-of-tokens shape deliberately mirrors the seed parser's
+// getline+istringstream structure so its accepted dialect is preserved
+// exactly (pinned by tests/netlist/bookshelf_equivalence_test.cpp):
+//   * tokens are split on whitespace;
+//   * a token *starting* with '#' comments out the rest of the line
+//     (but "foo#bar" is one ordinary token);
+//   * lines whose first token is "UCLA" (the format header) are skipped.
+// ---------------------------------------------------------------------------
+
+constexpr bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+         c == '\f';
 }
 
-/// Split a line into whitespace-separated tokens, dropping '#' comments.
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> toks;
-  std::istringstream is(line);
-  std::string t;
-  while (is >> t) {
-    if (t[0] == '#') break;
-    toks.push_back(std::move(t));
-  }
-  return toks;
+/// "bookshelf: <file>:<line>: <what>" — the error-reporting contract.
+Status parse_fail(const std::filesystem::path& file, std::size_t line,
+                  const std::string& what) {
+  return Status::parse_error("bookshelf: " + file.string() + ":" +
+                             std::to_string(line) + ": " + what);
 }
 
-/// Reads lines, skipping blanks/comments and the "UCLA ..." header line.
-class LineReader {
+class Scanner {
  public:
-  explicit LineReader(const std::filesystem::path& path)
-      : path_(path), in_(path) {
-    if (!in_) throw std::runtime_error("bookshelf: cannot open " + path.string());
-  }
+  Scanner(const std::filesystem::path& file, std::string_view data)
+      : file_(file), data_(data) {}
 
-  /// Next non-empty token list, or empty when EOF.
-  std::vector<std::string> next() {
-    std::string line;
-    while (std::getline(in_, line)) {
+  /// Advance to the next line with content; false at EOF.  Tokens are
+  /// valid until the next call.
+  bool next_line() {
+    while (pos_ < data_.size()) {
       ++lineno_;
-      auto toks = tokenize(line);
-      if (toks.empty()) continue;
-      if (toks[0] == "UCLA") continue;  // format header
-      return toks;
+      std::size_t eol = data_.find('\n', pos_);
+      if (eol == std::string_view::npos) eol = data_.size();
+      const std::string_view line = data_.substr(pos_, eol - pos_);
+      pos_ = eol + 1;  // past the newline (or one past the end: loop exits)
+      toks_.clear();
+      std::size_t i = 0;
+      while (i < line.size()) {
+        while (i < line.size() && is_space(line[i])) ++i;
+        if (i >= line.size() || line[i] == '#') break;
+        const std::size_t start = i;
+        while (i < line.size() && !is_space(line[i])) ++i;
+        toks_.push_back(line.substr(start, i - start));
+      }
+      if (toks_.empty()) continue;
+      if (toks_[0] == "UCLA") continue;  // format header
+      return true;
     }
-    return {};
+    return false;
   }
 
+  [[nodiscard]] const std::vector<std::string_view>& tokens() const {
+    return toks_;
+  }
   [[nodiscard]] std::size_t lineno() const { return lineno_; }
-  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] const std::filesystem::path& file() const { return file_; }
+
+  [[nodiscard]] Status fail(const std::string& what) const {
+    return parse_fail(file_, lineno_, what);
+  }
 
  private:
-  std::filesystem::path path_;
-  std::ifstream in_;
+  const std::filesystem::path& file_;
+  std::string_view data_;
+  std::size_t pos_ = 0;
   std::size_t lineno_ = 0;
+  std::vector<std::string_view> toks_;
 };
 
-double to_double(const LineReader& r, const std::string& s) {
-  try {
-    return std::stod(s);
-  } catch (const std::exception&) {
-    fail(r.path(), r.lineno(), "expected number, got '" + s + "'");
+/// A leading '+' is consumed for stod/stoull parity (std::from_chars
+/// rejects it; real emitters write "+0.5" pin offsets), but "+-1" and a
+/// bare "+" stay malformed, as they were for the seed parser.
+std::string_view strip_plus(std::string_view t) {
+  if (t.size() >= 2 && t.front() == '+' && t[1] != '-' && t[1] != '+') {
+    t.remove_prefix(1);
   }
+  return t;
 }
 
-std::size_t to_size(const LineReader& r, const std::string& s) {
-  try {
-    return static_cast<std::size_t>(std::stoull(s));
-  } catch (const std::exception&) {
-    fail(r.path(), r.lineno(), "expected count, got '" + s + "'");
+/// Strict finite double: the whole token must parse (no trailing junk,
+/// no inf/nan — a width of "3abc" or "inf" is malformed input, not 3).
+bool parse_double_token(std::string_view t, double* out) {
+  t = strip_plus(t);
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), *out);
+  return ec == std::errc{} && ptr == t.data() + t.size() && std::isfinite(*out);
+}
+
+/// Strict non-negative count; whole token must parse.
+bool parse_count_token(std::string_view t, std::uint64_t* out) {
+  t = strip_plus(t);
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), *out);
+  return ec == std::errc{} && ptr == t.data() + t.size();
+}
+
+Status expect_double(const Scanner& s, std::string_view t, double* out) {
+  if (!parse_double_token(t, out)) {
+    return s.fail("expected number, got '" + std::string(t) + "'");
   }
+  return Status::ok();
+}
+
+Status expect_count(const Scanner& s, std::string_view t,
+                    std::uint64_t* out) {
+  if (!parse_count_token(t, out)) {
+    return s.fail("expected count, got '" + std::string(t) + "'");
+  }
+  return Status::ok();
+}
+
+/// Parse a "NumFoo : <count>" declaration line (the ':' is optional, as
+/// in the seed parser which took the line's last token).
+Status parse_decl_count(const Scanner& s, std::uint64_t* out) {
+  const auto& toks = s.tokens();
+  std::size_t vi = 1;
+  if (vi < toks.size() && toks[vi] == ":") ++vi;
+  if (vi + 1 != toks.size()) {
+    return s.fail("malformed '" + std::string(toks[0]) +
+                  "' declaration (expected '" + std::string(toks[0]) +
+                  " : <count>')");
+  }
+  return expect_count(s, toks[vi], out);
 }
 
 struct NodesData {
   std::vector<std::string> names;
   std::vector<double> widths, heights;
   std::vector<std::uint8_t> fixed;  // byte flags, matching NetlistBuilder
-  std::unordered_map<std::string, CellId> index;
+  /// Keys view into the .nodes file buffer (kept alive by the caller), so
+  /// .nets/.pl lookups hash raw token views — no per-lookup string.
+  std::unordered_map<std::string_view, CellId> index;
 };
 
-NodesData read_nodes(const std::filesystem::path& path) {
-  LineReader r(path);
-  NodesData d;
-  std::size_t expected = 0;
-  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
+Status parse_nodes(const std::filesystem::path& path, std::string_view buf,
+                   NodesData* d) {
+  Scanner s(path, buf);
+  std::uint64_t declared_nodes = 0, declared_terminals = 0;
+  std::size_t declared_nodes_line = 0, declared_terminals_line = 0;
+  std::size_t terminals = 0;
+  while (s.next_line()) {
+    const auto& toks = s.tokens();
     if (toks[0] == "NumNodes") {
-      expected = to_size(r, toks.back());
-      d.names.reserve(expected);
-      d.widths.reserve(expected);
-      d.heights.reserve(expected);
-      d.fixed.reserve(expected);
+      GTL_RETURN_IF_ERROR(parse_decl_count(s, &declared_nodes));
+      declared_nodes_line = s.lineno();
+      if (declared_nodes >= kInvalidCell) {
+        return s.fail("NumNodes " + std::to_string(declared_nodes) +
+                      " exceeds the 32-bit cell-id limit");
+      }
+      // Cap the reservation by what the file could possibly hold (a node
+      // line is >= 6 bytes), so a lying count cannot force a huge
+      // allocation before the mismatch check fires.
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(declared_nodes, buf.size() / 6 + 1));
+      d->names.reserve(n);
+      d->widths.reserve(n);
+      d->heights.reserve(n);
+      d->fixed.reserve(n);
+      d->index.reserve(n);
       continue;
     }
-    if (toks[0] == "NumTerminals") continue;
-    // "<name> <width> <height> [terminal]"
-    if (toks.size() < 3) fail(path, r.lineno(), "node line needs name w h");
-    const bool terminal = toks.size() >= 4 && toks[3] == "terminal";
-    d.index.emplace(toks[0], static_cast<CellId>(d.names.size()));
-    d.names.push_back(toks[0]);
-    d.widths.push_back(std::max(1e-9, to_double(r, toks[1])));
-    d.heights.push_back(std::max(1e-9, to_double(r, toks[2])));
-    d.fixed.push_back(terminal ? 1 : 0);
+    if (toks[0] == "NumTerminals") {
+      GTL_RETURN_IF_ERROR(parse_decl_count(s, &declared_terminals));
+      declared_terminals_line = s.lineno();
+      continue;
+    }
+    // "<name> <width> <height> [terminal|terminal_NI]" — terminal_NI is
+    // the ISPD-2006 fixed-but-overlappable flavor; both mark the cell
+    // fixed (matching the /FIXED_NI handling in .pl).
+    if (toks.size() < 3) return s.fail("node line needs name w h");
+    if (toks.size() > 4) {
+      return s.fail("unexpected token '" + std::string(toks[4]) +
+                    "' after node");
+    }
+    if (toks.size() == 4 && toks[3] != "terminal" &&
+        toks[3] != "terminal_NI") {
+      return s.fail("unexpected token '" + std::string(toks[3]) +
+                    "' after node (only 'terminal'/'terminal_NI' is "
+                    "allowed)");
+    }
+    if (d->names.size() >= kInvalidCell - 1) {
+      return s.fail("too many nodes (32-bit cell-id overflow)");
+    }
+    const auto id = static_cast<CellId>(d->names.size());
+    if (!d->index.emplace(toks[0], id).second) {
+      return s.fail("duplicate node name '" + std::string(toks[0]) + "'");
+    }
+    double w = 0.0, h = 0.0;
+    GTL_RETURN_IF_ERROR(expect_double(s, toks[1], &w));
+    GTL_RETURN_IF_ERROR(expect_double(s, toks[2], &h));
+    const bool terminal = toks.size() == 4;
+    d->names.emplace_back(toks[0]);
+    // Zero-sized pads appear in real benchmarks; clamp like the seed
+    // parser did so the Netlist's positive-area invariant holds.
+    d->widths.push_back(std::max(1e-9, w));
+    d->heights.push_back(std::max(1e-9, h));
+    d->fixed.push_back(terminal ? 1 : 0);
+    if (terminal) ++terminals;
   }
-  if (expected != 0 && d.names.size() != expected) {
-    throw std::runtime_error("bookshelf: " + path.string() + ": NumNodes=" +
-                             std::to_string(expected) + " but parsed " +
-                             std::to_string(d.names.size()));
+  if (declared_nodes_line != 0 && declared_nodes != d->names.size()) {
+    return parse_fail(path, declared_nodes_line,
+                      "NumNodes declares " + std::to_string(declared_nodes) +
+                          " nodes but the file defines " +
+                          std::to_string(d->names.size()));
   }
-  return d;
+  if (declared_terminals_line != 0 && declared_terminals != terminals) {
+    return parse_fail(
+        path, declared_terminals_line,
+        "NumTerminals declares " + std::to_string(declared_terminals) +
+            " terminals but the file defines " + std::to_string(terminals));
+  }
+  return Status::ok();
 }
 
-void read_nets(const std::filesystem::path& path, const NodesData& nodes,
-               NetlistBuilder& nb) {
-  LineReader r(path);
-  std::size_t expected_nets = 0;
+Status parse_nets(const std::filesystem::path& path, std::string_view buf,
+                  const NodesData& nodes, NetlistBuilder* nb) {
+  Scanner s(path, buf);
+  std::uint64_t declared_nets = 0, declared_pins = 0;
+  std::size_t declared_nets_line = 0, declared_pins_line = 0;
   std::vector<CellId> pins;
-  std::size_t degree_left = 0;
-  std::string net_name;
-  std::size_t nets_done = 0;
+  bool net_open = false;
+  std::uint64_t degree = 0;       // declared NetDegree of the open net
+  std::string_view net_name;      // view into buf; empty if unnamed
+  std::size_t net_line = 0;       // line of the open net's declaration
+  std::size_t nets_done = 0, pins_seen = 0;
 
-  auto flush_net = [&] {
-    if (!pins.empty()) {
-      nb.add_net(pins, net_name);
-      ++nets_done;
-      pins.clear();
+  auto net_label = [&] {
+    if (net_name.empty()) return numbered_name("#", nets_done);
+    std::string label = "'";
+    label += net_name;
+    label += '\'';
+    return label;
+  };
+  // A net is complete only when it has exactly its declared pin count;
+  // the seed parser silently flushed short nets on the next NetDegree/EOF.
+  auto close_net = [&]() -> Status {
+    if (!net_open) return Status::ok();
+    if (pins.size() != degree) {
+      return parse_fail(path, net_line,
+                        "net " + net_label() + ": NetDegree declares " +
+                            std::to_string(degree) + " pins but " +
+                            std::to_string(pins.size()) + " follow");
     }
+    nb->add_net(pins, std::string(net_name));
+    ++nets_done;
+    pins.clear();
+    net_open = false;
+    return Status::ok();
   };
 
-  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
+  while (s.next_line()) {
+    const auto& toks = s.tokens();
     if (toks[0] == "NumNets") {
-      expected_nets = to_size(r, toks.back());
+      GTL_RETURN_IF_ERROR(parse_decl_count(s, &declared_nets));
+      declared_nets_line = s.lineno();
+      // Reserve builder storage up front (file-size capped like the
+      // NumNodes reservation; a NetDegree line is >= 12 bytes) so the
+      // pin array does not grow by geometric realloc on the hot path.
+      nb->reserve(0, static_cast<std::size_t>(std::min<std::uint64_t>(
+                         declared_nets, buf.size() / 12 + 1)),
+                  0);
       continue;
     }
-    if (toks[0] == "NumPins") continue;
+    if (toks[0] == "NumPins") {
+      GTL_RETURN_IF_ERROR(parse_decl_count(s, &declared_pins));
+      declared_pins_line = s.lineno();
+      nb->reserve(0, 0, static_cast<std::size_t>(std::min<std::uint64_t>(
+                            declared_pins, buf.size() / 2 + 1)));
+      continue;
+    }
     if (toks[0] == "NetDegree") {
-      flush_net();
+      GTL_RETURN_IF_ERROR(close_net());
       // "NetDegree : <d> [name]"
-      if (toks.size() < 3) fail(path, r.lineno(), "malformed NetDegree");
-      degree_left = to_size(r, toks[2]);
-      net_name = toks.size() >= 4 ? toks[3] : std::string{};
-      pins.reserve(degree_left);
+      if (toks.size() < 3 || toks[1] != ":" || toks.size() > 4) {
+        return s.fail("malformed NetDegree (expected 'NetDegree : <d> "
+                      "[name]')");
+      }
+      GTL_RETURN_IF_ERROR(expect_count(s, toks[2], &degree));
+      if (degree == 0) {
+        return s.fail("NetDegree declares an empty net");
+      }
+      net_name = toks.size() == 4 ? toks[3] : std::string_view{};
+      net_open = true;
+      net_line = s.lineno();
+      // Same lying-count guard as NumNodes: a pin line is >= 2 bytes.
+      pins.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(degree, buf.size() / 2 + 1)));
       continue;
     }
-    // Pin line: "<cellname> <I|O|B> [: x y]"
-    if (degree_left == 0) fail(path, r.lineno(), "pin outside a net");
+    // Pin line: "<cellname> [<I|O|B> [: x y]]"
+    if (!net_open) return s.fail("pin line outside a net");
+    if (pins.size() == degree) {
+      return parse_fail(path, s.lineno(),
+                        "net " + net_label() + ": pin '" +
+                            std::string(toks[0]) +
+                            "' exceeds the declared NetDegree " +
+                            std::to_string(degree));
+    }
+    if (toks.size() > 2) {
+      // Optional pin offset, as in the real benchmarks: ": <x> <y>".
+      double off = 0.0;
+      if (toks.size() != 5 || toks[2] != ":") {
+        return s.fail("malformed pin line (expected '<cell> <dir> "
+                      "[: x y]')");
+      }
+      GTL_RETURN_IF_ERROR(expect_double(s, toks[3], &off));
+      GTL_RETURN_IF_ERROR(expect_double(s, toks[4], &off));
+    }
     const auto it = nodes.index.find(toks[0]);
     if (it == nodes.index.end()) {
-      fail(path, r.lineno(), "pin references unknown node '" + toks[0] + "'");
+      return s.fail("pin references unknown node '" + std::string(toks[0]) +
+                    "'");
     }
     pins.push_back(it->second);
-    --degree_left;
+    ++pins_seen;
   }
-  flush_net();
-  if (expected_nets != 0 && nets_done != expected_nets) {
-    throw std::runtime_error("bookshelf: " + path.string() + ": NumNets=" +
-                             std::to_string(expected_nets) + " but parsed " +
-                             std::to_string(nets_done));
+  GTL_RETURN_IF_ERROR(close_net());
+  if (declared_nets_line != 0 && declared_nets != nets_done) {
+    return parse_fail(path, declared_nets_line,
+                      "NumNets declares " + std::to_string(declared_nets) +
+                          " nets but the file defines " +
+                          std::to_string(nets_done));
   }
+  if (declared_pins_line != 0 && declared_pins != pins_seen) {
+    return parse_fail(path, declared_pins_line,
+                      "NumPins declares " + std::to_string(declared_pins) +
+                          " pins but the file defines " +
+                          std::to_string(pins_seen));
+  }
+  return Status::ok();
 }
 
-void read_pl(const std::filesystem::path& path, const NodesData& nodes,
-             std::vector<double>& x, std::vector<double>& y) {
-  LineReader r(path);
-  x.assign(nodes.names.size(), 0.0);
-  y.assign(nodes.names.size(), 0.0);
-  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
-    // "<name> <x> <y> : <orient> [/FIXED]"
-    if (toks.size() < 3) fail(path, r.lineno(), "pl line needs name x y");
-    const auto it = nodes.index.find(toks[0]);
-    if (it == nodes.index.end()) continue;  // tolerate extra rows
-    x[it->second] = to_double(r, toks[1]);
-    y[it->second] = to_double(r, toks[2]);
+/// Parse .pl rows "<name> <x> <y> [: <orient> [/FIXED]]" into x/y and
+/// merge /FIXED into the fixed flags (the satellite bug: the seed parser
+/// dropped the suffix, so placement-fixed cells lost their fixed status
+/// unless .nodes also said terminal).  A .nodes/.pl disagreement and rows
+/// naming unknown nodes are surfaced as warnings, not errors.
+Status parse_pl(const std::filesystem::path& path, std::string_view buf,
+                NodesData* nodes, std::vector<double>* x,
+                std::vector<double>* y,
+                std::vector<std::string>* warnings) {
+  Scanner s(path, buf);
+  x->assign(nodes->names.size(), 0.0);
+  y->assign(nodes->names.size(), 0.0);
+  // A .pl that belongs to a different design would otherwise emit one
+  // warning per row; keep the first few and summarize the rest so a
+  // 2M-row mismatch stays a diagnostic, not a memory balloon.
+  constexpr std::size_t kMaxWarnings = 20;
+  std::size_t suppressed = 0;
+  auto warn = [&](std::string msg) {
+    if (warnings->size() < kMaxWarnings) {
+      warnings->push_back(std::move(msg));
+    } else {
+      ++suppressed;
+    }
+  };
+  while (s.next_line()) {
+    const auto& toks = s.tokens();
+    if (toks.size() < 3) return s.fail("pl line needs name x y");
+    // Unknown names first, before any strict validation: the seed parser
+    // tolerated arbitrary extra rows (placer banners, rows for another
+    // design), so they stay a warning, never a hard failure.
+    const auto it = nodes->index.find(toks[0]);
+    if (it == nodes->index.end()) {
+      warn(path.string() + ":" + std::to_string(s.lineno()) +
+           ": row for unknown node '" + std::string(toks[0]) + "' ignored");
+      continue;
+    }
+    bool fixed = false;
+    if (toks.size() > 3) {
+      // ": [<orient>] [/FIXED]" — the fixedness suffix counts even when
+      // the orientation is omitted ("x y : /FIXED"), so it can never be
+      // silently consumed as an orientation.
+      auto is_fixed_tok = [](std::string_view t) {
+        return t == "/FIXED" || t == "/FIXED_NI";
+      };
+      const std::string_view last = toks.back();
+      const bool has_flag = is_fixed_tok(last);
+      const std::size_t body = toks.size() - (has_flag ? 1 : 0);
+      // After "name x y :" at most one orientation token may remain.
+      if (toks[3] != ":" || body > 5 ||
+          (body == 5 && is_fixed_tok(toks[4]))) {
+        return s.fail("malformed pl line (expected '<name> <x> <y> "
+                      "[: <orient> [/FIXED]]')");
+      }
+      fixed = has_flag;
+    }
+    double px = 0.0, py = 0.0;
+    GTL_RETURN_IF_ERROR(expect_double(s, toks[1], &px));
+    GTL_RETURN_IF_ERROR(expect_double(s, toks[2], &py));
+    (*x)[it->second] = px;
+    (*y)[it->second] = py;
+    if (fixed && nodes->fixed[it->second] == 0) {
+      warn(path.string() + ":" + std::to_string(s.lineno()) + ": node '" +
+           std::string(toks[0]) +
+           "' is /FIXED in .pl but not terminal in .nodes; "
+           "treating it as fixed");
+      nodes->fixed[it->second] = 1;
+    }
   }
+  if (suppressed != 0) {
+    warnings->push_back(path.string() + ": " + std::to_string(suppressed) +
+                        " more warning(s) suppressed");
+  }
+  return Status::ok();
+}
+
+Status slurp(const std::filesystem::path& path, std::string* out) {
+  const Status st = read_file_to_string(path, out);
+  if (!st.is_ok()) {
+    // Keep the open-vs-mid-read distinction the reader encodes.
+    if (st.code() == StatusCode::kNotFound) {
+      return Status::parse_error("bookshelf: cannot open " + path.string());
+    }
+    return Status::parse_error("bookshelf: " + st.message());
+  }
+  return Status::ok();
 }
 
 }  // namespace
 
+Status try_read_bookshelf_files(const std::filesystem::path& nodes_path,
+                                const std::filesystem::path& nets_path,
+                                const std::filesystem::path& pl_path,
+                                BookshelfDesign* out) {
+  out->x.clear();
+  out->y.clear();
+  out->warnings.clear();
+
+  // The .nodes buffer stays alive while .nets/.pl parse: the name index
+  // keys view into it.
+  std::string nodes_buf;
+  GTL_RETURN_IF_ERROR(slurp(nodes_path, &nodes_buf));
+  NodesData nodes;
+  GTL_RETURN_IF_ERROR(parse_nodes(nodes_path, nodes_buf, &nodes));
+
+  // .pl before the builder runs so /FIXED flags merge into the cells.
+  if (!pl_path.empty() && std::filesystem::exists(pl_path)) {
+    std::string pl_buf;
+    GTL_RETURN_IF_ERROR(slurp(pl_path, &pl_buf));
+    GTL_RETURN_IF_ERROR(
+        parse_pl(pl_path, pl_buf, &nodes, &out->x, &out->y, &out->warnings));
+  }
+
+  NetlistBuilder nb;
+  nb.reserve(nodes.names.size(), 0, 0);
+  for (std::size_t i = 0; i < nodes.names.size(); ++i) {
+    // Names move into the builder: the lookup index keys view into the
+    // file buffer, not into these strings.
+    nb.add_cell(std::move(nodes.names[i]), nodes.widths[i], nodes.heights[i],
+                nodes.fixed[i] != 0);
+  }
+  {
+    std::string nets_buf;
+    GTL_RETURN_IF_ERROR(slurp(nets_path, &nets_buf));
+    GTL_RETURN_IF_ERROR(parse_nets(nets_path, nets_buf, nodes, &nb));
+  }
+  out->netlist = nb.build();
+  return Status::ok();
+}
+
+Status try_read_bookshelf(const std::filesystem::path& aux,
+                          BookshelfDesign* out) {
+  std::string buf;
+  GTL_RETURN_IF_ERROR(slurp(aux, &buf));
+  Scanner s(aux, buf);
+  std::filesystem::path nodes, nets, pl;
+  const auto dir = aux.parent_path();
+  while (s.next_line()) {
+    for (const std::string_view t : s.tokens()) {
+      if (t.size() > 6 && t.substr(t.size() - 6) == ".nodes") nodes = dir / t;
+      if (t.size() > 5 && t.substr(t.size() - 5) == ".nets") nets = dir / t;
+      if (t.size() > 3 && t.substr(t.size() - 3) == ".pl") pl = dir / t;
+    }
+  }
+  if (nodes.empty() || nets.empty()) {
+    return Status::parse_error("bookshelf: " + aux.string() +
+                               ": aux file does not name .nodes and .nets");
+  }
+  return try_read_bookshelf_files(nodes, nets, pl, out);
+}
+
 BookshelfDesign read_bookshelf_files(const std::filesystem::path& nodes_path,
                                      const std::filesystem::path& nets_path,
                                      const std::filesystem::path& pl_path) {
-  const NodesData nodes = read_nodes(nodes_path);
-  NetlistBuilder nb;
-  for (std::size_t i = 0; i < nodes.names.size(); ++i) {
-    nb.add_cell(nodes.names[i], nodes.widths[i], nodes.heights[i],
-                nodes.fixed[i]);
-  }
-  read_nets(nets_path, nodes, nb);
-
   BookshelfDesign d;
-  if (!pl_path.empty() && std::filesystem::exists(pl_path)) {
-    read_pl(pl_path, nodes, d.x, d.y);
+  if (const Status st =
+          try_read_bookshelf_files(nodes_path, nets_path, pl_path, &d);
+      !st.is_ok()) {
+    throw std::runtime_error(st.message());
   }
-  d.netlist = nb.build();
   return d;
 }
 
 BookshelfDesign read_bookshelf(const std::filesystem::path& aux) {
-  LineReader r(aux);
-  std::filesystem::path nodes, nets, pl;
-  const auto dir = aux.parent_path();
-  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
-    for (const auto& t : toks) {
-      std::filesystem::path p = dir / t;
-      if (t.size() > 6 && t.substr(t.size() - 6) == ".nodes") nodes = p;
-      if (t.size() > 5 && t.substr(t.size() - 5) == ".nets") nets = p;
-      if (t.size() > 3 && t.substr(t.size() - 3) == ".pl") pl = p;
-    }
+  BookshelfDesign d;
+  if (const Status st = try_read_bookshelf(aux, &d); !st.is_ok()) {
+    throw std::runtime_error(st.message());
   }
-  if (nodes.empty() || nets.empty()) {
-    throw std::runtime_error("bookshelf: " + aux.string() +
-                             ": aux file does not name .nodes and .nets");
-  }
-  return read_bookshelf_files(nodes, nets, pl);
+  return d;
 }
 
 void write_bookshelf(const BookshelfDesign& design,

@@ -70,51 +70,56 @@ NetId NetlistBuilder::add_net(std::span<const CellId> cells,
   return id;
 }
 
-Netlist NetlistBuilder::build() {
-  Netlist nl;
-  const std::size_t n_cells = widths_.size();
-  const std::size_t n_nets = net_offset_.size() - 1;
+void Netlist::finalize_from_forward_csr() {
+  const std::size_t n_cells = cell_width_.size();
+  const std::size_t n_nets = net_pin_offset_.size() - 1;
 
-  nl.cell_width_ = std::move(widths_);
-  nl.cell_height_ = std::move(heights_);
-  nl.cell_fixed_ = std::move(fixed_);
-  nl.num_movable_ = static_cast<std::size_t>(
-      std::count(nl.cell_fixed_.begin(), nl.cell_fixed_.end(), 0));
-  nl.net_pin_offset_ = std::move(net_offset_);
-  nl.net_pins_ = std::move(net_pins_);
+  num_movable_ = static_cast<std::size_t>(
+      std::count(cell_fixed_.begin(), cell_fixed_.end(), 0));
 
   // Cache per-net sizes (the hottest query of Phase I).
-  nl.net_size_.resize(n_nets);
+  net_size_.resize(n_nets);
   for (std::size_t e = 0; e < n_nets; ++e) {
-    nl.net_size_[e] = nl.net_pin_offset_[e + 1] - nl.net_pin_offset_[e];
+    net_size_[e] = net_pin_offset_[e + 1] - net_pin_offset_[e];
   }
 
   // Build the transposed CSR: cell -> nets, via counting sort.
-  nl.cell_net_offset_.assign(n_cells + 1, 0);
-  for (const CellId c : nl.net_pins_) ++nl.cell_net_offset_[c + 1];
+  cell_net_offset_.assign(n_cells + 1, 0);
+  for (const CellId c : net_pins_) ++cell_net_offset_[c + 1];
   for (std::size_t i = 1; i <= n_cells; ++i) {
-    nl.cell_net_offset_[i] += nl.cell_net_offset_[i - 1];
+    cell_net_offset_[i] += cell_net_offset_[i - 1];
   }
-  nl.cell_nets_.resize(nl.net_pins_.size());
-  std::vector<std::uint32_t> cursor(nl.cell_net_offset_.begin(),
-                                    nl.cell_net_offset_.end() - 1);
+  cell_nets_.resize(net_pins_.size());
+  std::vector<std::uint32_t> cursor(cell_net_offset_.begin(),
+                                    cell_net_offset_.end() - 1);
   for (std::size_t e = 0; e < n_nets; ++e) {
-    for (std::uint32_t p = nl.net_pin_offset_[e];
-         p < nl.net_pin_offset_[e + 1]; ++p) {
-      nl.cell_nets_[cursor[nl.net_pins_[p]]++] = static_cast<NetId>(e);
+    for (std::uint32_t p = net_pin_offset_[e]; p < net_pin_offset_[e + 1];
+         ++p) {
+      cell_nets_[cursor[net_pins_[p]]++] = static_cast<NetId>(e);
     }
   }
 
-  if (any_cell_named_) {
-    nl.cell_names_ = std::move(cell_names_);
-    nl.name_to_cell_.reserve(n_cells);
+  name_to_cell_.clear();
+  if (!cell_names_.empty()) {
+    name_to_cell_.reserve(n_cells);
     for (std::size_t c = 0; c < n_cells; ++c) {
-      if (!nl.cell_names_[c].empty()) {
-        nl.name_to_cell_.emplace(nl.cell_names_[c], static_cast<CellId>(c));
+      if (!cell_names_[c].empty()) {
+        name_to_cell_.emplace(cell_names_[c], static_cast<CellId>(c));
       }
     }
   }
+}
+
+Netlist NetlistBuilder::build() {
+  Netlist nl;
+  nl.cell_width_ = std::move(widths_);
+  nl.cell_height_ = std::move(heights_);
+  nl.cell_fixed_ = std::move(fixed_);
+  nl.net_pin_offset_ = std::move(net_offset_);
+  nl.net_pins_ = std::move(net_pins_);
+  if (any_cell_named_) nl.cell_names_ = std::move(cell_names_);
   if (any_net_named_) nl.net_names_ = std::move(net_names_);
+  nl.finalize_from_forward_csr();
 
   // Reset builder to a pristine state.
   *this = NetlistBuilder{};

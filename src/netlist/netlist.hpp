@@ -98,6 +98,16 @@ class Netlist {
 
  private:
   friend class NetlistBuilder;
+  /// netlist_io.cpp: raw CSR (de)serialization for the binary snapshot
+  /// format — snapshot load bypasses the builder's per-net sort/dedup
+  /// because a written snapshot already satisfies the invariants.
+  friend struct NetlistSnapshotAccess;
+
+  /// Recompute everything derivable from the forward CSR + cell arrays
+  /// (which must already be populated): cached net sizes, the transposed
+  /// cell->nets CSR, the movable count, and the name index.  Shared by
+  /// NetlistBuilder::build() and the snapshot loader.
+  void finalize_from_forward_csr();
 
   std::vector<std::uint32_t> cell_net_offset_;  // size num_cells+1
   std::vector<NetId> cell_nets_;

@@ -1,0 +1,528 @@
+#include "netlist/netlist_io.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/fileio.hpp"
+
+namespace gtl {
+
+/// Friend of Netlist: raw member access for bulk (de)serialization.  The
+/// load path fills the forward CSR directly and rebuilds the derived
+/// structures once, skipping the builder's per-net sort/dedup (a written
+/// snapshot already satisfies those invariants; the reader re-validates
+/// them before assembly).
+struct NetlistSnapshotAccess {
+  static const std::vector<std::uint32_t>& net_pin_offset(const Netlist& n) {
+    return n.net_pin_offset_;
+  }
+  static const std::vector<CellId>& net_pins(const Netlist& n) {
+    return n.net_pins_;
+  }
+  static const std::vector<double>& cell_width(const Netlist& n) {
+    return n.cell_width_;
+  }
+  static const std::vector<double>& cell_height(const Netlist& n) {
+    return n.cell_height_;
+  }
+  static const std::vector<std::uint8_t>& cell_fixed(const Netlist& n) {
+    return n.cell_fixed_;
+  }
+  static const std::vector<std::string>& cell_names(const Netlist& n) {
+    return n.cell_names_;
+  }
+  static const std::vector<std::string>& net_names(const Netlist& n) {
+    return n.net_names_;
+  }
+
+  static Netlist assemble(std::vector<std::uint32_t>&& net_pin_offset,
+                          std::vector<CellId>&& net_pins,
+                          std::vector<double>&& widths,
+                          std::vector<double>&& heights,
+                          std::vector<std::uint8_t>&& fixed,
+                          std::vector<std::string>&& cell_names,
+                          std::vector<std::string>&& net_names) {
+    Netlist nl;
+    nl.net_pin_offset_ = std::move(net_pin_offset);
+    nl.net_pins_ = std::move(net_pins);
+    nl.cell_width_ = std::move(widths);
+    nl.cell_height_ = std::move(heights);
+    nl.cell_fixed_ = std::move(fixed);
+    nl.cell_names_ = std::move(cell_names);
+    nl.net_names_ = std::move(net_names);
+    nl.finalize_from_forward_csr();
+    return nl;
+  }
+};
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'T', 'L', 'S', 'N', 'A', 'P', '\0'};
+constexpr std::uint32_t kByteOrder = 0x01020304u;
+constexpr std::uint32_t kFlagCellNames = 1u << 0;
+constexpr std::uint32_t kFlagNetNames = 1u << 1;
+constexpr std::uint32_t kFlagPlacement = 1u << 2;
+constexpr std::uint32_t kKnownFlags =
+    kFlagCellNames | kFlagNetNames | kFlagPlacement;
+constexpr std::size_t kHeaderBytes = 8 + 4 * 4 + 5 * 8;  // 64
+
+Status fail(const std::filesystem::path& path, const std::string& what) {
+  return Status::parse_error("snapshot: " + path.string() + ": " + what);
+}
+
+/// FNV-1a 64: cheap, order-sensitive, and catches the truncation and
+/// bit-rot cases a size check alone cannot.
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+/// Buffered checksummed writer: every byte written is folded into the
+/// running FNV so the trailer can seal the whole file.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(const std::filesystem::path& path)
+      : out_(path, std::ios::binary) {}
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  void write(const void* data, std::size_t n) {
+    fnv_.mix(data, n);
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+  }
+  template <typename T>
+  void write_pod(const T& v) {
+    write(&v, sizeof(T));
+  }
+  template <typename T>
+  void write_array(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!v.empty()) write(v.data(), v.size() * sizeof(T));
+  }
+  void seal() {
+    // The trailer itself is not part of its own hash.
+    const std::uint64_t h = fnv_.h;
+    out_.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+  Fnv1a fnv_;
+};
+
+/// Bounds-checked cursor over the slurped snapshot bytes.
+class SnapshotReader {
+ public:
+  SnapshotReader(const std::filesystem::path& path, const std::string& buf)
+      : path_(path), buf_(buf) {}
+
+  [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  Status read(void* out, std::size_t n) {
+    if (n > remaining()) {
+      return fail(path_, "truncated (need " + std::to_string(n) +
+                             " bytes at offset " + std::to_string(pos_) +
+                             ", have " + std::to_string(remaining()) + ")");
+    }
+    if (n != 0) {  // empty arrays have no storage to memcpy into
+      std::memcpy(out, buf_.data() + pos_, n);
+      pos_ += n;
+    }
+    return Status::ok();
+  }
+  template <typename T>
+  Status read_pod(T* out) {
+    return read(out, sizeof(T));
+  }
+  template <typename T>
+  Status read_array(std::vector<T>* out, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out->resize(count);
+    return read(out->data(), count * sizeof(T));
+  }
+  /// Zero-copy variant: view `n` bytes in place and advance.
+  Status view(std::string_view* out, std::size_t n) {
+    if (n > remaining()) {
+      return fail(path_, "truncated (need " + std::to_string(n) +
+                             " bytes at offset " + std::to_string(pos_) +
+                             ", have " + std::to_string(remaining()) + ")");
+    }
+    *out = std::string_view(buf_).substr(pos_, n);
+    pos_ += n;
+    return Status::ok();
+  }
+
+ private:
+  const std::filesystem::path& path_;
+  const std::string& buf_;
+  std::size_t pos_ = 0;
+};
+
+Status read_names(SnapshotReader& r, const std::filesystem::path& path,
+                  const char* kind, std::size_t count,
+                  std::uint64_t blob_bytes, std::vector<std::string>* out) {
+  std::vector<std::uint32_t> lengths;
+  GTL_RETURN_IF_ERROR(r.read_array(&lengths, count));
+  std::uint64_t total = 0;
+  for (const std::uint32_t len : lengths) total += len;  // <= count * 2^32
+  if (total != blob_bytes) {
+    return fail(path, std::string(kind) + " name lengths sum to " +
+                          std::to_string(total) + " but the header declares " +
+                          std::to_string(blob_bytes) + " blob bytes");
+  }
+  // The blob is already resident in the slurped file buffer; construct
+  // the strings straight out of it (no transient copy of tens of MB on
+  // million-cell named designs).
+  std::string_view blob;
+  GTL_RETURN_IF_ERROR(r.view(&blob, static_cast<std::size_t>(blob_bytes)));
+  out->clear();
+  out->reserve(count);
+  std::size_t at = 0;
+  for (const std::uint32_t len : lengths) {
+    out->emplace_back(blob.substr(at, len));
+    at += len;
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status try_write_snapshot(const BookshelfDesign& design,
+                          const std::filesystem::path& path) {
+  using A = NetlistSnapshotAccess;
+  const Netlist& nl = design.netlist;
+  const std::vector<std::uint32_t>& offsets = A::net_pin_offset(nl);
+
+  const std::uint64_t num_cells = A::cell_width(nl).size();
+  const std::uint64_t num_nets = offsets.empty() ? 0 : offsets.size() - 1;
+  const std::uint64_t num_pins = A::net_pins(nl).size();
+
+  if ((!design.x.empty() || !design.y.empty()) &&
+      (design.x.size() != num_cells || design.y.size() != num_cells)) {
+    return Status::invalid_argument(
+        "snapshot: " + path.string() +
+        ": placement arrays do not match the cell count");
+  }
+
+  std::uint32_t flags = 0;
+  std::uint64_t cell_name_bytes = 0, net_name_bytes = 0;
+  if (!A::cell_names(nl).empty()) {
+    flags |= kFlagCellNames;
+    for (const std::string& s : A::cell_names(nl)) cell_name_bytes += s.size();
+  }
+  if (!A::net_names(nl).empty()) {
+    flags |= kFlagNetNames;
+    for (const std::string& s : A::net_names(nl)) net_name_bytes += s.size();
+  }
+  if (!design.x.empty()) flags |= kFlagPlacement;
+
+  // Write to a uniquely-named sibling temp file and rename into place:
+  // an interrupted or failed write must never leave a partial file at
+  // the cache path (a poisoned cache would shadow the valid text source
+  // on every subsequent run), and two processes filling the same cache
+  // concurrently must not interleave into one temp file — each writes
+  // its own and the last rename wins whole.
+  const auto nonce = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (reinterpret_cast<std::uintptr_t>(&design) << 16);
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(nonce);
+  SnapshotWriter w(tmp);
+  if (!w.ok()) {
+    return Status::not_found("snapshot: cannot write " + tmp.string());
+  }
+  w.write(kMagic, sizeof(kMagic));
+  w.write_pod(kByteOrder);
+  w.write_pod(kSnapshotVersion);
+  w.write_pod(flags);
+  w.write_pod(std::uint32_t{0});  // reserved
+  w.write_pod(num_cells);
+  w.write_pod(num_nets);
+  w.write_pod(num_pins);
+  w.write_pod(cell_name_bytes);
+  w.write_pod(net_name_bytes);
+
+  if (offsets.empty()) {
+    w.write_pod(std::uint32_t{0});  // canonical empty forward CSR
+  } else {
+    w.write_array(offsets);
+  }
+  w.write_array(A::net_pins(nl));
+  w.write_array(A::cell_width(nl));
+  w.write_array(A::cell_height(nl));
+  w.write_array(A::cell_fixed(nl));
+  if ((flags & kFlagCellNames) != 0) {
+    std::vector<std::uint32_t> lengths;
+    lengths.reserve(A::cell_names(nl).size());
+    for (const std::string& s : A::cell_names(nl)) {
+      lengths.push_back(static_cast<std::uint32_t>(s.size()));
+    }
+    w.write_array(lengths);
+    for (const std::string& s : A::cell_names(nl)) w.write(s.data(), s.size());
+  }
+  if ((flags & kFlagNetNames) != 0) {
+    std::vector<std::uint32_t> lengths;
+    lengths.reserve(A::net_names(nl).size());
+    for (const std::string& s : A::net_names(nl)) {
+      lengths.push_back(static_cast<std::uint32_t>(s.size()));
+    }
+    w.write_array(lengths);
+    for (const std::string& s : A::net_names(nl)) w.write(s.data(), s.size());
+  }
+  if ((flags & kFlagPlacement) != 0) {
+    w.write_array(design.x);
+    w.write_array(design.y);
+  }
+  w.seal();
+  if (!w.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return Status::parse_error("snapshot: write failed for " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    const std::string why = ec.message();
+    std::filesystem::remove(tmp, ec);
+    return Status::parse_error("snapshot: cannot move " + tmp.string() +
+                               " into place: " + why);
+  }
+  return Status::ok();
+}
+
+Status try_read_snapshot(const std::filesystem::path& path,
+                         BookshelfDesign* out) {
+  std::string buf;
+  if (const Status st = read_file_to_string(path, &buf); !st.is_ok()) {
+    // Keep the open-vs-mid-read distinction the reader encodes.
+    if (st.code() == StatusCode::kNotFound) {
+      return Status::not_found("snapshot: cannot open " + path.string());
+    }
+    return Status::parse_error("snapshot: " + st.message());
+  }
+  if (buf.size() < kHeaderBytes + sizeof(std::uint64_t)) {
+    return fail(path, "file too small to be a snapshot (" +
+                          std::to_string(buf.size()) + " bytes)");
+  }
+  SnapshotReader r(path, buf);
+
+  char magic[8];
+  GTL_RETURN_IF_ERROR(r.read(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail(path, "bad magic (not a GTL netlist snapshot)");
+  }
+  std::uint32_t byte_order = 0, version = 0, flags = 0, reserved = 0;
+  GTL_RETURN_IF_ERROR(r.read_pod(&byte_order));
+  GTL_RETURN_IF_ERROR(r.read_pod(&version));
+  GTL_RETURN_IF_ERROR(r.read_pod(&flags));
+  GTL_RETURN_IF_ERROR(r.read_pod(&reserved));
+  if (byte_order != kByteOrder) {
+    return fail(path, "byte-order marker mismatch (snapshot written on a "
+                      "different-endian machine)");
+  }
+  if (version == 0 || version > kSnapshotVersion) {
+    return fail(path, "unsupported snapshot version " +
+                          std::to_string(version) + " (this reader knows <= " +
+                          std::to_string(kSnapshotVersion) + ")");
+  }
+  if ((flags & ~kKnownFlags) != 0) {
+    return fail(path, "unknown flag bits " + std::to_string(flags) +
+                          " (file from a newer writer?)");
+  }
+  std::uint64_t num_cells = 0, num_nets = 0, num_pins = 0;
+  std::uint64_t cell_name_bytes = 0, net_name_bytes = 0;
+  GTL_RETURN_IF_ERROR(r.read_pod(&num_cells));
+  GTL_RETURN_IF_ERROR(r.read_pod(&num_nets));
+  GTL_RETURN_IF_ERROR(r.read_pod(&num_pins));
+  GTL_RETURN_IF_ERROR(r.read_pod(&cell_name_bytes));
+  GTL_RETURN_IF_ERROR(r.read_pod(&net_name_bytes));
+
+  // Reject id overflow before any size arithmetic: with every count
+  // bounded by 2^32 the per-array byte totals below stay far from u64
+  // overflow.
+  if (num_cells >= kInvalidCell) {
+    return fail(path, "num_cells " + std::to_string(num_cells) +
+                          " exceeds the 32-bit cell-id limit");
+  }
+  if (num_nets >= kInvalidNet) {
+    return fail(path, "num_nets " + std::to_string(num_nets) +
+                          " exceeds the 32-bit net-id limit");
+  }
+  if (num_pins >= kInvalidCell) {
+    return fail(path, "num_pins " + std::to_string(num_pins) +
+                          " exceeds the 32-bit CSR offset limit");
+  }
+  if (cell_name_bytes > buf.size() || net_name_bytes > buf.size()) {
+    return fail(path, "declared name blob exceeds the file size");
+  }
+
+  // The header pins the exact file size; a mismatch is truncation or
+  // trailing garbage, caught before any array is materialized.
+  std::uint64_t expected = kHeaderBytes;
+  expected += (num_nets + 1) * 4;  // net_pin_offset
+  expected += num_pins * 4;        // net_pins
+  expected += num_cells * 8 * 2;   // widths + heights
+  expected += num_cells;           // fixed flags
+  if ((flags & kFlagCellNames) != 0) expected += num_cells * 4 + cell_name_bytes;
+  if ((flags & kFlagNetNames) != 0) expected += num_nets * 4 + net_name_bytes;
+  if ((flags & kFlagPlacement) != 0) expected += num_cells * 8 * 2;
+  expected += 8;  // checksum trailer
+  if (expected != buf.size()) {
+    return fail(path, "file size " + std::to_string(buf.size()) +
+                          " does not match the " + std::to_string(expected) +
+                          " bytes implied by the header (truncated or "
+                          "corrupted snapshot)");
+  }
+
+  std::vector<std::uint32_t> offsets;
+  std::vector<CellId> pins;
+  std::vector<double> widths, heights, x, y;
+  std::vector<std::uint8_t> fixed;
+  std::vector<std::string> cell_names, net_names;
+
+  GTL_RETURN_IF_ERROR(
+      r.read_array(&offsets, static_cast<std::size_t>(num_nets) + 1));
+  GTL_RETURN_IF_ERROR(r.read_array(&pins, static_cast<std::size_t>(num_pins)));
+  GTL_RETURN_IF_ERROR(
+      r.read_array(&widths, static_cast<std::size_t>(num_cells)));
+  GTL_RETURN_IF_ERROR(
+      r.read_array(&heights, static_cast<std::size_t>(num_cells)));
+  GTL_RETURN_IF_ERROR(
+      r.read_array(&fixed, static_cast<std::size_t>(num_cells)));
+  if ((flags & kFlagCellNames) != 0) {
+    GTL_RETURN_IF_ERROR(read_names(r, path, "cell",
+                                   static_cast<std::size_t>(num_cells),
+                                   cell_name_bytes, &cell_names));
+  }
+  if ((flags & kFlagNetNames) != 0) {
+    GTL_RETURN_IF_ERROR(read_names(r, path, "net",
+                                   static_cast<std::size_t>(num_nets),
+                                   net_name_bytes, &net_names));
+  }
+  if ((flags & kFlagPlacement) != 0) {
+    GTL_RETURN_IF_ERROR(r.read_array(&x, static_cast<std::size_t>(num_cells)));
+    GTL_RETURN_IF_ERROR(r.read_array(&y, static_cast<std::size_t>(num_cells)));
+  }
+
+  // Seal check: everything before the trailer must hash to the trailer.
+  Fnv1a fnv;
+  fnv.mix(buf.data(), r.pos());
+  std::uint64_t stored = 0;
+  GTL_RETURN_IF_ERROR(r.read_pod(&stored));
+  if (fnv.h != stored) {
+    return fail(path, "checksum mismatch (corrupted snapshot)");
+  }
+
+  // Structural validation: the loaded arrays must satisfy every Netlist
+  // invariant the builder would have enforced.
+  if (offsets[0] != 0) return fail(path, "net_pin_offset[0] != 0");
+  for (std::size_t e = 0; e < num_nets; ++e) {
+    if (offsets[e + 1] < offsets[e]) {
+      return fail(path, "net_pin_offset not monotonic at net " +
+                            std::to_string(e));
+    }
+    if (offsets[e + 1] == offsets[e]) {
+      return fail(path, "net " + std::to_string(e) + " is empty");
+    }
+  }
+  if (offsets[static_cast<std::size_t>(num_nets)] != num_pins) {
+    return fail(path, "net_pin_offset ends at " +
+                          std::to_string(offsets.back()) + " but " +
+                          std::to_string(num_pins) + " pins are declared");
+  }
+  for (std::size_t e = 0; e < num_nets; ++e) {
+    for (std::uint32_t p = offsets[e]; p < offsets[e + 1]; ++p) {
+      if (pins[p] >= num_cells) {
+        return fail(path, "net " + std::to_string(e) +
+                              " references cell id " + std::to_string(pins[p]) +
+                              " >= num_cells " + std::to_string(num_cells));
+      }
+      if (p > offsets[e] && pins[p] <= pins[p - 1]) {
+        return fail(path, "net " + std::to_string(e) +
+                              " pins are not strictly increasing (duplicate "
+                              "or unsorted pin)");
+      }
+    }
+  }
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    if (!std::isfinite(widths[c]) || widths[c] <= 0.0 ||
+        !std::isfinite(heights[c]) || heights[c] <= 0.0) {
+      return fail(path, "cell " + std::to_string(c) +
+                            " has a non-positive or non-finite dimension");
+    }
+    if (fixed[c] > 1) {
+      return fail(path, "cell " + std::to_string(c) +
+                            " has a fixed flag outside {0, 1}");
+    }
+  }
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    if (!std::isfinite(x[c]) || !std::isfinite(y[c])) {
+      return fail(path, "cell " + std::to_string(c) +
+                            " has a non-finite placement coordinate");
+    }
+  }
+
+  out->netlist = NetlistSnapshotAccess::assemble(
+      std::move(offsets), std::move(pins), std::move(widths),
+      std::move(heights), std::move(fixed), std::move(cell_names),
+      std::move(net_names));
+  out->x = std::move(x);
+  out->y = std::move(y);
+  out->warnings.clear();
+  return Status::ok();
+}
+
+Status load_with_snapshot_cache(
+    const std::filesystem::path& snapshot,
+    const std::function<Status(BookshelfDesign*)>& load_source,
+    BookshelfDesign* out, SnapshotCacheResult* result) {
+  result->hit = false;
+  result->notes.clear();
+  if (!snapshot.empty() && std::filesystem::exists(snapshot)) {
+    GTL_RETURN_IF_ERROR(try_read_snapshot(snapshot, out));
+    result->hit = true;
+    return Status::ok();
+  }
+  GTL_RETURN_IF_ERROR(load_source(out));
+  if (!snapshot.empty()) {
+    // Cache fill is an optimization: record, never fail.
+    if (const Status st = try_write_snapshot(*out, snapshot); !st.is_ok()) {
+      result->notes.push_back("warning: " + st.to_string());
+    } else {
+      result->notes.push_back("snapshot written to " + snapshot.string());
+    }
+  }
+  return Status::ok();
+}
+
+void write_snapshot(const BookshelfDesign& design,
+                    const std::filesystem::path& path) {
+  if (const Status st = try_write_snapshot(design, path); !st.is_ok()) {
+    throw std::runtime_error(st.message());
+  }
+}
+
+BookshelfDesign read_snapshot(const std::filesystem::path& path) {
+  BookshelfDesign d;
+  if (const Status st = try_read_snapshot(path, &d); !st.is_ok()) {
+    throw std::runtime_error(st.message());
+  }
+  return d;
+}
+
+}  // namespace gtl

@@ -1,0 +1,49 @@
+#pragma once
+// Whole-file reads for the I/O layer.  Loaders (Bookshelf text, binary
+// netlist snapshots) slurp each file in one buffered gulp and scan the
+// bytes in place, so parse cost tracks memory bandwidth instead of
+// per-line stream churn.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace gtl {
+
+/// Read the entire file at `path` into `*out` (replacing its contents).
+/// Binary-exact: no newline translation.  Returns kNotFound when the
+/// file cannot be opened, kParseError when a read fails midway.
+[[nodiscard]] inline Status read_file_to_string(
+    const std::filesystem::path& path, std::string* out) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) {
+    return Status::not_found("cannot open " + path.string());
+  }
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  out->clear();
+  if (!ec && size > 0) {
+    out->resize(static_cast<std::size_t>(size));
+    const std::size_t got = std::fread(out->data(), 1, out->size(), f);
+    out->resize(got);
+    // Regular files deliver their full size in one fread; anything
+    // shorter would fall through to the tail loop below.
+  }
+  // Tail loop: handles size-less special files and races with writers.
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buf, 1, sizeof(buf), f);
+    if (got == 0) break;
+    out->append(buf, got);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) {
+    return Status::parse_error("read failed for " + path.string());
+  }
+  return Status::ok();
+}
+
+}  // namespace gtl

@@ -1,0 +1,409 @@
+// Pins the zero-copy Bookshelf scanner byte-identical to the seed parser
+// on valid inputs.  The seed implementation (PR 1..4 era:
+// getline + istringstream tokenization, stod/stoull numbers) is embedded
+// below verbatim as the reference — the same technique the frontier and
+// score-curve equivalence tests use for their hot paths.  Every observable
+// field must match exactly: CSR spans, exact-double dimensions and
+// coordinates, fixed flags, and names.
+//
+// Also holds the write->read->write fixed-point property: re-writing a
+// re-read design reproduces the four Bookshelf files byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graphgen/synthetic_circuit.hpp"
+#include "netlist/bookshelf.hpp"
+
+namespace gtl {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Embedded seed parser (reference implementation, verbatim).
+// ---------------------------------------------------------------------------
+namespace seed_ref {
+
+[[noreturn]] void fail(const std::filesystem::path& file, std::size_t line,
+                       const std::string& what) {
+  throw std::runtime_error("bookshelf: " + file.string() + ":" +
+                           std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;
+    toks.push_back(std::move(t));
+  }
+  return toks;
+}
+
+class LineReader {
+ public:
+  explicit LineReader(const std::filesystem::path& path)
+      : path_(path), in_(path) {
+    if (!in_) throw std::runtime_error("bookshelf: cannot open " + path.string());
+  }
+
+  std::vector<std::string> next() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++lineno_;
+      auto toks = tokenize(line);
+      if (toks.empty()) continue;
+      if (toks[0] == "UCLA") continue;  // format header
+      return toks;
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::size_t lineno() const { return lineno_; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  std::ifstream in_;
+  std::size_t lineno_ = 0;
+};
+
+double to_double(const LineReader& r, const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    fail(r.path(), r.lineno(), "expected number, got '" + s + "'");
+  }
+}
+
+std::size_t to_size(const LineReader& r, const std::string& s) {
+  try {
+    return static_cast<std::size_t>(std::stoull(s));
+  } catch (const std::exception&) {
+    fail(r.path(), r.lineno(), "expected count, got '" + s + "'");
+  }
+}
+
+struct NodesData {
+  std::vector<std::string> names;
+  std::vector<double> widths, heights;
+  std::vector<std::uint8_t> fixed;
+  std::unordered_map<std::string, CellId> index;
+};
+
+NodesData read_nodes(const std::filesystem::path& path) {
+  LineReader r(path);
+  NodesData d;
+  std::size_t expected = 0;
+  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
+    if (toks[0] == "NumNodes") {
+      expected = to_size(r, toks.back());
+      d.names.reserve(expected);
+      d.widths.reserve(expected);
+      d.heights.reserve(expected);
+      d.fixed.reserve(expected);
+      continue;
+    }
+    if (toks[0] == "NumTerminals") continue;
+    if (toks.size() < 3) fail(path, r.lineno(), "node line needs name w h");
+    const bool terminal = toks.size() >= 4 && toks[3] == "terminal";
+    d.index.emplace(toks[0], static_cast<CellId>(d.names.size()));
+    d.names.push_back(toks[0]);
+    d.widths.push_back(std::max(1e-9, to_double(r, toks[1])));
+    d.heights.push_back(std::max(1e-9, to_double(r, toks[2])));
+    d.fixed.push_back(terminal ? 1 : 0);
+  }
+  if (expected != 0 && d.names.size() != expected) {
+    throw std::runtime_error("bookshelf: " + path.string() + ": NumNodes=" +
+                             std::to_string(expected) + " but parsed " +
+                             std::to_string(d.names.size()));
+  }
+  return d;
+}
+
+void read_nets(const std::filesystem::path& path, const NodesData& nodes,
+               NetlistBuilder& nb) {
+  LineReader r(path);
+  std::size_t expected_nets = 0;
+  std::vector<CellId> pins;
+  std::size_t degree_left = 0;
+  std::string net_name;
+  std::size_t nets_done = 0;
+
+  auto flush_net = [&] {
+    if (!pins.empty()) {
+      nb.add_net(pins, net_name);
+      ++nets_done;
+      pins.clear();
+    }
+  };
+
+  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
+    if (toks[0] == "NumNets") {
+      expected_nets = to_size(r, toks.back());
+      continue;
+    }
+    if (toks[0] == "NumPins") continue;
+    if (toks[0] == "NetDegree") {
+      flush_net();
+      if (toks.size() < 3) fail(path, r.lineno(), "malformed NetDegree");
+      degree_left = to_size(r, toks[2]);
+      net_name = toks.size() >= 4 ? toks[3] : std::string{};
+      pins.reserve(degree_left);
+      continue;
+    }
+    if (degree_left == 0) fail(path, r.lineno(), "pin outside a net");
+    const auto it = nodes.index.find(toks[0]);
+    if (it == nodes.index.end()) {
+      fail(path, r.lineno(), "pin references unknown node '" + toks[0] + "'");
+    }
+    pins.push_back(it->second);
+    --degree_left;
+  }
+  flush_net();
+  if (expected_nets != 0 && nets_done != expected_nets) {
+    throw std::runtime_error("bookshelf: " + path.string() + ": NumNets=" +
+                             std::to_string(expected_nets) + " but parsed " +
+                             std::to_string(nets_done));
+  }
+}
+
+void read_pl(const std::filesystem::path& path, const NodesData& nodes,
+             std::vector<double>& x, std::vector<double>& y) {
+  LineReader r(path);
+  x.assign(nodes.names.size(), 0.0);
+  y.assign(nodes.names.size(), 0.0);
+  for (auto toks = r.next(); !toks.empty(); toks = r.next()) {
+    if (toks.size() < 3) fail(path, r.lineno(), "pl line needs name x y");
+    const auto it = nodes.index.find(toks[0]);
+    if (it == nodes.index.end()) continue;  // tolerate extra rows
+    x[it->second] = to_double(r, toks[1]);
+    y[it->second] = to_double(r, toks[2]);
+  }
+}
+
+BookshelfDesign read_bookshelf_files(const std::filesystem::path& nodes_path,
+                                     const std::filesystem::path& nets_path,
+                                     const std::filesystem::path& pl_path) {
+  const NodesData nodes = read_nodes(nodes_path);
+  NetlistBuilder nb;
+  for (std::size_t i = 0; i < nodes.names.size(); ++i) {
+    nb.add_cell(nodes.names[i], nodes.widths[i], nodes.heights[i],
+                nodes.fixed[i]);
+  }
+  read_nets(nets_path, nodes, nb);
+
+  BookshelfDesign d;
+  if (!pl_path.empty() && std::filesystem::exists(pl_path)) {
+    read_pl(pl_path, nodes, d.x, d.y);
+  }
+  d.netlist = nb.build();
+  return d;
+}
+
+}  // namespace seed_ref
+
+// ---------------------------------------------------------------------------
+
+class BookshelfEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tanglefind_bookshelf_eq_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_file(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ / name);
+    out << content;
+  }
+
+  static std::string slurp(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  /// Exact equality of every observable field (== on doubles: the new
+  /// parser must produce bit-identical values, not near ones).
+  static void expect_identical(const BookshelfDesign& a,
+                               const BookshelfDesign& b) {
+    const Netlist& na = a.netlist;
+    const Netlist& nb = b.netlist;
+    ASSERT_EQ(na.num_cells(), nb.num_cells());
+    ASSERT_EQ(na.num_nets(), nb.num_nets());
+    ASSERT_EQ(na.num_pins(), nb.num_pins());
+    EXPECT_EQ(na.num_movable(), nb.num_movable());
+    EXPECT_EQ(na.has_names(), nb.has_names());
+    for (CellId c = 0; c < na.num_cells(); ++c) {
+      EXPECT_EQ(na.cell_width(c), nb.cell_width(c)) << "cell " << c;
+      EXPECT_EQ(na.cell_height(c), nb.cell_height(c)) << "cell " << c;
+      EXPECT_EQ(na.is_fixed(c), nb.is_fixed(c)) << "cell " << c;
+      EXPECT_EQ(na.cell_name(c), nb.cell_name(c)) << "cell " << c;
+      const auto sa = na.nets_of(c);
+      const auto sb = nb.nets_of(c);
+      ASSERT_EQ(sa.size(), sb.size()) << "cell " << c;
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(sa[i], sb[i]) << "cell " << c << " net slot " << i;
+      }
+    }
+    for (NetId e = 0; e < na.num_nets(); ++e) {
+      EXPECT_EQ(na.net_name(e), nb.net_name(e)) << "net " << e;
+      const auto pa = na.pins_of(e);
+      const auto pb = nb.pins_of(e);
+      ASSERT_EQ(pa.size(), pb.size()) << "net " << e;
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i], pb[i]) << "net " << e << " pin slot " << i;
+      }
+    }
+    ASSERT_EQ(a.x.size(), b.x.size());
+    for (std::size_t i = 0; i < a.x.size(); ++i) {
+      EXPECT_EQ(a.x[i], b.x[i]) << "x[" << i << "]";
+      EXPECT_EQ(a.y[i], b.y[i]) << "y[" << i << "]";
+    }
+  }
+
+  void expect_parsers_agree(const std::string& stem) {
+    const fs::path nodes = dir_ / (stem + ".nodes");
+    const fs::path nets = dir_ / (stem + ".nets");
+    fs::path pl = dir_ / (stem + ".pl");
+    if (!fs::exists(pl)) pl.clear();
+    const BookshelfDesign seed =
+        seed_ref::read_bookshelf_files(nodes, nets, pl);
+    const BookshelfDesign scan = read_bookshelf_files(nodes, nets, pl);
+    expect_identical(seed, scan);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(BookshelfEquivalenceTest, GeneratedDesignsParseIdentically) {
+  // Three shapes: plain, terminal-heavy with placement, structure-rich.
+  for (int variant = 0; variant < 3; ++variant) {
+    SyntheticCircuitConfig cfg;
+    cfg.num_cells = 400 + 300 * variant;
+    cfg.num_pads = variant == 1 ? 64 : 8;
+    cfg.with_names = true;
+    if (variant == 2) {
+      StructureSpec s;
+      s.size = 80;
+      cfg.structures.push_back(s);
+    }
+    Rng rng(100 + variant);
+    SyntheticCircuit circuit = generate_synthetic_circuit(cfg, rng);
+    BookshelfDesign d;
+    d.netlist = std::move(circuit.netlist);
+    if (variant != 0) {
+      d.x = std::move(circuit.hint_x);
+      d.y = std::move(circuit.hint_y);
+    }
+    const std::string stem = "gen" + std::to_string(variant);
+    write_bookshelf(d, dir_, stem);
+    expect_parsers_agree(stem);
+  }
+}
+
+TEST_F(BookshelfEquivalenceTest, QuirkyValidDialectParsesIdentically) {
+  // Every oddity the seed tokenizer accepted: comments (full-line, and
+  // token-starting mid-line), '#' inside a token, tabs and runs of
+  // blanks, CRLF endings, UCLA headers mid-file, count lines without
+  // ':', pin direction + offset fields, .pl orientation rows, .pl rows
+  // for unknown nodes, zero-width nodes (clamped), no trailing newline.
+  write_file("q.nodes",
+             "UCLA nodes 1.0\r\n"
+             "# full comment\r\n"
+             "NumNodes +4\n"
+             "NumTerminals : 1\n"
+             "  a#1   +2.5\t3e-2\n"
+             "\tb 0 1 # zero width clamps\n"
+             "c -1 4.25\n"
+             "UCLA is skipped anywhere\n"
+             "p0 1 1 terminal");
+  write_file("q.nets",
+             "UCLA nets 1.0\n"
+             "NumNets : 2\n"
+             "NumPins 6\n"
+             "NetDegree : 3 n#odd\n"
+             " a#1 I : 0.5 -0.25\n"
+             " b O\n"
+             " p0 B\n"
+             "# comment between nets\n"
+             "NetDegree : 3\n"
+             " c I\n"
+             " a#1 # bare pin; '#' starts a token so the rest comments out\n"
+             " a#1 O\n");
+  write_file("q.pl",
+             "UCLA pl 1.0\n"
+             "a#1 +10.5 -20.25 : N\n"  // leading '+', as stod accepted
+             "b 1e3 +0.125 : FS\n"
+             "c 3 4\n"
+             "unknownrow 7 7 : N\n"
+             "p0 0 0 : N /FIXED");
+  expect_parsers_agree("q");
+}
+
+TEST_F(BookshelfEquivalenceTest, WriteReadWriteIsAFixedPoint) {
+  SyntheticCircuitConfig cfg;
+  cfg.num_cells = 600;
+  cfg.num_pads = 24;
+  cfg.with_names = true;
+  StructureSpec s;
+  s.size = 60;
+  cfg.structures.push_back(s);
+  Rng rng(7);
+  SyntheticCircuit circuit = generate_synthetic_circuit(cfg, rng);
+  BookshelfDesign d;
+  d.netlist = std::move(circuit.netlist);
+  d.x = std::move(circuit.hint_x);
+  d.y = std::move(circuit.hint_y);
+
+  write_bookshelf(d, dir_, "fp1");
+  const BookshelfDesign back = read_bookshelf(dir_ / "fp1.aux");
+  EXPECT_TRUE(back.warnings.empty());
+  write_bookshelf(back, dir_, "fp2");
+  for (const char* ext : {".nodes", ".nets", ".pl"}) {
+    const std::string a = slurp(dir_ / ("fp1" + std::string(ext)));
+    const std::string b = slurp(dir_ / ("fp2" + std::string(ext)));
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "write->read->write changed " << ext;
+  }
+  // And the re-read design equals the re-re-read one field for field
+  // (names, widths, fixed flags, placement).
+  const BookshelfDesign back2 = read_bookshelf(dir_ / "fp2.aux");
+  expect_identical(back, back2);
+}
+
+TEST_F(BookshelfEquivalenceTest, UnnamedDesignRoundTripsThroughGeneratedNames) {
+  // Cells without names are written as "o<id>"; a re-read + re-write
+  // must still be a fixed point.
+  BookshelfDesign d;
+  NetlistBuilder nb;
+  for (int i = 0; i < 5; ++i) nb.add_cell();
+  nb.add_net({CellId{0}, CellId{1}, CellId{2}});
+  nb.add_net({CellId{3}, CellId{4}});
+  d.netlist = nb.build();
+  write_bookshelf(d, dir_, "anon1");
+  const BookshelfDesign back = read_bookshelf(dir_ / "anon1.aux");
+  write_bookshelf(back, dir_, "anon2");
+  for (const char* ext : {".nodes", ".nets"}) {
+    EXPECT_EQ(slurp(dir_ / ("anon1" + std::string(ext))),
+              slurp(dir_ / ("anon2" + std::string(ext))));
+  }
+  expect_parsers_agree("anon1");
+}
+
+}  // namespace
+}  // namespace gtl

@@ -1,0 +1,411 @@
+// The Bookshelf rejection table: every malformed-input class the
+// strictly-validating scanner must refuse, each with a "file:line: what"
+// diagnostic.  The seed parser silently accepted the first three classes
+// (short nets, duplicate node names, dropped /FIXED flags) — these are
+// the satellite bugfixes of the I/O hardening PR.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "netlist/bookshelf.hpp"
+
+namespace gtl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BookshelfRejectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tanglefind_reject_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+    // A well-formed default pair; individual tests overwrite one file.
+    write_file("d.nodes",
+               "UCLA nodes 1.0\n"
+               "NumNodes : 3\n"
+               "NumTerminals : 1\n"
+               "a 1 1\n"
+               "b 2 1\n"
+               "p0 1 1 terminal\n");
+    write_file("d.nets",
+               "UCLA nets 1.0\n"
+               "NumNets : 2\n"
+               "NumPins : 5\n"
+               "NetDegree : 3 n0\n"
+               "\ta I\n"
+               "\tb O\n"
+               "\tp0 I\n"
+               "NetDegree : 2\n"
+               "\ta I\n"
+               "\tb O\n");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_file(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ / name);
+    out << content;
+  }
+
+  /// The design must be rejected, the diagnostic must carry
+  /// "<file>:<line>:" and every expected substring — and the Status
+  /// variant must report the same message without throwing.
+  void expect_reject(const std::string& bad_file, std::size_t line,
+                     const std::vector<std::string>& needles) {
+    BookshelfDesign out;
+    const Status st = try_read_bookshelf_files(dir_ / "d.nodes",
+                                               dir_ / "d.nets", {}, &out);
+    ASSERT_FALSE(st.is_ok()) << "malformed input accepted";
+    EXPECT_EQ(st.code(), StatusCode::kParseError);
+    const std::string loc =
+        (dir_ / bad_file).string() + ":" + std::to_string(line) + ":";
+    EXPECT_NE(st.message().find(loc), std::string::npos)
+        << "diagnostic '" << st.message() << "' lacks location '" << loc
+        << "'";
+    for (const std::string& needle : needles) {
+      EXPECT_NE(st.message().find(needle), std::string::npos)
+          << "diagnostic '" << st.message() << "' lacks '" << needle << "'";
+    }
+    // Throwing surface: same diagnostic.
+    try {
+      (void)read_bookshelf_files(dir_ / "d.nodes", dir_ / "d.nets");
+      FAIL() << "read_bookshelf_files did not throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(st.message(), e.what());
+    }
+  }
+
+  fs::path dir_;
+};
+
+// --- satellite bug 1: short nets were silently flushed -------------------
+
+TEST_F(BookshelfRejectTest, ShortNetBeforeNextNetDegree) {
+  write_file("d.nets",
+             "UCLA nets 1.0\n"
+             "NumNets : 2\n"
+             "NumPins : 5\n"
+             "NetDegree : 3 n0\n"  // line 4: declares 3, gets 2
+             "\ta I\n"
+             "\tb O\n"
+             "NetDegree : 2\n"
+             "\ta I\n"
+             "\tp0 O\n");
+  expect_reject("d.nets", 4, {"n0", "declares 3 pins", "2 follow"});
+}
+
+TEST_F(BookshelfRejectTest, ShortNetAtEof) {
+  write_file("d.nets",
+             "UCLA nets 1.0\n"
+             "NumNets : 1\n"
+             "NumPins : 3\n"
+             "NetDegree : 3 tail\n"  // line 4: truncated mid-net
+             "\ta I\n"
+             "\tb O\n");
+  expect_reject("d.nets", 4, {"tail", "declares 3 pins", "2 follow"});
+}
+
+TEST_F(BookshelfRejectTest, ExcessPinNamesTheNet) {
+  write_file("d.nets",
+             "NumNets : 1\n"
+             "NumPins : 2\n"
+             "NetDegree : 2 n0\n"
+             "\ta I\n"
+             "\tb O\n"
+             "\tp0 B\n");  // line 6: third pin on a 2-pin net
+  expect_reject("d.nets", 6, {"n0", "p0", "exceeds", "NetDegree 2"});
+}
+
+// --- satellite bug 2: duplicate node names were silently aliased ---------
+
+TEST_F(BookshelfRejectTest, DuplicateNodeName) {
+  write_file("d.nodes",
+             "UCLA nodes 1.0\n"
+             "NumNodes : 3\n"
+             "a 1 1\n"
+             "b 2 1\n"
+             "a 4 4\n");  // line 5: second 'a'
+  expect_reject("d.nodes", 5, {"duplicate node name 'a'"});
+}
+
+TEST_F(BookshelfRejectTest, TerminalNiIsFixedAndCounted) {
+  // ISPD-2006 dialect: terminal_NI (fixed but overlappable) marks the
+  // cell fixed and counts toward NumTerminals.
+  write_file("d.nodes",
+             "NumNodes : 3\n"
+             "NumTerminals : 2\n"
+             "a 1 1\n"
+             "b 2 1 terminal_NI\n"
+             "p0 1 1 terminal\n");
+  BookshelfDesign out;
+  const Status st =
+      try_read_bookshelf_files(dir_ / "d.nodes", dir_ / "d.nets", {}, &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_FALSE(out.netlist.is_fixed(*out.netlist.find_cell("a")));
+  EXPECT_TRUE(out.netlist.is_fixed(*out.netlist.find_cell("b")));
+  EXPECT_TRUE(out.netlist.is_fixed(*out.netlist.find_cell("p0")));
+}
+
+// --- unknown pin -----------------------------------------------------------
+
+TEST_F(BookshelfRejectTest, UnknownPinNode) {
+  write_file("d.nets",
+             "NumNets : 1\n"
+             "NumPins : 2\n"
+             "NetDegree : 2\n"
+             "\ta I\n"
+             "\tzz O\n");  // line 5
+  expect_reject("d.nets", 5, {"unknown node 'zz'"});
+}
+
+TEST_F(BookshelfRejectTest, PinOutsideAnyNet) {
+  write_file("d.nets",
+             "NumNets : 1\n"
+             "NumPins : 1\n"
+             "\ta I\n"  // line 3: pin before any NetDegree
+             "NetDegree : 1\n"
+             "\tb O\n");
+  expect_reject("d.nets", 3, {"outside a net"});
+}
+
+// --- bad counts ------------------------------------------------------------
+
+TEST_F(BookshelfRejectTest, UnparsableWidth) {
+  write_file("d.nodes",
+             "NumNodes : 1\n"
+             "a 1x 1\n");  // line 2: "1x" is not a number
+  expect_reject("d.nodes", 2, {"expected number", "1x"});
+}
+
+TEST_F(BookshelfRejectTest, UnparsableNetDegreeCount) {
+  write_file("d.nets",
+             "NumNets : 1\n"
+             "NumPins : 2\n"
+             "NetDegree : two\n"  // line 3
+             "\ta I\n"
+             "\tb O\n");
+  expect_reject("d.nets", 3, {"expected count", "two"});
+}
+
+TEST_F(BookshelfRejectTest, EmptyNetDeclaration) {
+  write_file("d.nets",
+             "NumNets : 1\n"
+             "NumPins : 0\n"
+             "NetDegree : 0\n");  // line 3
+  expect_reject("d.nets", 3, {"empty net"});
+}
+
+// --- truncated file --------------------------------------------------------
+
+TEST_F(BookshelfRejectTest, TruncatedNodeLine) {
+  write_file("d.nodes",
+             "UCLA nodes 1.0\n"
+             "NumNodes : 2\n"
+             "a 1 1\n"
+             "b 2\n");  // line 4: file ends mid-line
+  expect_reject("d.nodes", 4, {"node line needs name w h"});
+}
+
+// --- NumNodes / NumNets / NumPins / NumTerminals mismatches ---------------
+
+TEST_F(BookshelfRejectTest, NumNodesMismatch) {
+  write_file("d.nodes",
+             "UCLA nodes 1.0\n"
+             "NumNodes : 5\n"  // line 2: declares 5, file has 1
+             "a 1 1\n");
+  expect_reject("d.nodes", 2, {"NumNodes declares 5", "defines 1"});
+}
+
+TEST_F(BookshelfRejectTest, LyingHugeNumNodesIsAMismatchNotBadAlloc) {
+  // Big enough that a naive reserve would allocate tens of GB, small
+  // enough to pass the 32-bit id check: must end as a count mismatch.
+  write_file("d.nodes",
+             "NumNodes : 4000000000\n"  // line 1: absurd declared count
+             "a 1 1\n"
+             "b 2 1\n"
+             "p0 1 1 terminal\n");
+  expect_reject("d.nodes", 1, {"NumNodes declares 4000000000", "defines 3"});
+}
+
+TEST_F(BookshelfRejectTest, NumNodesBeyondIdLimitRejectedUpFront) {
+  write_file("d.nodes",
+             "NumNodes : 99999999999\n"  // line 1: > 2^32
+             "a 1 1\n");
+  expect_reject("d.nodes", 1, {"32-bit cell-id limit"});
+}
+
+TEST_F(BookshelfRejectTest, HugeNetDegreeIsAShortNetNotBadAlloc) {
+  write_file("d.nets",
+             "NumNets : 1\n"
+             "NumPins : 2\n"
+             "NetDegree : 4000000000 big\n"  // line 3
+             "\ta I\n"
+             "\tb O\n");
+  expect_reject("d.nets", 3, {"big", "declares 4000000000 pins", "2 follow"});
+}
+
+TEST_F(BookshelfRejectTest, NumNetsMismatch) {
+  write_file("d.nets",
+             "NumNets : 3\n"  // line 1: declares 3, file has 1
+             "NumPins : 2\n"
+             "NetDegree : 2\n"
+             "\ta I\n"
+             "\tb O\n");
+  expect_reject("d.nets", 1, {"NumNets declares 3", "defines 1"});
+}
+
+TEST_F(BookshelfRejectTest, NumPinsMismatch) {
+  write_file("d.nets",
+             "NumNets : 1\n"
+             "NumPins : 4\n"  // line 2: declares 4, file has 2
+             "NetDegree : 2\n"
+             "\ta I\n"
+             "\tb O\n");
+  expect_reject("d.nets", 2, {"NumPins declares 4", "defines 2"});
+}
+
+TEST_F(BookshelfRejectTest, NumTerminalsMismatch) {
+  write_file("d.nodes",
+             "NumNodes : 2\n"
+             "NumTerminals : 2\n"  // line 2: declares 2, file has 1
+             "a 1 1\n"
+             "p0 1 1 terminal\n");
+  expect_reject("d.nodes", 2, {"NumTerminals declares 2", "defines 1"});
+}
+
+// --- /FIXED handling (satellite bug 3) ------------------------------------
+
+TEST_F(BookshelfRejectTest, PlFixedMergesAndWarns) {
+  write_file("d.pl",
+             "UCLA pl 1.0\n"
+             "a 10 20 : N /FIXED\n"  // fixed in .pl, movable in .nodes
+             "b 30 40 : N\n"
+             "p0 0 0 : N /FIXED\n");
+  BookshelfDesign out;
+  const Status st = try_read_bookshelf_files(dir_ / "d.nodes", dir_ / "d.nets",
+                                             dir_ / "d.pl", &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_TRUE(out.netlist.is_fixed(*out.netlist.find_cell("a")));
+  EXPECT_FALSE(out.netlist.is_fixed(*out.netlist.find_cell("b")));
+  EXPECT_TRUE(out.netlist.is_fixed(*out.netlist.find_cell("p0")));
+  // Only the disagreement warns; p0 was already terminal in .nodes.
+  ASSERT_EQ(out.warnings.size(), 1u);
+  EXPECT_NE(out.warnings[0].find("d.pl:2"), std::string::npos)
+      << out.warnings[0];
+  EXPECT_NE(out.warnings[0].find("'a'"), std::string::npos);
+}
+
+TEST_F(BookshelfRejectTest, PlFixedWithoutOrientationStillCounts) {
+  // Some emitters omit the orientation: "/FIXED" directly after ':'
+  // must mark the cell fixed, never be consumed as an orientation.
+  write_file("d.pl",
+             "a 10 20 : /FIXED\n"
+             "b 30 40 :\n");
+  BookshelfDesign out;
+  const Status st = try_read_bookshelf_files(dir_ / "d.nodes", dir_ / "d.nets",
+                                             dir_ / "d.pl", &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_TRUE(out.netlist.is_fixed(*out.netlist.find_cell("a")));
+  EXPECT_FALSE(out.netlist.is_fixed(*out.netlist.find_cell("b")));
+  ASSERT_EQ(out.warnings.size(), 1u);  // the .nodes/.pl disagreement on 'a'
+}
+
+TEST_F(BookshelfRejectTest, PlDoubleFixedSuffixRejected) {
+  write_file("d.pl", "a 10 20 : /FIXED /FIXED\n");
+  BookshelfDesign out;
+  const Status st = try_read_bookshelf_files(dir_ / "d.nodes", dir_ / "d.nets",
+                                             dir_ / "d.pl", &out);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("d.pl:1:"), std::string::npos) << st.message();
+}
+
+TEST_F(BookshelfRejectTest, PlUnknownNodeWarnsAndSkips) {
+  write_file("d.pl",
+             "a 10 20 : N\n"
+             "ghost 1 2 : N\n");
+  BookshelfDesign out;
+  const Status st = try_read_bookshelf_files(dir_ / "d.nodes", dir_ / "d.nets",
+                                             dir_ / "d.pl", &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  ASSERT_EQ(out.warnings.size(), 1u);
+  EXPECT_NE(out.warnings[0].find("ghost"), std::string::npos);
+}
+
+TEST_F(BookshelfRejectTest, PlBadCoordinateRejected) {
+  write_file("d.pl", "a ten 20 : N\n");
+  BookshelfDesign out;
+  const Status st = try_read_bookshelf_files(dir_ / "d.nodes", dir_ / "d.nets",
+                                             dir_ / "d.pl", &out);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("d.pl:1:"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("ten"), std::string::npos);
+}
+
+// --- odds and ends ---------------------------------------------------------
+
+TEST_F(BookshelfRejectTest, MissingFileIsStatusNotThrow) {
+  BookshelfDesign out;
+  const Status st = try_read_bookshelf_files(dir_ / "nope.nodes",
+                                             dir_ / "d.nets", {}, &out);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("cannot open"), std::string::npos);
+}
+
+TEST_F(BookshelfRejectTest, InfiniteDimensionRejected) {
+  write_file("d.nodes",
+             "NumNodes : 1\n"
+             "a inf 1\n");  // stod would have accepted this
+  expect_reject("d.nodes", 2, {"expected number", "inf"});
+}
+
+TEST_F(BookshelfRejectTest, PlusMinusStaysMalformed) {
+  // '+10' parses (stod parity) but '+-1' and a bare '+' never did.
+  write_file("d.nodes",
+             "NumNodes : 1\n"
+             "a +-1 1\n");
+  expect_reject("d.nodes", 2, {"expected number", "+-1"});
+}
+
+TEST_F(BookshelfRejectTest, ManyPlWarningsAreCappedWithASummary) {
+  std::string pl = "a 1 2 : N\n";
+  for (int i = 0; i < 30; ++i) {
+    pl += "ghost" + std::to_string(i) + " 0 0 : N\n";
+  }
+  write_file("d.pl", pl);
+  BookshelfDesign out;
+  const Status st = try_read_bookshelf_files(dir_ / "d.nodes", dir_ / "d.nets",
+                                             dir_ / "d.pl", &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  // 20 detailed warnings + 1 summary of the 10 suppressed.
+  ASSERT_EQ(out.warnings.size(), 21u);
+  EXPECT_NE(out.warnings.back().find("10 more warning(s) suppressed"),
+            std::string::npos)
+      << out.warnings.back();
+}
+
+TEST_F(BookshelfRejectTest, TrailingGarbageAfterNumberRejected) {
+  write_file("d.nodes",
+             "NumNodes : 1\n"
+             "a 1.5e 2\n");  // stod would have parsed 1.5 and dropped "e"
+  expect_reject("d.nodes", 2, {"expected number", "1.5e"});
+}
+
+TEST_F(BookshelfRejectTest, AuxWithoutNetsRejected) {
+  write_file("d.aux", "RowBasedPlacement : d.nodes\n");
+  BookshelfDesign out;
+  const Status st = try_read_bookshelf(dir_ / "d.aux", &out);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("does not name .nodes and .nets"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtl
