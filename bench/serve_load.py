@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Load-test a gtl_serve daemon and record throughput/latency.
+
+Spawns the built `gtl_serve` binary with a planted demo design, then
+hammers it with N concurrent clients over the Unix socket, each running
+the same deterministic run_finder query in a closed loop.  Every
+response is cross-checked byte-for-byte against the first one received,
+so the benchmark doubles as a concurrency-determinism check.
+
+Appends a gtl-bench-v1 run to BENCH_phase1.json (same schema as
+bench/run_perf.py) so serving performance lives in the same reviewable
+trajectory as the kernel benchmarks:
+
+    bench/serve_load.py --bin build/tools/gtl_serve \
+        --label "PR N: what changed" --append --out BENCH_phase1.json
+
+Entry keys are "ServeLoad/clients=N": items_per_second is end-to-end
+queries/sec across all clients, real_time_ns is the p99 per-request
+latency, cpu_time_ns the p50 (the schema has no dedicated percentile
+slots; p95 rides along as an extra key).
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+SCHEMA = "gtl-bench-v1"
+
+
+def git_rev():
+    try:
+        return subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            check=True, capture_output=True, text=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def wait_for_listening(proc, deadline_s=30.0):
+    """Block until the daemon prints its listening line (or dies)."""
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError("gtl_serve exited before listening "
+                               f"(rc={proc.poll()})")
+        sys.stderr.write(line)
+        if "listening on" in line:
+            return
+    raise RuntimeError("timed out waiting for gtl_serve to listen")
+
+
+class Client:
+    """Minimal blocking JSON-lines client (one request in flight)."""
+
+    def __init__(self, path, retry_s=10.0):
+        # The daemon announces its socket just before binding it, so the
+        # first connect can race the listen(2); retry briefly.  A socket
+        # whose connect failed is dead — make a fresh one per attempt.
+        end = time.monotonic() + retry_s
+        while True:
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                self.sock.connect(path)
+                break
+            except (FileNotFoundError, ConnectionRefusedError):
+                self.sock.close()
+                if time.monotonic() >= end:
+                    raise
+                time.sleep(0.05)
+        self.buf = b""
+
+    def call(self, req):
+        self.sock.sendall((json.dumps(req) + "\n").encode())
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise RuntimeError("server closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+def client_loop(path, base_id, queries, request, out):
+    """Run `queries` sequential run_finder calls; collect latencies."""
+    c = Client(path)
+    try:
+        for i in range(queries):
+            req = dict(request)
+            req["id"] = base_id + i
+            t0 = time.perf_counter()
+            resp = c.call(req)
+            dt = time.perf_counter() - t0
+            if not resp.get("ok"):
+                out["error"] = f"query failed: {json.dumps(resp)}"
+                return
+            out["latencies"].append(dt)
+            out["results"].append(
+                json.dumps(resp["result"], sort_keys=True,
+                           separators=(",", ":")))
+    except Exception as e:  # surfaced per-thread, not swallowed
+        out["error"] = f"{type(e).__name__}: {e}"
+    finally:
+        c.close()
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    k = min(len(sorted_vals) - 1, int(round(p / 100.0 * (len(sorted_vals) - 1))))
+    return sorted_vals[k]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bin", required=True, help="path to gtl_serve binary")
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--queries", type=int, default=8,
+                    help="queries per client")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="server worker threads")
+    ap.add_argument("--demo-design", default="adaptec1")
+    ap.add_argument("--demo-factor", type=float, default=0.02)
+    ap.add_argument("--seeds", type=int, default=20)
+    ap.add_argument("--max-ordering-length", type=int, default=2000)
+    ap.add_argument("--label", default="serve_load")
+    ap.add_argument("--out", default=None,
+                    help="gtl-bench-v1 JSON to append the run to")
+    ap.add_argument("--append", action="store_true")
+    args = ap.parse_args()
+    if args.clients < 1:
+        sys.exit("--clients must be >= 1")
+
+    sock_path = os.path.join(tempfile.mkdtemp(prefix="gtl_serve_"),
+                             "gtl.sock")
+    proc = subprocess.Popen(
+        [args.bin,
+         f"--socket={sock_path}",
+         f"--workers={args.workers}",
+         f"--queue-cap={args.clients * args.queries + 8}",
+         f"--demo-design={args.demo_design}",
+         f"--demo-factor={args.demo_factor}",
+         "--max-threads-per-query=1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        wait_for_listening(proc)
+
+        request = {
+            "op": "run_finder",
+            "design": args.demo_design,
+            "config": {"num_seeds": args.seeds,
+                       "max_ordering_length": args.max_ordering_length,
+                       "num_threads": 1},
+        }
+        # One warm-up query so session construction is off the clock.
+        warm = Client(sock_path)
+        resp = warm.call(dict(request, id=1))
+        warm.close()
+        if not resp.get("ok"):
+            sys.exit(f"warm-up query failed: {json.dumps(resp)}")
+
+        outs = [{"latencies": [], "results": [], "error": None}
+                for _ in range(args.clients)]
+        threads = [
+            threading.Thread(
+                target=client_loop,
+                args=(sock_path, (t + 1) * 100000, args.queries,
+                      request, outs[t]))
+            for t in range(args.clients)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t0
+
+        for i, o in enumerate(outs):
+            if o["error"]:
+                sys.exit(f"client {i}: {o['error']}")
+        results = [r for o in outs for r in o["results"]]
+        if len(set(results)) != 1:
+            sys.exit("determinism violation: concurrent clients received "
+                     f"{len(set(results))} distinct result payloads")
+
+        lat = sorted(d for o in outs for d in o["latencies"])
+        total = len(lat)
+        qps = total / wall
+        p50, p95, p99 = (percentile(lat, p) for p in (50, 95, 99))
+        print(f"ServeLoad: clients={args.clients} queries={total} "
+              f"wall={wall:.2f}s qps={qps:.2f} "
+              f"p50={p50 * 1e3:.1f}ms p95={p95 * 1e3:.1f}ms "
+              f"p99={p99 * 1e3:.1f}ms")
+    finally:
+        proc.terminate()
+        try:
+            rc = proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            sys.exit("gtl_serve did not shut down on SIGTERM")
+    sys.stderr.write(proc.stdout.read())
+    if rc != 0:
+        sys.exit(f"gtl_serve exited non-zero on SIGTERM: {rc}")
+
+    if not args.out:
+        return
+    entry = {
+        "label": args.label,
+        "git_rev": git_rev(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "num_cpus": os.cpu_count() or 1,
+        "mhz_per_cpu": 0,
+        "benchmarks": {
+            f"ServeLoad/clients={args.clients}": {
+                "real_time_ns": p99 * 1e9,
+                "cpu_time_ns": p50 * 1e9,
+                "p95_ns": p95 * 1e9,
+                "iterations": total,
+                "items_per_second": qps,
+            }
+        },
+    }
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            doc = json.load(f)
+        if doc.get("schema") != SCHEMA:
+            sys.exit(f"{args.out}: unexpected schema {doc.get('schema')!r}")
+    else:
+        doc = {"schema": SCHEMA, "runs": []}
+    if doc["runs"] and not args.append:
+        sys.exit(f"{args.out} already records {len(doc['runs'])} run(s); "
+                 "pass --append to extend it")
+    doc["runs"].append(entry)
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"recorded ServeLoad/clients={args.clients} -> {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,8 @@
 
 add_library(gtl_compile_options INTERFACE)
 add_library(gtl::compile_options ALIAS gtl_compile_options)
+set_target_properties(gtl_compile_options PROPERTIES
+                      EXPORT_NAME compile_options)
 
 if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
   target_compile_options(gtl_compile_options INTERFACE -Wall -Wextra)
@@ -34,17 +36,22 @@ find_package(Threads REQUIRED)
 # gtl_add_library(<name> SOURCES ... [DEPS ...])
 #
 # Defines STATIC library gtl_<name> with alias gtl::<name>, the shared
-# include root (src/), warnings, and its layer dependencies.
+# include roots (src/ for internal headers, include/ for the public
+# <gtl/...> surface), warnings, and its layer dependencies.  Both roots
+# collapse to `include` in the install tree (see the GTL_INSTALL rules).
 function(gtl_add_library name)
   cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
   add_library(gtl_${name} STATIC ${ARG_SOURCES})
   add_library(gtl::${name} ALIAS gtl_${name})
+  set_target_properties(gtl_${name} PROPERTIES EXPORT_NAME ${name})
   target_include_directories(gtl_${name} PUBLIC
     $<BUILD_INTERFACE:${PROJECT_SOURCE_DIR}/src>
+    $<BUILD_INTERFACE:${PROJECT_SOURCE_DIR}/include>
     $<INSTALL_INTERFACE:include>)
   target_link_libraries(gtl_${name}
     PUBLIC ${ARG_DEPS} Threads::Threads
     PRIVATE gtl::compile_options)
+  set_property(GLOBAL APPEND PROPERTY GTL_INSTALL_TARGETS gtl_${name})
 endfunction()
 
 # gtl_add_executable(<name> SOURCES ... [DEPS ...] [INSTALL_DIR <dir>])

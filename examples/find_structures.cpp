@@ -12,12 +12,11 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
-#include "finder/finder.hpp"
-#include "finder/finder_json.hpp"
+#include "gtl/finder.hpp"
+#include "gtl/netlist.hpp"
 #include "graphgen/presets.hpp"
-#include "netlist/bookshelf.hpp"
-#include "netlist/netlist_io.hpp"
 #include "netlist/netlist_stats.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -61,21 +60,23 @@ int main(int argc, char** argv) {
       .describe("progress", "log per-phase progress");
   if (cli_help_exit(args)) return 0;
 
-  const std::string aux = args.get("aux");
-  const std::string snapshot = args.get("snapshot");
-  const std::string save_bookshelf = args.get("save-bookshelf");
+  // get_string (vs get) makes a bare `--aux` a recorded error instead of
+  // silently meaning "no aux file".
+  const std::string aux = args.get_string("aux");
+  const std::string snapshot = args.get_string("snapshot");
+  const std::string save_bookshelf = args.get_string("save-bookshelf");
   const double factor = args.get_double("factor", 0.05);
   const auto seeds = args.get_int("seeds", 100);
   const auto threads = args.get_int("threads", 0);
   // -1 = absent: the default depends on the netlist size, known later.
   const auto max_order = args.get_int("max-order", -1);
-  const std::string score = args.get("score", "gtlsd");
+  const std::string score = args.get_string("score", "gtlsd");
   if (score != "gtlsd" && score != "ngtl") {
     args.record_error(Status::parse_error("--score=" + score +
                                           ": expected ngtl or gtlsd"));
   }
-  const std::string report_path = args.get("report", "gtl_report.txt");
-  const std::string json_path = args.get("json");
+  const std::string report_path = args.get_string("report", "gtl_report.txt");
+  const std::string json_path = args.get_string("json");
   if (cli_error_exit(args)) return 2;
 
   // --- load or synthesize the design ---
@@ -148,12 +149,16 @@ int main(int argc, char** argv) {
       : netlist.num_cells() / 8 + 1000;
   fcfg.num_threads = static_cast<std::size_t>(threads);
   fcfg.score = score == "ngtl" ? ScoreKind::kNgtlS : ScoreKind::kGtlSd;
-  if (const Status st = fcfg.validate(); !st.is_ok()) {
+
+  // Finder::create validates the config and reports a Status instead of
+  // throwing — the rejection path for values arriving from a CLI.
+  std::unique_ptr<Finder> session;
+  if (const Status st = Finder::create(netlist, fcfg, &session);
+      !st.is_ok()) {
     std::cerr << "error: " << st.to_string() << "\n";
     return 2;
   }
-
-  Finder finder(netlist, fcfg);
+  Finder& finder = *session;
   PhaseLogger logger;
   if (args.has("progress")) finder.set_observer(&logger);
 

@@ -15,8 +15,9 @@
 // results.
 
 #include <iostream>
+#include <memory>
 
-#include "finder/finder.hpp"
+#include "gtl/finder.hpp"
 #include "graphgen/planted_graph.hpp"
 #include "util/cli.hpp"
 
@@ -82,16 +83,21 @@ int main(int argc, char** argv) {
   fcfg.num_seeds = static_cast<std::size_t>(num_seeds);
   fcfg.max_ordering_length = 2'000;
   fcfg.score = ScoreKind::kGtlSd;  // the paper's final metric
-  if (const Status st = fcfg.validate(); !st.is_ok()) {
-    std::cerr << "error: " << st.to_string() << "\n";
-    return 2;
-  }
 
   // 3. Open a session and run the phases individually.  A session owns
   //    its thread pool and per-worker scratch, so repeated runs on the
   //    same netlist skip every cold-start allocation; run() composes the
   //    three phases when the intermediates are not needed.
-  Finder finder(netlist, fcfg);
+  //    Finder::create is the non-throwing spelling of the constructor:
+  //    it validates the config and returns a Status — the rejection path
+  //    for service/CLI inputs.
+  std::unique_ptr<Finder> session;
+  if (const Status st = Finder::create(netlist, fcfg, &session);
+      !st.is_ok()) {
+    std::cerr << "error: " << st.to_string() << "\n";
+    return 2;
+  }
+  Finder& finder = *session;
   ConsoleProgress progress;
   if (!args.has("quiet")) finder.set_observer(&progress);
 

@@ -1,0 +1,13 @@
+#pragma once
+// Public API: the tangled-logic finder (DAC 2010 pipeline).
+//
+// Link gtl::finder (or the gtl::gtl umbrella).  What this brings in:
+//   gtl::FinderConfig, gtl::Finder         session API
+//       Finder::create(...)                status-returning factory
+//   gtl::FinderResult, gtl::find_tangled_logic   one-shot wrapper
+//   gtl::ProgressObserver, gtl::CancelToken      observation / cancel
+//   gtl::to_json / finder_*_from_json      config & result (de)serialization
+
+#include "finder/finder.hpp"
+#include "finder/finder_json.hpp"
+#include "finder/progress.hpp"

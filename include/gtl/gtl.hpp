@@ -1,0 +1,13 @@
+#pragma once
+// Umbrella header for the public gtl API: netlists + Bookshelf I/O, the
+// tangled-logic finder, and the gtl_serve client, plus the small
+// utilities (Status, JsonValue, CliArgs) those interfaces traffic in.
+// Fine-grained alternatives: <gtl/netlist.hpp>, <gtl/finder.hpp>,
+// <gtl/serve_client.hpp>.
+
+#include "gtl/finder.hpp"
+#include "gtl/netlist.hpp"
+#include "gtl/serve_client.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"

@@ -1,0 +1,16 @@
+#pragma once
+// Public API: netlist construction and Bookshelf I/O.
+//
+// The installed surface of the gtl libraries lives under <gtl/...>; the
+// internal headers it pulls in keep their src-relative paths in both the
+// build tree and the install tree, so these wrappers are stable aliases,
+// not copies.  Link gtl::netlist (or the gtl::gtl umbrella).
+//
+// What this brings in:
+//   gtl::Netlist, gtl::NetlistBuilder      hypergraph + builder
+//   gtl::BookshelfDesign, read_bookshelf   Bookshelf .aux parsing
+//   gtl::try_read_snapshot, ...            binary snapshot cache (PR 5)
+
+#include "netlist/bookshelf.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/netlist_io.hpp"

@@ -1,0 +1,15 @@
+#pragma once
+// Public API: client for a gtl_serve query server.
+//
+// Link gtl::serve (or the gtl::gtl umbrella).  What this brings in:
+//   gtl::serve::Client                     synchronous JSON-lines client
+//   gtl::serve::Op, ErrorCode, Request     the wire protocol vocabulary
+//
+// The one-liner:
+//   gtl::serve::Client c;
+//   auto st = gtl::serve::Client::connect("/tmp/gtl.sock", &c);
+//   gtl::FinderResult r;
+//   if (st.is_ok()) st = c.run_finder("ibm01", nullptr, 0, &r);
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"

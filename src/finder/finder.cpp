@@ -114,6 +114,15 @@ Finder::Finder(const Netlist& nl, FinderConfig cfg)
   }
 }
 
+Status Finder::create(const Netlist& nl, FinderConfig cfg,
+                      std::unique_ptr<Finder>* out) {
+  GTL_RETURN_IF_ERROR(cfg.validate());
+  // The constructor re-validates (its contract for direct users); that
+  // second pass is a handful of comparisons and can no longer fail.
+  out->reset(new Finder(nl, std::move(cfg)));
+  return Status::ok();
+}
+
 OrderingEngine& Finder::engine_for(std::size_t worker) {
   WorkerScratch& ws = scratch_[worker];
   if (!ws.engine) ws.engine = std::make_unique<OrderingEngine>(*nl_, ocfg_);

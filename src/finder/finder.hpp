@@ -148,8 +148,17 @@ class Finder {
  public:
   /// Binds the session to `nl` with a validated config.  Precondition:
   /// cfg.validate().is_ok() — call it first for a throw-free rejection
-  /// path; the constructor itself GTL_REQUIREs validity.
+  /// path; the constructor itself GTL_REQUIREs validity.  Services should
+  /// prefer the Status-returning create() factory below.
   explicit Finder(const Netlist& nl, FinderConfig cfg = {});
+
+  /// Throw-free session construction: validates `cfg` and, on success,
+  /// binds a new session to `nl` in *out.  On failure *out is untouched
+  /// and the Status names the offending config field — the rejection
+  /// path a server needs for untrusted request configs (the throwing
+  /// constructor is now a thin wrapper over the same validation).
+  [[nodiscard]] static Status create(const Netlist& nl, FinderConfig cfg,
+                                     std::unique_ptr<Finder>* out);
 
   Finder(const Finder&) = delete;
   Finder& operator=(const Finder&) = delete;

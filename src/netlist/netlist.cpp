@@ -22,6 +22,42 @@ std::optional<CellId> Netlist::find_cell(std::string_view name) const {
   return it->second;
 }
 
+namespace {
+
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+std::size_t names_bytes(const std::vector<std::string>& names) {
+  std::size_t total = names.capacity() * sizeof(std::string);
+  for (const std::string& s : names) {
+    // Strings short enough for SSO occupy no extra heap.
+    if (s.capacity() >= sizeof(std::string)) total += s.capacity() + 1;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::size_t Netlist::resident_bytes() const {
+  std::size_t total = sizeof(Netlist);
+  total += vec_bytes(cell_net_offset_) + vec_bytes(cell_nets_);
+  total += vec_bytes(net_pin_offset_) + vec_bytes(net_pins_);
+  total += vec_bytes(net_size_);
+  total += vec_bytes(cell_width_) + vec_bytes(cell_height_);
+  total += vec_bytes(cell_fixed_);
+  total += names_bytes(cell_names_) + names_bytes(net_names_);
+  // Name index: one node (key copy + value + bucket pointer) per entry,
+  // approximated as key heap + ~48 bytes of node/bucket overhead.
+  for (const auto& kv : name_to_cell_) {
+    total += 48 + (kv.first.capacity() >= sizeof(std::string)
+                       ? kv.first.capacity()
+                       : 0);
+  }
+  return total;
+}
+
 void NetlistBuilder::reserve(std::size_t cells, std::size_t nets,
                              std::size_t pins) {
   widths_.reserve(cells);

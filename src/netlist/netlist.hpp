@@ -96,6 +96,13 @@ class Netlist {
 
   [[nodiscard]] bool has_names() const { return !cell_names_.empty(); }
 
+  /// Approximate heap bytes held by this netlist (CSR arrays, cell
+  /// attributes, names, name index).  The accounting a multi-design
+  /// server needs for LRU eviction by resident size — an estimate (heap
+  /// allocator overhead and unordered_map buckets are approximated), but
+  /// a stable one: the same netlist always reports the same value.
+  [[nodiscard]] std::size_t resident_bytes() const;
+
  private:
   friend class NetlistBuilder;
   /// netlist_io.cpp: raw CSR (de)serialization for the binary snapshot

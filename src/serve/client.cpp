@@ -1,0 +1,127 @@
+#include "serve/client.hpp"
+
+#include "finder/finder_json.hpp"
+
+namespace gtl::serve {
+namespace {
+
+/// Pull the result block out of an OK response.
+Status result_block(const JsonValue& response, JsonValue* out) {
+  const JsonValue* result = response.find("result");
+  if (result == nullptr) {
+    return Status::parse_error("ok response is missing \"result\"");
+  }
+  *out = *result;
+  return Status::ok();
+}
+
+}  // namespace
+
+Status Client::connect(const std::filesystem::path& path, Client* out) {
+  return UnixStream::connect(path, &out->stream_);
+}
+
+Status Client::call(Op op, JsonValue::Object fields, JsonValue* response) {
+  if (!stream_.valid()) {
+    return Status::invalid_argument("client is not connected");
+  }
+  const std::uint64_t id = next_id_++;
+  fields.emplace("id", JsonValue(id));
+  fields.emplace("op", JsonValue(op_name(op)));
+  GTL_RETURN_IF_ERROR(
+      stream_.write_line(JsonValue(std::move(fields)).dump()));
+
+  std::string line;
+  bool eof = false;
+  GTL_RETURN_IF_ERROR(stream_.read_line(&line, &eof));
+  if (line.empty()) {
+    return Status::unavailable("server closed the connection");
+  }
+  GTL_RETURN_IF_ERROR(JsonValue::parse(line, response));
+
+  // The protocol is strictly request/response on this stream, but verify
+  // the echo anyway — a mismatch means the framing is gone.
+  if (const JsonValue* got = response->find("id");
+      got != nullptr && !got->is_null()) {
+    std::uint64_t got_id = 0;
+    GTL_RETURN_IF_ERROR(got->get_uint64(&got_id));
+    if (got_id != id) {
+      return Status::parse_error("response id " + std::to_string(got_id) +
+                                 " does not match request id " +
+                                 std::to_string(id));
+    }
+  }
+  return response_status(*response);
+}
+
+Status Client::load_design(const std::string& name,
+                           const std::filesystem::path& aux,
+                           const std::filesystem::path& snapshot,
+                           JsonValue* result) {
+  JsonValue::Object fields;
+  fields.emplace("design", JsonValue(name));
+  if (!aux.empty()) fields.emplace("aux", JsonValue(aux.string()));
+  if (!snapshot.empty()) {
+    fields.emplace("snapshot", JsonValue(snapshot.string()));
+  }
+  JsonValue response;
+  GTL_RETURN_IF_ERROR(call(Op::kLoadDesign, std::move(fields), &response));
+  if (result != nullptr) {
+    GTL_RETURN_IF_ERROR(result_block(response, result));
+  }
+  return Status::ok();
+}
+
+Status Client::unload_design(const std::string& name) {
+  JsonValue::Object fields;
+  fields.emplace("design", JsonValue(name));
+  JsonValue response;
+  return call(Op::kUnloadDesign, std::move(fields), &response);
+}
+
+Status Client::run_finder(const std::string& design,
+                          const FinderConfig* config,
+                          std::uint64_t deadline_ms, FinderResult* out,
+                          JsonValue* raw_result) {
+  JsonValue::Object fields;
+  fields.emplace("design", JsonValue(design));
+  if (config != nullptr) fields.emplace("config", to_json(*config));
+  if (deadline_ms != 0) fields.emplace("deadline_ms", JsonValue(deadline_ms));
+  JsonValue response;
+  GTL_RETURN_IF_ERROR(call(Op::kRunFinder, std::move(fields), &response));
+  JsonValue result;
+  GTL_RETURN_IF_ERROR(result_block(response, &result));
+  GTL_RETURN_IF_ERROR(finder_result_from_json(result, out));
+  if (raw_result != nullptr) *raw_result = std::move(result);
+  return Status::ok();
+}
+
+Status Client::cancel(std::uint64_t target_id, bool* delivered) {
+  JsonValue::Object fields;
+  fields.emplace("target_id", JsonValue(target_id));
+  JsonValue response;
+  GTL_RETURN_IF_ERROR(call(Op::kCancel, std::move(fields), &response));
+  if (delivered != nullptr) {
+    *delivered = false;
+    JsonValue result;
+    GTL_RETURN_IF_ERROR(result_block(response, &result));
+    if (const JsonValue* d = result.find("delivered")) {
+      GTL_RETURN_IF_ERROR(d->get_bool(delivered));
+    }
+  }
+  return Status::ok();
+}
+
+Status Client::status(JsonValue* result) {
+  JsonValue response;
+  GTL_RETURN_IF_ERROR(call(Op::kStatus, JsonValue::Object{}, &response));
+  return result_block(response, result);
+}
+
+Status Client::stats(JsonValue* result) {
+  JsonValue response;
+  GTL_RETURN_IF_ERROR(call(Op::kStats, JsonValue::Object{}, &response));
+  return result_block(response, result);
+}
+
+}  // namespace gtl::serve

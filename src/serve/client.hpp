@@ -1,0 +1,83 @@
+#pragma once
+// Synchronous client for a gtl_serve server: one call = one request
+// line, one response line.  NOT thread-safe and strictly one request in
+// flight — callers wanting concurrency open one Client per thread (as
+// bench/serve_load.py and the stress test do), which also keeps the
+// response-matching trivial: the next line on the stream answers the
+// last request, and the echoed id is verified anyway.
+//
+// Every method maps a wire error onto the closest Status (see
+// protocol.hpp response_status): "overloaded" -> kUnavailable,
+// "deadline_exceeded"/"cancelled" -> kCancelled, and so on, with the
+// server's message preserved.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "finder/finder.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+#include "util/status.hpp"
+
+namespace gtl::serve {
+
+class Client {
+ public:
+  Client() = default;
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the server socket at `path`.
+  [[nodiscard]] static Status connect(const std::filesystem::path& path,
+                                      Client* out);
+
+  [[nodiscard]] bool connected() const { return stream_.valid(); }
+
+  /// load_design.  `aux`/`snapshot` may each be empty (not both).
+  /// `result` (optional) receives the response's result block.
+  [[nodiscard]] Status load_design(const std::string& name,
+                                   const std::filesystem::path& aux,
+                                   const std::filesystem::path& snapshot,
+                                   JsonValue* result = nullptr);
+
+  [[nodiscard]] Status unload_design(const std::string& name);
+
+  /// run_finder.  `config` nullptr runs server defaults; `deadline_ms` 0
+  /// uses the server default.  On success `*out` holds the decoded
+  /// FinderResult (timing fields zeroed per the determinism contract) and
+  /// `raw_result` (optional) the verbatim result block.
+  [[nodiscard]] Status run_finder(const std::string& design,
+                                  const FinderConfig* config,
+                                  std::uint64_t deadline_ms, FinderResult* out,
+                                  JsonValue* raw_result = nullptr);
+
+  /// Cancel the in-flight run_finder with id `target_id`.  `delivered`
+  /// (optional): whether this cancel decided the run's fate (false when
+  /// a deadline or earlier cancel won the race).
+  [[nodiscard]] Status cancel(std::uint64_t target_id,
+                              bool* delivered = nullptr);
+
+  [[nodiscard]] Status status(JsonValue* result);
+  [[nodiscard]] Status stats(JsonValue* result);
+
+  /// The id that will be stamped on the next request — what a concurrent
+  /// controller needs to cancel() a run issued by this client.
+  [[nodiscard]] std::uint64_t next_id() const { return next_id_; }
+
+  /// Low-level escape hatch: send `fields` as the body of an `op`
+  /// request (id/op stamped in) and return the whole response object.
+  /// The returned Status reflects the wire error, if any; `*response` is
+  /// filled whenever a well-formed response arrived, error or not.
+  [[nodiscard]] Status call(Op op, JsonValue::Object fields,
+                            JsonValue* response);
+
+ private:
+  UnixStream stream_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace gtl::serve

@@ -1,0 +1,111 @@
+#pragma once
+// Registry of immutable, shared netlists for the query server.
+//
+// Each entry is a ref-counted `shared_ptr<const Entry>`: lookups hand
+// out the pointer, so eviction/unload never invalidates a design that
+// in-flight queries (or pooled Finder sessions) still reference — the
+// memory is reclaimed when the last holder drops it.  Residency is
+// bounded by `max_resident_bytes` with LRU eviction: loading a design
+// that would push the total over the cap evicts least-recently-used
+// entries first.  A single design larger than the whole cap is still
+// admitted (after evicting everything else) — the cap bounds the
+// *steady state*, refusing the workload entirely would help nobody.
+//
+// Loads go through the PR 5 snapshot-cache protocol
+// (load_with_snapshot_cache): an existing snapshot is the O(read) fast
+// path, otherwise the Bookshelf text is parsed and the snapshot filled
+// best-effort.  NOTE the cache is keyed by path only (see
+// netlist_io.hpp): a snapshot path that exists wins over the aux path.
+//
+// Thread-safe; every method takes the internal lock.
+
+#include <cstddef>
+#include <filesystem>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/bookshelf.hpp"
+#include "util/status.hpp"
+
+namespace gtl::serve {
+
+class DesignRegistry {
+ public:
+  /// One loaded design; immutable after registration.
+  struct Entry {
+    std::string name;
+    BookshelfDesign design;
+    std::size_t resident_bytes = 0;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  explicit DesignRegistry(std::size_t max_resident_bytes);
+
+  /// What a load did, for the response/metrics.
+  struct LoadInfo {
+    EntryPtr entry;
+    bool snapshot_hit = false;
+    std::vector<std::string> notes;    ///< snapshot-cache fill notes
+    std::vector<std::string> evicted;  ///< names evicted to make room
+  };
+
+  /// Load from `aux` and/or `snapshot` (see the cache protocol above)
+  /// and register under `name`.  Fails with kInvalidArgument if the name
+  /// is already registered ("already loaded" — unload first to replace).
+  [[nodiscard]] Status load(const std::string& name,
+                            const std::filesystem::path& aux,
+                            const std::filesystem::path& snapshot,
+                            LoadInfo* info);
+
+  /// Register an already-built design (preload / demo / tests).
+  [[nodiscard]] Status insert(const std::string& name, BookshelfDesign design,
+                              LoadInfo* info);
+
+  /// Look up by name; bumps the entry to most-recently-used.  Null when
+  /// absent.
+  [[nodiscard]] EntryPtr find(const std::string& name);
+
+  /// Drop the registry's reference.  True if the name was present.
+  bool erase(const std::string& name);
+
+  struct DesignInfo {
+    std::string name;
+    std::size_t cells = 0;
+    std::size_t nets = 0;
+    std::size_t pins = 0;
+    std::size_t resident_bytes = 0;
+  };
+  /// Snapshot of the current entries, most recently used first.
+  [[nodiscard]] std::vector<DesignInfo> list() const;
+
+  [[nodiscard]] std::size_t total_resident_bytes() const;
+  [[nodiscard]] std::size_t max_resident_bytes() const { return max_bytes_; }
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  /// Register `entry`, evicting LRU entries until the total fits (the
+  /// new entry itself is never evicted).  Returns names evicted.
+  std::vector<std::string> insert_locked(EntryPtr entry);
+
+  struct Slot {
+    EntryPtr entry;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t max_bytes_;
+  std::size_t total_bytes_ = 0;
+  /// Front = most recently used.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Slot> entries_;
+};
+
+/// Approximate heap bytes of a loaded design (netlist + placement +
+/// warnings) — the unit of the registry's residency accounting.
+[[nodiscard]] std::size_t design_resident_bytes(const BookshelfDesign& design);
+
+}  // namespace gtl::serve

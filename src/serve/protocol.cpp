@@ -1,0 +1,221 @@
+#include "serve/protocol.hpp"
+
+#include "finder/finder_json.hpp"
+
+namespace gtl::serve {
+namespace {
+
+Status op_from_name(const std::string& name, Op* out) {
+  for (const Op op : {Op::kLoadDesign, Op::kUnloadDesign, Op::kRunFinder,
+                      Op::kCancel, Op::kStatus, Op::kStats}) {
+    if (name == op_name(op)) {
+      *out = op;
+      return Status::ok();
+    }
+  }
+  return Status::invalid_argument("unknown op \"" + name + "\"");
+}
+
+/// Read an optional string member; null/absent keep the default.
+Status read_string(const JsonValue& obj, const char* key, std::string* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->is_null()) return Status::ok();
+  if (Status st = v->get_string(out); !st.is_ok()) {
+    return Status::invalid_argument(std::string(key) + ": " + st.to_string());
+  }
+  return Status::ok();
+}
+
+Status read_u64(const JsonValue& obj, const char* key, std::uint64_t* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->is_null()) return Status::ok();
+  if (Status st = v->get_uint64(out); !st.is_ok()) {
+    return Status::invalid_argument(std::string(key) + ": " + st.to_string());
+  }
+  return Status::ok();
+}
+
+/// The keys each op accepts (beyond id/op); anything else is a typo the
+/// caller should hear about, mirroring the strict finder_json readers.
+Status check_known_keys(const JsonValue& obj, Op op) {
+  for (const auto& [key, value] : obj.object()) {
+    if (key == "id" || key == "op") continue;
+    bool known = false;
+    switch (op) {
+      case Op::kLoadDesign:
+        known = key == "design" || key == "aux" || key == "snapshot";
+        break;
+      case Op::kUnloadDesign:
+        known = key == "design";
+        break;
+      case Op::kRunFinder:
+        known = key == "design" || key == "config" || key == "deadline_ms";
+        break;
+      case Op::kCancel:
+        known = key == "target_id";
+        break;
+      case Op::kStatus:
+      case Op::kStats:
+        known = false;
+        break;
+    }
+    if (!known) {
+      return Status::invalid_argument(std::string(op_name(op)) +
+                                      ": unknown key \"" + key + "\"");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status parse_request(std::string_view line, Request* out, ErrorCode* code,
+                     bool* has_id) {
+  *code = ErrorCode::kParseError;
+  *has_id = false;
+
+  JsonValue json;
+  GTL_RETURN_IF_ERROR(JsonValue::parse(line, &json));
+
+  *code = ErrorCode::kInvalidRequest;
+  if (!json.is_object()) {
+    return Status::invalid_argument("request must be a JSON object");
+  }
+
+  // Recover the id first: even a bad request should route its error back.
+  const JsonValue* id = json.find("id");
+  if (id == nullptr) {
+    return Status::invalid_argument("request is missing \"id\"");
+  }
+  if (Status st = id->get_uint64(&out->id); !st.is_ok()) {
+    return Status::invalid_argument("id: " + st.to_string() +
+                                    " (expected a u64)");
+  }
+  *has_id = true;
+
+  const JsonValue* op = json.find("op");
+  if (op == nullptr) {
+    return Status::invalid_argument("request is missing \"op\"");
+  }
+  std::string op_str;
+  GTL_RETURN_IF_ERROR(op->get_string(&op_str));
+  GTL_RETURN_IF_ERROR(op_from_name(op_str, &out->op));
+  GTL_RETURN_IF_ERROR(check_known_keys(json, out->op));
+
+  *code = ErrorCode::kInvalidArgument;
+  switch (out->op) {
+    case Op::kLoadDesign:
+      GTL_RETURN_IF_ERROR(read_string(json, "design", &out->design));
+      GTL_RETURN_IF_ERROR(read_string(json, "aux", &out->aux));
+      GTL_RETURN_IF_ERROR(read_string(json, "snapshot", &out->snapshot));
+      if (out->design.empty()) {
+        return Status::invalid_argument("load_design: \"design\" is required");
+      }
+      if (out->aux.empty() && out->snapshot.empty()) {
+        return Status::invalid_argument(
+            "load_design: give \"aux\", \"snapshot\", or both");
+      }
+      break;
+    case Op::kUnloadDesign:
+      GTL_RETURN_IF_ERROR(read_string(json, "design", &out->design));
+      if (out->design.empty()) {
+        return Status::invalid_argument(
+            "unload_design: \"design\" is required");
+      }
+      break;
+    case Op::kRunFinder: {
+      GTL_RETURN_IF_ERROR(read_string(json, "design", &out->design));
+      if (out->design.empty()) {
+        return Status::invalid_argument("run_finder: \"design\" is required");
+      }
+      const JsonValue* config = json.find("config");
+      if (config != nullptr && !config->is_null()) {
+        GTL_RETURN_IF_ERROR(finder_config_from_json(*config, &out->config));
+      }
+      GTL_RETURN_IF_ERROR(read_u64(json, "deadline_ms", &out->deadline_ms));
+      break;
+    }
+    case Op::kCancel: {
+      const JsonValue* target = json.find("target_id");
+      if (target == nullptr) {
+        return Status::invalid_argument("cancel: \"target_id\" is required");
+      }
+      GTL_RETURN_IF_ERROR(read_u64(json, "target_id", &out->target_id));
+      break;
+    }
+    case Op::kStatus:
+    case Op::kStats:
+      break;
+  }
+  return Status::ok();
+}
+
+std::string ok_line(std::uint64_t id, Op op, JsonValue result,
+                    const ServerTiming* timing) {
+  JsonValue::Object obj;
+  obj.emplace("id", JsonValue(id));
+  obj.emplace("ok", JsonValue(true));
+  obj.emplace("op", JsonValue(op_name(op)));
+  obj.emplace("result", std::move(result));
+  if (timing != nullptr) {
+    JsonValue::Object server;
+    server.emplace("queue_seconds", JsonValue(timing->queue_seconds));
+    server.emplace("run_seconds", JsonValue(timing->run_seconds));
+    obj.emplace("server", JsonValue(std::move(server)));
+  }
+  return JsonValue(std::move(obj)).dump();
+}
+
+std::string error_line(bool has_id, std::uint64_t id, bool has_op, Op op,
+                       ErrorCode code, const std::string& message) {
+  JsonValue::Object error;
+  error.emplace("code", JsonValue(error_code_name(code)));
+  error.emplace("message", JsonValue(message));
+
+  JsonValue::Object obj;
+  obj.emplace("id", has_id ? JsonValue(id) : JsonValue(nullptr));
+  obj.emplace("ok", JsonValue(false));
+  obj.emplace("op", has_op ? JsonValue(op_name(op)) : JsonValue(nullptr));
+  obj.emplace("error", JsonValue(std::move(error)));
+  return JsonValue(std::move(obj)).dump();
+}
+
+JsonValue deterministic_result_json(const FinderResult& result) {
+  JsonValue json = to_json(result);
+  json.set("phase1_2_seconds", JsonValue(0.0));
+  json.set("phase3_seconds", JsonValue(0.0));
+  json.set("total_seconds", JsonValue(0.0));
+  return json;
+}
+
+Status response_status(const JsonValue& response) {
+  if (!response.is_object()) {
+    return Status::parse_error("response must be a JSON object");
+  }
+  const JsonValue* ok = response.find("ok");
+  bool is_ok = false;
+  if (ok == nullptr || !ok->get_bool(&is_ok).is_ok()) {
+    return Status::parse_error("response is missing a boolean \"ok\"");
+  }
+  if (is_ok) return Status::ok();
+
+  std::string code = "internal";
+  std::string message;
+  if (const JsonValue* error = response.find("error");
+      error != nullptr && error->is_object()) {
+    if (const JsonValue* c = error->find("code")) (void)c->get_string(&code);
+    if (const JsonValue* m = error->find("message")) {
+      (void)m->get_string(&message);
+    }
+  }
+  const std::string what = "server error " + code + ": " + message;
+  if (code == "parse_error") return Status::parse_error(what);
+  if (code == "not_found") return Status::not_found(what);
+  if (code == "overloaded") return Status::unavailable(what);
+  if (code == "deadline_exceeded" || code == "cancelled") {
+    return Status::cancelled(what);
+  }
+  return Status::invalid_argument(what);
+}
+
+}  // namespace gtl::serve

@@ -1,0 +1,141 @@
+#pragma once
+// The gtl_serve wire protocol: JSON-lines request/response over a local
+// stream (one compact JSON object per '\n'-terminated line).
+//
+// Request:  {"id": <u64>, "op": "<op>", ...op fields...}
+//   load_design    design, aux and/or snapshot (paths)
+//   unload_design  design
+//   run_finder     design, config (FinderConfig object, optional),
+//                  deadline_ms (optional, 0 = server default)
+//   cancel         target_id (id of an in-flight run_finder)
+//   status         -
+//   stats          -
+//
+// Response: {"id": <u64|null>, "ok": true,  "op": "<op>",
+//            "result": {...}, "server": {"queue_seconds", "run_seconds"}}
+//        or {"id": <u64|null>, "ok": false, "op": "<op>|null",
+//            "error": {"code": "<code>", "message": "..."}}
+//
+// `id` is chosen by the client and echoed verbatim; it is how responses
+// are matched to requests and how `cancel` names its target.  When a
+// line is so malformed that no id can be recovered, the error response
+// carries "id": null.
+//
+// Determinism contract: the "result" object of a run_finder response is
+// byte-identical for a fixed (design, config) across sessions, threads,
+// and server restarts — wall-clock timings live only in the "server"
+// envelope block (the FinderResult timing fields inside "result" are
+// zeroed).  tests/serve/session_stress_test.cpp pins this against a
+// direct single-threaded Finder::run().
+//
+// Error codes are stable wire strings (see ErrorCode); adding a code is
+// backward compatible, renaming one is not.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "finder/finder.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace gtl::serve {
+
+/// Wire error codes.  Keep in sync with error_code_name().
+enum class ErrorCode {
+  kParseError,        ///< request line is not valid JSON
+  kInvalidRequest,    ///< JSON but not a valid request (id/op/fields)
+  kInvalidArgument,   ///< a request value is outside its domain
+  kNotFound,          ///< named design (or cancel target) is not loaded
+  kAlreadyLoaded,     ///< load_design of a name already in the registry
+  kOverloaded,        ///< admission queue full — retry with backoff
+  kDeadlineExceeded,  ///< the per-request deadline expired
+  kCancelled,         ///< cancelled by a cancel request or shutdown
+  kInternal,          ///< unexpected server-side failure
+};
+
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kInvalidRequest: return "invalid_request";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyLoaded: return "already_loaded";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+enum class Op {
+  kLoadDesign,
+  kUnloadDesign,
+  kRunFinder,
+  kCancel,
+  kStatus,
+  kStats,
+};
+
+[[nodiscard]] constexpr const char* op_name(Op op) {
+  switch (op) {
+    case Op::kLoadDesign: return "load_design";
+    case Op::kUnloadDesign: return "unload_design";
+    case Op::kRunFinder: return "run_finder";
+    case Op::kCancel: return "cancel";
+    case Op::kStatus: return "status";
+    case Op::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+/// One parsed request.  Fields beyond (id, op) are op-specific; unused
+/// ones keep their defaults.
+struct Request {
+  std::uint64_t id = 0;
+  Op op = Op::kStatus;
+  std::string design;            ///< load/unload/run
+  std::string aux;               ///< load_design: Bookshelf .aux path
+  std::string snapshot;          ///< load_design: binary snapshot path
+  FinderConfig config;           ///< run_finder (defaults when absent)
+  std::uint64_t deadline_ms = 0; ///< run_finder: 0 = server default
+  std::uint64_t target_id = 0;   ///< cancel
+};
+
+/// Parse one request line.  On failure returns the error Status, sets
+/// *code to the wire code to report, and — when the id could still be
+/// recovered — leaves it in out->id with *has_id true, so the error
+/// response can be routed back to the right caller.
+[[nodiscard]] Status parse_request(std::string_view line, Request* out,
+                                   ErrorCode* code, bool* has_id);
+
+/// Wall-clock envelope of an executed request (never part of the
+/// deterministic "result" block).
+struct ServerTiming {
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+/// Serialize a success response line (compact, no trailing newline).
+/// `timing` may be nullptr for inline ops that never queue.
+[[nodiscard]] std::string ok_line(std::uint64_t id, Op op, JsonValue result,
+                                  const ServerTiming* timing);
+
+/// Serialize an error response line.  `has_id` false emits "id": null;
+/// `has_op` false emits "op": null.
+[[nodiscard]] std::string error_line(bool has_id, std::uint64_t id,
+                                     bool has_op, Op op, ErrorCode code,
+                                     const std::string& message);
+
+/// FinderResult -> the deterministic "result" JSON of a run_finder
+/// response: to_json(result) with the wall-clock fields zeroed (see the
+/// determinism contract above).
+[[nodiscard]] JsonValue deterministic_result_json(const FinderResult& result);
+
+/// Map a parsed response object to a Status: OK for "ok": true, else the
+/// error code/message translated to the closest StatusCode (overloaded
+/// -> kUnavailable, deadline/cancel -> kCancelled, ...).
+[[nodiscard]] Status response_status(const JsonValue& response);
+
+}  // namespace gtl::serve

@@ -1,0 +1,608 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace gtl::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      registry_(cfg_.max_resident_bytes) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+  workers_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+Status Server::preload(const std::string& name, BookshelfDesign design) {
+  DesignRegistry::LoadInfo info;
+  GTL_RETURN_IF_ERROR(registry_.insert(name, std::move(design), &info));
+  {
+    std::lock_guard<std::mutex> lk(pools_mu_);
+    for (const std::string& evicted : info.evicted) pools_.erase(evicted);
+  }
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  ++metrics_.designs_loaded;
+  metrics_.designs_evicted += info.evicted.size();
+  return Status::ok();
+}
+
+void Server::submit(std::string line, ResponseFn reply) {
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    ++metrics_.received;
+  }
+
+  Request req;
+  ErrorCode code = ErrorCode::kParseError;
+  bool has_id = false;
+  if (const Status st = parse_request(line, &req, &code, &has_id);
+      !st.is_ok()) {
+    {
+      std::lock_guard<std::mutex> lk(metrics_mu_);
+      ++metrics_.rejected_invalid;
+    }
+    // The op is only trustworthy once field validation started.
+    const bool has_op = code == ErrorCode::kInvalidArgument;
+    reply(error_line(has_id, req.id, has_op, req.op, code, st.message()));
+    return;
+  }
+
+  // Cheap ops never queue: `cancel` in particular must be able to reach
+  // a run that is clogging the very queue it would otherwise wait in.
+  if (req.op == Op::kStatus || req.op == Op::kStats ||
+      req.op == Op::kCancel || req.op == Op::kUnloadDesign) {
+    run_inline(req, reply);
+    return;
+  }
+
+  InFlightPtr inflight;
+  if (req.op == Op::kRunFinder) {
+    inflight = std::make_shared<InFlight>();
+    {
+      std::lock_guard<std::mutex> lk(inflight_mu_);
+      if (!inflight_.emplace(req.id, inflight).second) {
+        std::lock_guard<std::mutex> mlk(metrics_mu_);
+        ++metrics_.rejected_invalid;
+        reply(error_line(true, req.id, true, req.op,
+                         ErrorCode::kInvalidRequest,
+                         "a run_finder with this id is already in flight"));
+        return;
+      }
+    }
+    const std::uint64_t deadline_ms =
+        req.deadline_ms != 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+    if (deadline_ms != 0) {
+      arm_deadline(Clock::now() + std::chrono::milliseconds(deadline_ms),
+                   inflight);
+    }
+  }
+
+  Job job;
+  job.req = std::move(req);
+  job.reply = std::move(reply);
+  job.inflight = std::move(inflight);
+  job.enqueued = Clock::now();
+
+  {
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    if (stopping_) {
+      lk.unlock();
+      if (job.inflight != nullptr) finish_inflight(job.req.id);
+      reply_error(job, ErrorCode::kCancelled, "server is shutting down");
+      return;
+    }
+    if (queue_.size() >= cfg_.queue_capacity) {
+      lk.unlock();
+      if (job.inflight != nullptr) finish_inflight(job.req.id);
+      {
+        std::lock_guard<std::mutex> mlk(metrics_mu_);
+        ++metrics_.rejected_overload;
+      }
+      reply_error(job, ErrorCode::kOverloaded,
+                  "admission queue is full (" +
+                      std::to_string(cfg_.queue_capacity) +
+                      " waiting); retry with backoff");
+      return;
+    }
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+}
+
+std::string Server::handle_line(std::string_view line) {
+  std::string response;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  submit(std::string(line), [&](const std::string& resp) {
+    std::lock_guard<std::mutex> lk(mu);
+    response = resp;
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return done; });
+  return response;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(std::move(job));
+  }
+}
+
+void Server::execute(Job job) {
+  try {
+    if (job.req.op == Op::kRunFinder) {
+      execute_run(job);
+    } else {
+      execute_load(job);
+    }
+  } catch (const std::exception& e) {
+    if (job.inflight != nullptr) finish_inflight(job.req.id);
+    reply_error(job, ErrorCode::kInternal, e.what());
+  }
+}
+
+void Server::execute_run(Job& job) {
+  ServerTiming timing;
+  timing.queue_seconds = seconds_between(job.enqueued, Clock::now());
+  const std::string& design = job.req.design;
+
+  DesignRegistry::EntryPtr entry = registry_.find(design);
+  if (entry == nullptr) {
+    finish_inflight(job.req.id);
+    reply_error(job, ErrorCode::kNotFound,
+                "design \"" + design + "\" is not loaded");
+    return;
+  }
+
+  // Cancelled (or past deadline) while still queued: skip the run.
+  int reason = job.inflight->reason.load();
+  if (reason == InFlight::kNone && job.inflight->token.cancel_requested()) {
+    reason = InFlight::kClient;
+  }
+  if (reason != InFlight::kNone) {
+    finish_inflight(job.req.id);
+    {
+      std::lock_guard<std::mutex> lk(metrics_mu_);
+      DesignMetrics& dm = metrics_.design(design);
+      ++dm.errors;
+      if (reason == InFlight::kDeadline) {
+        ++dm.deadline_exceeded;
+      } else {
+        ++dm.cancelled;
+      }
+    }
+    reply_error(job,
+                reason == InFlight::kDeadline ? ErrorCode::kDeadlineExceeded
+                                              : ErrorCode::kCancelled,
+                reason == InFlight::kDeadline
+                    ? "deadline expired before the run started"
+                    : "cancelled before the run started");
+    return;
+  }
+
+  std::shared_ptr<SessionPool> pool = pool_for(entry);
+
+  FinderConfig cfg = job.req.config;
+  if (cfg_.max_threads_per_query > 0 &&
+      (cfg.num_threads == 0 || cfg.num_threads > cfg_.max_threads_per_query)) {
+    cfg.num_threads = cfg_.max_threads_per_query;
+  }
+
+  SessionLease lease;
+  bool reused = false;
+  if (const Status st = pool->acquire(cfg, &lease, &reused); !st.is_ok()) {
+    finish_inflight(job.req.id);
+    {
+      std::lock_guard<std::mutex> lk(metrics_mu_);
+      ++metrics_.design(design).errors;
+      ++metrics_.rejected_invalid;
+    }
+    reply_error(job, ErrorCode::kInvalidArgument, st.message());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    DesignMetrics& dm = metrics_.design(design);
+    if (reused) {
+      ++dm.sessions_reused;
+    } else {
+      ++dm.sessions_created;
+    }
+  }
+
+  lease.finder().set_cancel_token(&job.inflight->token);
+  Timer run_timer;
+  const FinderResult result = lease.finder().run();
+  timing.run_seconds = run_timer.seconds();
+  lease.release();  // clears the token binding, parks the session
+  finish_inflight(job.req.id);
+
+  if (result.cancelled) {
+    reason = job.inflight->reason.load();
+    const bool deadline = reason == InFlight::kDeadline;
+    {
+      std::lock_guard<std::mutex> lk(metrics_mu_);
+      DesignMetrics& dm = metrics_.design(design);
+      ++dm.errors;
+      if (deadline) {
+        ++dm.deadline_exceeded;
+      } else {
+        ++dm.cancelled;
+      }
+    }
+    reply_error(job,
+                deadline ? ErrorCode::kDeadlineExceeded : ErrorCode::kCancelled,
+                deadline ? "deadline exceeded mid-run (partial work discarded)"
+                         : "cancelled by client request");
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    DesignMetrics& dm = metrics_.design(design);
+    ++dm.queries;
+    dm.latency.add(timing.queue_seconds + timing.run_seconds);
+    ++metrics_.completed_ok;
+  }
+  job.reply(
+      ok_line(job.req.id, job.req.op, deterministic_result_json(result),
+              &timing));
+}
+
+void Server::execute_load(Job& job) {
+  ServerTiming timing;
+  timing.queue_seconds = seconds_between(job.enqueued, Clock::now());
+  const std::string& name = job.req.design;
+  Timer load_timer;
+
+  if (registry_.find(name) != nullptr) {
+    reply_error(job, ErrorCode::kAlreadyLoaded,
+                "design \"" + name + "\" is already loaded (unload first)");
+    return;
+  }
+
+  DesignRegistry::LoadInfo info;
+  const Status st =
+      registry_.load(name, job.req.aux, job.req.snapshot, &info);
+  if (!st.is_ok()) {
+    const ErrorCode code = st.code() == StatusCode::kNotFound
+                               ? ErrorCode::kNotFound
+                               : ErrorCode::kInvalidArgument;
+    reply_error(job, code, st.message());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(pools_mu_);
+    for (const std::string& evicted : info.evicted) pools_.erase(evicted);
+  }
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    ++metrics_.designs_loaded;
+    if (info.snapshot_hit) ++metrics_.snapshot_hits;
+    metrics_.designs_evicted += info.evicted.size();
+    ++metrics_.completed_ok;
+  }
+  timing.run_seconds = load_timer.seconds();
+
+  const Netlist& nl = info.entry->design.netlist;
+  JsonValue::Object result;
+  result.emplace("design", JsonValue(name));
+  result.emplace("cells", JsonValue(static_cast<std::uint64_t>(nl.num_cells())));
+  result.emplace("nets", JsonValue(static_cast<std::uint64_t>(nl.num_nets())));
+  result.emplace("pins", JsonValue(static_cast<std::uint64_t>(nl.num_pins())));
+  result.emplace("resident_bytes", JsonValue(static_cast<std::uint64_t>(
+                                       info.entry->resident_bytes)));
+  result.emplace("snapshot_hit", JsonValue(info.snapshot_hit));
+  JsonValue::Array evicted;
+  for (const std::string& e : info.evicted) evicted.emplace_back(e);
+  result.emplace("evicted", JsonValue(std::move(evicted)));
+  JsonValue::Array notes;
+  for (const std::string& n : info.notes) notes.emplace_back(n);
+  result.emplace("notes", JsonValue(std::move(notes)));
+  job.reply(ok_line(job.req.id, job.req.op, JsonValue(std::move(result)),
+                    &timing));
+}
+
+void Server::run_inline(const Request& req, const ResponseFn& reply) {
+  switch (req.op) {
+    case Op::kStatus: {
+      JsonValue result = status_json();
+      {
+        std::lock_guard<std::mutex> lk(metrics_mu_);
+        ++metrics_.completed_ok;
+      }
+      reply(ok_line(req.id, req.op, std::move(result), nullptr));
+      return;
+    }
+    case Op::kStats: {
+      JsonValue result;
+      {
+        std::lock_guard<std::mutex> lk(metrics_mu_);
+        result = metrics_.to_json();
+        ++metrics_.completed_ok;
+      }
+      reply(ok_line(req.id, req.op, std::move(result), nullptr));
+      return;
+    }
+    case Op::kCancel: {
+      InFlightPtr target;
+      {
+        std::lock_guard<std::mutex> lk(inflight_mu_);
+        const auto it = inflight_.find(req.target_id);
+        if (it != inflight_.end()) target = it->second;
+      }
+      {
+        std::lock_guard<std::mutex> lk(metrics_mu_);
+        ++metrics_.cancel_requests;
+      }
+      if (target == nullptr) {
+        reply(error_line(true, req.id, true, req.op, ErrorCode::kNotFound,
+                         "no in-flight run_finder with id " +
+                             std::to_string(req.target_id)));
+        return;
+      }
+      const bool won = target->cancel(InFlight::kClient);
+      JsonValue::Object result;
+      result.emplace("target_id", JsonValue(req.target_id));
+      // False when a deadline (or an earlier cancel) got there first.
+      result.emplace("delivered", JsonValue(won));
+      {
+        std::lock_guard<std::mutex> lk(metrics_mu_);
+        ++metrics_.completed_ok;
+      }
+      reply(ok_line(req.id, req.op, JsonValue(std::move(result)), nullptr));
+      return;
+    }
+    case Op::kUnloadDesign: {
+      std::shared_ptr<SessionPool> dropped;
+      {
+        std::lock_guard<std::mutex> lk(pools_mu_);
+        const auto it = pools_.find(req.design);
+        if (it != pools_.end()) {
+          dropped = std::move(it->second);
+          pools_.erase(it);
+        }
+      }
+      const bool erased = registry_.erase(req.design);
+      if (!erased) {
+        reply(error_line(true, req.id, true, req.op, ErrorCode::kNotFound,
+                         "design \"" + req.design + "\" is not loaded"));
+        return;
+      }
+      JsonValue::Object result;
+      result.emplace("design", JsonValue(req.design));
+      {
+        std::lock_guard<std::mutex> lk(metrics_mu_);
+        ++metrics_.completed_ok;
+      }
+      reply(ok_line(req.id, req.op, JsonValue(std::move(result)), nullptr));
+      return;
+    }
+    default:
+      reply(error_line(true, req.id, true, req.op, ErrorCode::kInternal,
+                       "op routed to the wrong executor"));
+  }
+}
+
+JsonValue Server::status_json() {
+  JsonValue::Array designs;
+  for (const DesignRegistry::DesignInfo& d : registry_.list()) {
+    JsonValue::Object obj;
+    obj.emplace("name", JsonValue(d.name));
+    obj.emplace("cells", JsonValue(static_cast<std::uint64_t>(d.cells)));
+    obj.emplace("nets", JsonValue(static_cast<std::uint64_t>(d.nets)));
+    obj.emplace("pins", JsonValue(static_cast<std::uint64_t>(d.pins)));
+    obj.emplace("resident_bytes",
+                JsonValue(static_cast<std::uint64_t>(d.resident_bytes)));
+    designs.emplace_back(std::move(obj));
+  }
+  std::size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    queue_depth = queue_.size();
+  }
+  std::size_t in_flight = 0;
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    in_flight = inflight_.size();
+  }
+  JsonValue::Object obj;
+  obj.emplace("designs", JsonValue(std::move(designs)));
+  obj.emplace("resident_bytes", JsonValue(static_cast<std::uint64_t>(
+                                    registry_.total_resident_bytes())));
+  obj.emplace("max_resident_bytes", JsonValue(static_cast<std::uint64_t>(
+                                        registry_.max_resident_bytes())));
+  obj.emplace("queue_depth",
+              JsonValue(static_cast<std::uint64_t>(queue_depth)));
+  obj.emplace("queue_capacity",
+              JsonValue(static_cast<std::uint64_t>(cfg_.queue_capacity)));
+  obj.emplace("in_flight", JsonValue(static_cast<std::uint64_t>(in_flight)));
+  obj.emplace("workers", JsonValue(static_cast<std::uint64_t>(cfg_.workers)));
+  obj.emplace("uptime_seconds", JsonValue(uptime_.seconds()));
+  return JsonValue(std::move(obj));
+}
+
+std::shared_ptr<SessionPool> Server::pool_for(
+    const DesignRegistry::EntryPtr& entry) {
+  std::lock_guard<std::mutex> lk(pools_mu_);
+  const auto it = pools_.find(entry->name);
+  // Pointer identity matters: a reloaded design must not reuse sessions
+  // bound to its previous incarnation's netlist.
+  if (it != pools_.end() && it->second->entry().get() == entry.get()) {
+    return it->second;
+  }
+  auto pool = SessionPool::create(entry, cfg_.max_idle_sessions);
+  pools_[entry->name] = pool;
+  return pool;
+}
+
+void Server::reply_error(const Job& job, ErrorCode code,
+                         const std::string& msg) {
+  job.reply(error_line(true, job.req.id, true, job.req.op, code, msg));
+}
+
+void Server::arm_deadline(Clock::time_point when, const InFlightPtr& target) {
+  {
+    std::lock_guard<std::mutex> lk(watchdog_mu_);
+    deadlines_.push(DeadlineEntry{when, target});
+  }
+  watchdog_cv_.notify_one();
+}
+
+void Server::finish_inflight(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(inflight_mu_);
+  inflight_.erase(id);
+}
+
+void Server::watchdog_loop() {
+  std::unique_lock<std::mutex> lk(watchdog_mu_);
+  for (;;) {
+    if (watchdog_stop_) return;
+    if (deadlines_.empty()) {
+      watchdog_cv_.wait(lk);
+      continue;
+    }
+    const Clock::time_point when = deadlines_.top().when;
+    if (when <= Clock::now()) {
+      std::weak_ptr<InFlight> target = deadlines_.top().target;
+      deadlines_.pop();
+      lk.unlock();
+      // Expired entries whose run already finished lock() to null.
+      if (const InFlightPtr inflight = target.lock()) {
+        inflight->cancel(InFlight::kDeadline);
+      }
+      lk.lock();
+    } else {
+      watchdog_cv_.wait_until(lk, when);
+    }
+  }
+}
+
+Status Server::serve(const std::atomic<bool>& stop_flag) {
+  UnixListener listener;
+  GTL_RETURN_IF_ERROR(
+      UnixListener::bind_and_listen(cfg_.socket_path, &listener));
+
+  struct Conn {
+    UnixStream stream;
+    std::mutex write_mu;
+  };
+  std::vector<std::thread> readers;
+  std::vector<std::weak_ptr<Conn>> conns;
+
+  Status accept_status = Status::ok();
+  while (!stop_flag.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (stopping_) break;
+    }
+    UnixStream stream;
+    bool accepted = false;
+    if (const Status st = listener.poll_accept(100, &stream, &accepted);
+        !st.is_ok()) {
+      accept_status = st;
+      break;
+    }
+    if (!accepted) continue;
+
+    auto conn = std::make_shared<Conn>();
+    conn->stream = std::move(stream);
+    conns.push_back(conn);
+    readers.emplace_back([this, conn] {
+      std::string line;
+      for (;;) {
+        bool eof = false;
+        if (const Status st =
+                conn->stream.read_line(&line, &eof, cfg_.max_line_bytes);
+            !st.is_ok()) {
+          // Oversized line / read error: framing is lost, tell the peer
+          // once and drop the connection.
+          const std::string resp =
+              error_line(false, 0, false, Op::kStatus, ErrorCode::kParseError,
+                         st.message());
+          std::lock_guard<std::mutex> wlk(conn->write_mu);
+          (void)conn->stream.write_line(resp);
+          break;
+        }
+        if (!line.empty()) {
+          submit(std::move(line), [conn](const std::string& resp) {
+            std::lock_guard<std::mutex> wlk(conn->write_mu);
+            (void)conn->stream.write_line(resp);
+          });
+          line.clear();
+        }
+        if (eof) break;
+      }
+      conn->stream.shutdown();
+    });
+  }
+
+  listener.close();
+  for (const std::weak_ptr<Conn>& weak : conns) {
+    if (const std::shared_ptr<Conn> conn = weak.lock()) {
+      conn->stream.shutdown();  // unblocks the reader's recv
+    }
+  }
+  for (std::thread& t : readers) t.join();
+  return accept_status;
+}
+
+void Server::stop() {
+  std::call_once(stop_once_, [this] {
+    std::deque<Job> drained;
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      stopping_ = true;
+      drained.swap(queue_);
+    }
+    queue_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lk(inflight_mu_);
+      for (const auto& [id, inflight] : inflight_) {
+        inflight->cancel(InFlight::kClient);
+      }
+    }
+    for (Job& job : drained) {
+      if (job.inflight != nullptr) finish_inflight(job.req.id);
+      reply_error(job, ErrorCode::kCancelled, "server is shutting down");
+    }
+    for (std::thread& t : workers_) t.join();
+    {
+      std::lock_guard<std::mutex> lk(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  });
+}
+
+}  // namespace gtl::serve

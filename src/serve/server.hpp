@@ -1,0 +1,186 @@
+#pragma once
+// The gtl_serve query server: a long-lived daemon answering JSON-lines
+// requests (see protocol.hpp) against a registry of loaded designs.
+//
+// Threading model
+//   * Cheap ops (status, stats, cancel, unload_design) execute inline on
+//     the calling/connection thread — in particular `cancel` must never
+//     wait behind the very queue holding its target.
+//   * Heavy ops (run_finder, load_design) pass admission control (a
+//     bounded FIFO; full -> "overloaded") and run on a fixed worker
+//     pool.  Each worker checks out an exclusive Finder session from the
+//     per-design pool, so concurrent queries never share session state.
+//   * A watchdog thread arms per-request deadlines: when one expires it
+//     trips the request's CancelToken, and the finder's cooperative
+//     cancellation unwinds at the next seed boundary.
+//
+// Determinism: the "result" block of every run_finder response is
+// byte-identical to a direct single-threaded Finder::run() with the same
+// (design, config) — wall-clock only ever appears in the "server"
+// envelope and in status/stats.
+//
+// The Server is usable without a socket (submit()/handle_line(), as the
+// tests do) or as a daemon via serve(), which owns the Unix-socket
+// accept loop and one reader thread per connection.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "finder/progress.hpp"
+#include "serve/design_registry.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session_pool.hpp"
+#include "util/socket.hpp"
+#include "util/timer.hpp"
+
+namespace gtl::serve {
+
+struct ServerConfig {
+  /// Socket path for serve(); unused by submit()/handle_line().
+  std::filesystem::path socket_path;
+  /// Worker threads executing queued ops.
+  std::size_t workers = 2;
+  /// Admission-queue bound; a request arriving when `queue_capacity`
+  /// jobs are already waiting is rejected with "overloaded".
+  std::size_t queue_capacity = 16;
+  /// Registry residency cap (LRU eviction above this).
+  std::size_t max_resident_bytes = std::size_t{512} << 20;
+  /// Applied to run_finder requests that give no deadline_ms (0 = none).
+  std::uint64_t default_deadline_ms = 0;
+  /// Cap on FinderConfig::num_threads per query; 0 leaves configs alone.
+  /// (num_threads never changes results, only machine load.)
+  std::size_t max_threads_per_query = 0;
+  /// Warm Finder sessions kept per design.
+  std::size_t max_idle_sessions = 4;
+  /// Longest accepted request line; longer closes the connection.
+  std::size_t max_line_bytes = std::size_t{1} << 20;
+};
+
+class Server {
+ public:
+  /// Response sink: called exactly once per submitted line with the
+  /// response (compact JSON, no trailing newline).  Inline ops invoke it
+  /// before submit() returns; queued ops from a worker thread later.
+  using ResponseFn = std::function<void(const std::string&)>;
+
+  explicit Server(ServerConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register an already-built design (preload / demo / tests), bypassing
+  /// the wire protocol.  Same registry semantics as load_design.
+  [[nodiscard]] Status preload(const std::string& name,
+                               BookshelfDesign design);
+
+  /// Feed one request line into the server.
+  void submit(std::string line, ResponseFn reply);
+
+  /// Blocking convenience: submit and wait for the response line.
+  [[nodiscard]] std::string handle_line(std::string_view line);
+
+  /// Bind `cfg.socket_path` and serve connections until `stop_flag`
+  /// becomes true (checked ~10x/second) or stop() is called.  Prints
+  /// nothing; the caller owns logging.
+  [[nodiscard]] Status serve(const std::atomic<bool>& stop_flag);
+
+  /// Shut down: reject new work, cancel in-flight runs, drain the queue
+  /// (each waiting job answered "cancelled"), join all threads.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+  [[nodiscard]] DesignRegistry& registry() { return registry_; }
+
+ private:
+  /// A run_finder in flight (queued or executing); `cancel` and the
+  /// deadline watchdog race for `reason` — first writer decides how a
+  /// cancelled run is reported.
+  struct InFlight {
+    CancelToken token;
+    static constexpr int kNone = 0, kDeadline = 1, kClient = 2;
+    std::atomic<int> reason{kNone};
+    /// Set the reason if unset and trip the token; true if we won.
+    bool cancel(int why) {
+      int expected = kNone;
+      const bool won = reason.compare_exchange_strong(expected, why);
+      token.request_cancel();  // idempotent; trip even if we lost
+      return won;
+    }
+  };
+  using InFlightPtr = std::shared_ptr<InFlight>;
+
+  struct Job {
+    Request req;
+    ResponseFn reply;
+    InFlightPtr inflight;  ///< run_finder only
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  struct DeadlineEntry {
+    std::chrono::steady_clock::time_point when;
+    std::weak_ptr<InFlight> target;
+    bool operator>(const DeadlineEntry& other) const {
+      return when > other.when;
+    }
+  };
+
+  void worker_loop();
+  void watchdog_loop();
+  void execute(Job job);
+  void execute_run(Job& job);
+  void execute_load(Job& job);
+  void run_inline(const Request& req, const ResponseFn& reply);
+  JsonValue status_json();
+
+  std::shared_ptr<SessionPool> pool_for(const DesignRegistry::EntryPtr& e);
+  void reply_error(const Job& job, ErrorCode code, const std::string& msg);
+  void arm_deadline(std::chrono::steady_clock::time_point when,
+                    const InFlightPtr& target);
+  void finish_inflight(std::uint64_t id);
+
+  ServerConfig cfg_;
+  DesignRegistry registry_;
+  Timer uptime_;
+
+  std::mutex pools_mu_;
+  std::unordered_map<std::string, std::shared_ptr<SessionPool>> pools_;
+
+  std::mutex metrics_mu_;
+  ServerMetrics metrics_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<std::uint64_t, InFlightPtr> inflight_;
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      std::greater<DeadlineEntry>>
+      deadlines_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
+
+  std::once_flag stop_once_;
+};
+
+}  // namespace gtl::serve

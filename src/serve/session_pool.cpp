@@ -1,0 +1,74 @@
+#include "serve/session_pool.hpp"
+
+#include "finder/finder_json.hpp"
+
+namespace gtl::serve {
+
+std::string config_fingerprint(const FinderConfig& cfg) {
+  return to_json(cfg).dump();
+}
+
+SessionLease& SessionLease::operator=(SessionLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = std::move(other.pool_);
+    finder_ = std::move(other.finder_);
+    fingerprint_ = std::move(other.fingerprint_);
+  }
+  return *this;
+}
+
+void SessionLease::release() {
+  if (finder_ == nullptr) {
+    pool_.reset();
+    return;
+  }
+  finder_->set_observer(nullptr);
+  finder_->set_cancel_token(nullptr);
+  pool_->put_back(std::move(finder_), std::move(fingerprint_));
+  pool_.reset();
+}
+
+std::shared_ptr<SessionPool> SessionPool::create(
+    DesignRegistry::EntryPtr entry, std::size_t max_idle) {
+  return std::shared_ptr<SessionPool>(
+      new SessionPool(std::move(entry), max_idle));
+}
+
+Status SessionPool::acquire(const FinderConfig& cfg, SessionLease* out,
+                            bool* reused) {
+  *reused = false;
+  std::string fp = config_fingerprint(cfg);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = idle_.find(fp);
+    if (it != idle_.end()) {
+      std::unique_ptr<Finder> finder = std::move(it->second);
+      idle_.erase(it);
+      --idle_total_;
+      *reused = true;
+      *out = SessionLease(shared_from_this(), std::move(finder),
+                          std::move(fp));
+      return Status::ok();
+    }
+  }
+  std::unique_ptr<Finder> finder;
+  GTL_RETURN_IF_ERROR(Finder::create(entry_->design.netlist, cfg, &finder));
+  *out = SessionLease(shared_from_this(), std::move(finder), std::move(fp));
+  return Status::ok();
+}
+
+std::size_t SessionPool::idle_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return idle_total_;
+}
+
+void SessionPool::put_back(std::unique_ptr<Finder> finder,
+                           std::string fingerprint) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (idle_total_ >= max_idle_) return;  // destroys the session
+  idle_.emplace(std::move(fingerprint), std::move(finder));
+  ++idle_total_;
+}
+
+}  // namespace gtl::serve

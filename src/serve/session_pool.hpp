@@ -1,0 +1,109 @@
+#pragma once
+// Pool of reusable Finder sessions for one loaded design.
+//
+// A Finder session owns sizable workspace (ordering buffers, refine
+// scratch, candidate pools) that PR 3/4 made reusable across runs; the
+// pool keeps finished sessions warm so repeated queries against the same
+// design skip the allocation storm.  Sessions are keyed by a config
+// fingerprint (the key-sorted JSON dump of the FinderConfig): a session
+// can only be reused for the exact config it was built with, because
+// Finder validates and binds its config at construction.
+//
+// Lifetime: the pool holds the registry EntryPtr, and every Lease holds
+// a shared_ptr to the pool — so a design evicted or unloaded mid-query
+// stays alive until the last lease and the pool itself drop.  A Finder
+// session is NOT thread-safe; a Lease hands exclusive ownership to one
+// serving thread and returns the session on destruction (up to
+// `max_idle` kept, the rest destroyed).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "finder/finder.hpp"
+#include "serve/design_registry.hpp"
+#include "util/status.hpp"
+
+namespace gtl::serve {
+
+class SessionPool;
+
+/// Exclusive ownership of one Finder session, returned to its pool on
+/// destruction.  Movable, not copyable.  A default-constructed lease is
+/// empty (`valid()` false).
+class SessionLease {
+ public:
+  SessionLease() = default;
+  SessionLease(SessionLease&&) noexcept = default;
+  SessionLease& operator=(SessionLease&& other) noexcept;
+  SessionLease(const SessionLease&) = delete;
+  SessionLease& operator=(const SessionLease&) = delete;
+  ~SessionLease() { release(); }
+
+  [[nodiscard]] bool valid() const { return finder_ != nullptr; }
+  [[nodiscard]] Finder& finder() { return *finder_; }
+
+  /// Return the session to the pool now (idempotent).  Clears the
+  /// sticky observer/cancel-token bindings first so a recycled session
+  /// never fires into a dead request's state.
+  void release();
+
+ private:
+  friend class SessionPool;
+  SessionLease(std::shared_ptr<SessionPool> pool, std::unique_ptr<Finder> f,
+               std::string fingerprint)
+      : pool_(std::move(pool)),
+        finder_(std::move(f)),
+        fingerprint_(std::move(fingerprint)) {}
+
+  std::shared_ptr<SessionPool> pool_;
+  std::unique_ptr<Finder> finder_;
+  std::string fingerprint_;
+};
+
+class SessionPool : public std::enable_shared_from_this<SessionPool> {
+ public:
+  /// `entry` is the registry entry the sessions bind to; the pool keeps
+  /// it alive.  `max_idle` bounds warm sessions kept across all configs.
+  static std::shared_ptr<SessionPool> create(DesignRegistry::EntryPtr entry,
+                                             std::size_t max_idle = 4);
+
+  /// Check out a session for `cfg`: a warm one when the fingerprint
+  /// matches (*reused = true), else a freshly constructed one.  Fails
+  /// (kInvalidArgument) when the config does not validate — the
+  /// service rejection path; nothing is constructed on failure.
+  [[nodiscard]] Status acquire(const FinderConfig& cfg, SessionLease* out,
+                               bool* reused);
+
+  [[nodiscard]] const DesignRegistry::EntryPtr& entry() const {
+    return entry_;
+  }
+
+  /// Warm sessions currently parked (for status/tests).
+  [[nodiscard]] std::size_t idle_count() const;
+
+ private:
+  friend class SessionLease;
+  SessionPool(DesignRegistry::EntryPtr entry, std::size_t max_idle)
+      : entry_(std::move(entry)), max_idle_(max_idle) {}
+
+  void put_back(std::unique_ptr<Finder> finder, std::string fingerprint);
+
+  DesignRegistry::EntryPtr entry_;
+  std::size_t max_idle_;
+  mutable std::mutex mu_;
+  /// fingerprint -> parked sessions for that exact config.
+  std::multimap<std::string, std::unique_ptr<Finder>> idle_;
+  std::size_t idle_total_ = 0;
+};
+
+/// The pooling key: key-sorted compact JSON of the config, so two
+/// configs fingerprint equal iff every field is equal.
+[[nodiscard]] std::string config_fingerprint(const FinderConfig& cfg);
+
+}  // namespace gtl::serve

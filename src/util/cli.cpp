@@ -14,11 +14,21 @@ CliArgs::CliArgs(int argc, char** argv) {
     if (arg.rfind("--", 0) != 0) continue;
     arg.remove_prefix(2);
     const auto eq = arg.find('=');
+    std::string key;
+    std::string value;
     if (eq == std::string_view::npos) {
-      kv_.emplace(std::string(arg), "true");
+      key = std::string(arg);
+      value = "true";
+      bare_.insert(key);
     } else {
-      kv_.emplace(std::string(arg.substr(0, eq)),
-                  std::string(arg.substr(eq + 1)));
+      key = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    }
+    // A repeated flag is ambiguous (which value wins?) — reject it
+    // instead of silently keeping the first, as std::map::emplace did.
+    if (!kv_.emplace(std::move(key), std::move(value)).second) {
+      record_error(Status::parse_error("--" + std::string(arg.substr(0, eq)) +
+                                       " given more than once"));
     }
   }
 }
@@ -55,6 +65,13 @@ std::string CliArgs::get(const std::string& key,
                          const std::string& fallback) const {
   const auto it = kv_.find(key);
   return it == kv_.end() ? fallback : it->second;
+}
+
+std::string CliArgs::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  std::string value = fallback;
+  (void)parse_string(key, &value);  // strict parser records the error
+  return value;
 }
 
 std::int64_t CliArgs::get_int(const std::string& key,
@@ -100,7 +117,46 @@ Status CliArgs::parse_double(const std::string& key, double* out) const {
   return Status::ok();
 }
 
+Status CliArgs::parse_string(const std::string& key, std::string* out) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return Status::ok();
+  if (bare_.count(key) != 0) {
+    const Status st =
+        Status::parse_error("--" + key + ": expected --" + key + "=value");
+    record_error(st);
+    return st;
+  }
+  *out = it->second;
+  return Status::ok();
+}
+
 bool CliArgs::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+Status CliArgs::status() const {
+  // Lazy unknown-flag validation: describe() registrations happen after
+  // construction, so the check runs on the first status() read once at
+  // least one option is registered (a bare CliArgs with no registered
+  // options accepts anything, preserving ad-hoc uses).
+  if (!checked_unknown_ && !options_.empty()) {
+    checked_unknown_ = true;
+    for (const auto& [key, value] : kv_) {
+      if (key == "help" || key == "h") continue;
+      bool known = false;
+      for (const auto& [spec, help] : options_) {
+        const std::string spec_key = spec.substr(0, spec.find('='));
+        if (key == spec_key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        record_error(Status::parse_error("--" + key + ": unknown option"));
+        break;
+      }
+    }
+  }
+  return status_;
+}
 
 void CliArgs::record_error(Status st) const {
   if (status_.is_ok() && !st.is_ok()) status_ = std::move(st);

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <ostream>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +53,13 @@ class CliArgs {
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback = {}) const;
 
+  /// String value of --key with validation symmetry to get_int/get_double:
+  /// a bare `--key` (no =value) where a value is expected returns the
+  /// fallback AND records an error in status().  Use get()/has() for
+  /// boolean flags.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = {}) const;
+
   /// Integer value of --key, or `fallback` if absent.  An unparseable
   /// value returns the fallback AND records an error in status().
   [[nodiscard]] std::int64_t get_int(const std::string& key,
@@ -67,12 +75,20 @@ class CliArgs {
                                  std::int64_t* out) const;
   [[nodiscard]] Status parse_double(const std::string& key,
                                     double* out) const;
+  /// Strict string accessor (see get_string for the bare-flag contract).
+  [[nodiscard]] Status parse_string(const std::string& key,
+                                    std::string* out) const;
 
   /// True if --key was given (as flag or with a value).
   [[nodiscard]] bool has(const std::string& key) const;
 
   /// First error recorded by any accessor (or by parse_scale), or OK.
-  [[nodiscard]] Status status() const { return status_; }
+  /// Also validates the command line itself: a flag given more than once
+  /// is an error (recorded at construction), and — once at least one
+  /// option has been describe()d — so is any flag that was never
+  /// registered, catching typos like --sees=40 that would otherwise run
+  /// silently with defaults.
+  [[nodiscard]] Status status() const;
 
   /// Record an error against this command line (first one wins).  Used
   /// by helpers layered on CliArgs, e.g. parse_scale.
@@ -84,7 +100,13 @@ class CliArgs {
   /// (spec, help) in registration order.
   std::vector<std::pair<std::string, std::string>> options_;
   std::map<std::string, std::string> kv_;
+  /// Keys given as bare --flag (no '='): get_string treats these as
+  /// missing values.
+  std::set<std::string> bare_;
   mutable Status status_;
+  /// Unknown-flag validation runs once, on the first status() call after
+  /// the options have been registered.
+  mutable bool checked_unknown_ = false;
 };
 
 /// Print the generated help to stdout when --help was given; true =>

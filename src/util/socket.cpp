@@ -1,0 +1,227 @@
+#include "util/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace gtl {
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status::invalid_argument(what + ": " + std::strerror(errno));
+}
+
+/// Fill sockaddr_un, rejecting paths longer than sun_path holds.
+Status fill_addr(const std::filesystem::path& path, sockaddr_un* addr) {
+  const std::string s = path.string();
+  if (s.empty()) {
+    return Status::invalid_argument("socket path must not be empty");
+  }
+  if (s.size() >= sizeof(addr->sun_path)) {
+    return Status::invalid_argument(
+        "socket path \"" + s + "\" exceeds the AF_UNIX limit of " +
+        std::to_string(sizeof(addr->sun_path) - 1) + " bytes");
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, s.c_str(), s.size() + 1);
+  return Status::ok();
+}
+
+}  // namespace
+
+UnixStream::UnixStream(UnixStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+UnixStream& UnixStream::operator=(UnixStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Status UnixStream::connect(const std::filesystem::path& path,
+                           UnixStream* out) {
+  sockaddr_un addr{};
+  GTL_RETURN_IF_ERROR(fill_addr(path, &addr));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket()");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status st = errno_status("connect " + path.string());
+    ::close(fd);
+    return st;
+  }
+  *out = UnixStream(fd);
+  return Status::ok();
+}
+
+Status UnixStream::write_all(std::string_view data) {
+  if (fd_ < 0) return Status::invalid_argument("write on a closed stream");
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a fatal SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status UnixStream::write_line(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  return write_all(framed);
+}
+
+Status UnixStream::read_line(std::string* line, bool* eof,
+                             std::size_t max_bytes) {
+  if (fd_ < 0) return Status::invalid_argument("read on a closed stream");
+  *eof = false;
+  line->clear();
+  for (;;) {
+    const auto nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      if (nl > max_bytes) {
+        return Status::out_of_range("line exceeds the " +
+                                    std::to_string(max_bytes) + "-byte cap");
+      }
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return Status::ok();
+    }
+    if (buffer_.size() > max_bytes) {
+      return Status::out_of_range("line exceeds the " +
+                                  std::to_string(max_bytes) + "-byte cap");
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("recv");
+    }
+    if (n == 0) {
+      if (buffer_.empty()) {
+        *eof = true;
+        return Status::ok();
+      }
+      // Unterminated final line: hand it over; the next call reports EOF.
+      line->swap(buffer_);
+      buffer_.clear();
+      return Status::ok();
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void UnixStream::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void UnixStream::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Status UnixListener::bind_and_listen(const std::filesystem::path& path,
+                                     UnixListener* out, int backlog) {
+  sockaddr_un addr{};
+  GTL_RETURN_IF_ERROR(fill_addr(path, &addr));
+
+  // Unlink only a stale *socket* file; refuse to clobber anything else.
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      return Status::invalid_argument(path.string() +
+                                      " exists and is not a socket");
+    }
+    if (::unlink(path.c_str()) != 0) {
+      return errno_status("unlink stale socket " + path.string());
+    }
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket()");
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status bind_st = errno_status("bind " + path.string());
+    ::close(fd);
+    return bind_st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status listen_st = errno_status("listen " + path.string());
+    ::close(fd);
+    ::unlink(path.c_str());
+    return listen_st;
+  }
+  out->close();
+  out->fd_ = fd;
+  out->path_ = path;
+  return Status::ok();
+}
+
+Status UnixListener::poll_accept(int timeout_ms, UnixStream* out,
+                                 bool* accepted) {
+  *accepted = false;
+  if (fd_ < 0) return Status::invalid_argument("accept on a closed listener");
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return Status::ok();  // treated as a timeout tick
+    return errno_status("poll");
+  }
+  if (rc == 0) return Status::ok();
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return Status::ok();
+    return errno_status("accept");
+  }
+  *out = UnixStream(conn);
+  *accepted = true;
+  return Status::ok();
+}
+
+void UnixListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+  path_.clear();
+}
+
+}  // namespace gtl

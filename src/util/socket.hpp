@@ -1,0 +1,107 @@
+#pragma once
+// Minimal RAII wrappers over AF_UNIX stream sockets — the transport for
+// the gtl_serve JSON-lines protocol (serve/).  POSIX-only by design: a
+// local query server talks to clients on the same machine, and a
+// filesystem socket gives free authentication (directory permissions)
+// plus zero network configuration.
+//
+// Framing is newline-delimited: one request or response per '\n'-
+// terminated line.  UnixStream::read_line buffers reads internally and
+// enforces a caller-supplied line-size cap, so a misbehaving peer cannot
+// grow a line without bound.
+//
+// All errors are reported through gtl::Status (no exceptions): a server
+// must survive malformed peers, and a client must surface "server not
+// running" as a value, not a crash.
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace gtl {
+
+/// One connected AF_UNIX stream endpoint (client side or an accepted
+/// server-side connection).  Move-only; closes on destruction.
+class UnixStream {
+ public:
+  UnixStream() = default;
+  /// Adopt an already-connected file descriptor (server accept path).
+  explicit UnixStream(int fd) : fd_(fd) {}
+  ~UnixStream() { close(); }
+
+  UnixStream(UnixStream&& other) noexcept;
+  UnixStream& operator=(UnixStream&& other) noexcept;
+  UnixStream(const UnixStream&) = delete;
+  UnixStream& operator=(const UnixStream&) = delete;
+
+  /// Connect to the listener at `path`.
+  [[nodiscard]] static Status connect(const std::filesystem::path& path,
+                                      UnixStream* out);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Write every byte of `data` (handles short writes and EINTR).
+  [[nodiscard]] Status write_all(std::string_view data);
+
+  /// Write `line` plus the '\n' terminator.
+  [[nodiscard]] Status write_line(std::string_view line);
+
+  /// Read the next '\n'-terminated line into *line (terminator stripped;
+  /// a trailing unterminated line at EOF is returned as a final line).
+  /// Clean EOF with no pending bytes sets *eof and leaves *line empty.
+  /// A line longer than `max_bytes` is an out-of-range error — the
+  /// connection should be dropped, the stream has lost framing.
+  [[nodiscard]] Status read_line(std::string* line, bool* eof,
+                                 std::size_t max_bytes = 1u << 20);
+
+  /// Shut down both directions (unblocks a peer blocked in read).
+  void shutdown() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  /// Bytes received past the last returned line.
+  std::string buffer_;
+};
+
+/// A listening AF_UNIX socket bound to a filesystem path.  Move-only;
+/// closing unlinks the socket file it created.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener() { close(); }
+
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Bind to `path` and listen.  A stale socket file from a previous
+  /// (crashed) server is unlinked first; a path that exists and is NOT a
+  /// socket is an error, never removed.
+  [[nodiscard]] static Status bind_and_listen(const std::filesystem::path& path,
+                                              UnixListener* out,
+                                              int backlog = 64);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Wait up to `timeout_ms` for a connection.  On a connection, *out is
+  /// the accepted stream and *accepted is true; on timeout *accepted is
+  /// false with an OK status — callers poll in a loop so a stop flag
+  /// (e.g. a SIGTERM handler's atomic) gets checked between waits.
+  [[nodiscard]] Status poll_accept(int timeout_ms, UnixStream* out,
+                                   bool* accepted);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::filesystem::path path_;
+};
+
+}  // namespace gtl

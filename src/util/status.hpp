@@ -21,6 +21,7 @@ enum class StatusCode {
   kParseError,       ///< text input is syntactically malformed
   kNotFound,         ///< a required key/field is absent
   kCancelled,        ///< the operation was cancelled cooperatively
+  kUnavailable,      ///< the service cannot take the request now (overload)
 };
 
 [[nodiscard]] constexpr const char* status_code_name(StatusCode code) {
@@ -31,6 +32,7 @@ enum class StatusCode {
     case StatusCode::kParseError: return "parse error";
     case StatusCode::kNotFound: return "not found";
     case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }
@@ -55,6 +57,9 @@ class Status {
   }
   [[nodiscard]] static Status cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]] static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }

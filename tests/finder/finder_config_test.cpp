@@ -29,6 +29,53 @@ TEST(FinderConfigValidate, ZeroSeedsIsValid) {
   EXPECT_TRUE(cfg.validate().is_ok());
 }
 
+// ---------- Finder::create() ----------
+
+TEST(FinderCreate, RejectsInvalidConfigWithoutThrowing) {
+  PlantedGraphConfig gcfg;
+  gcfg.num_cells = 200;
+  Rng rng(3);
+  const PlantedGraph graph = generate_planted_graph(gcfg, rng);
+
+  FinderConfig bad;
+  bad.max_ordering_length = 0;
+  std::unique_ptr<Finder> session;
+  const Status st = Finder::create(graph.netlist, bad, &session);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session, nullptr);
+}
+
+TEST(FinderCreate, MatchesThrowingConstructor) {
+  PlantedGraphConfig gcfg;
+  gcfg.num_cells = 500;
+  gcfg.gtls.push_back({60, 1});
+  Rng rng(5);
+  const PlantedGraph graph = generate_planted_graph(gcfg, rng);
+
+  FinderConfig cfg;
+  cfg.num_seeds = 6;
+  cfg.max_ordering_length = 200;
+  cfg.num_threads = 1;
+
+  std::unique_ptr<Finder> session;
+  ASSERT_TRUE(Finder::create(graph.netlist, cfg, &session).is_ok());
+  ASSERT_NE(session, nullptr);
+  Finder direct(graph.netlist, cfg);
+
+  const FinderResult via_factory = session->run();
+  const FinderResult via_ctor = direct.run();
+  // Identical except for the wall-clock fields.
+  JsonValue a = to_json(via_factory);
+  JsonValue b = to_json(via_ctor);
+  for (const char* key :
+       {"phase1_2_seconds", "phase3_seconds", "total_seconds"}) {
+    a.set(key, JsonValue(0.0));
+    b.set(key, JsonValue(0.0));
+  }
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
 struct RejectionCase {
   const char* name;            // must appear in the error message
   void (*mutate)(FinderConfig&);

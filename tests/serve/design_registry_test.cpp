@@ -1,0 +1,148 @@
+// DesignRegistry unit tests: LRU eviction under a byte cap, ref-counted
+// entries surviving eviction, and the snapshot-backed load path.
+
+#include "serve/design_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "netlist/netlist_io.hpp"
+#include "test_helpers.hpp"
+
+namespace gtl::serve {
+namespace {
+
+BookshelfDesign small_design(std::size_t num_cells) {
+  BookshelfDesign design;
+  NetlistBuilder nb;
+  for (std::size_t c = 0; c < num_cells; ++c) nb.add_cell();
+  for (std::size_t c = 0; c + 1 < num_cells; ++c) {
+    nb.add_net({static_cast<CellId>(c), static_cast<CellId>(c + 1)});
+  }
+  design.netlist = nb.build();
+  return design;
+}
+
+TEST(DesignRegistry, InsertFindErase) {
+  DesignRegistry registry(std::size_t{64} << 20);
+  DesignRegistry::LoadInfo info;
+  ASSERT_TRUE(registry.insert("a", small_design(16), &info).is_ok());
+  EXPECT_GT(info.entry->resident_bytes, 0u);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.total_resident_bytes(), info.entry->resident_bytes);
+
+  const DesignRegistry::EntryPtr found = registry.find("a");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->design.netlist.num_cells(), 16u);
+  EXPECT_EQ(registry.find("missing"), nullptr);
+
+  EXPECT_TRUE(registry.erase("a"));
+  EXPECT_FALSE(registry.erase("a"));
+  EXPECT_EQ(registry.total_resident_bytes(), 0u);
+}
+
+TEST(DesignRegistry, RejectsDuplicateNames) {
+  DesignRegistry registry(std::size_t{64} << 20);
+  DesignRegistry::LoadInfo info;
+  ASSERT_TRUE(registry.insert("a", small_design(8), &info).is_ok());
+  const Status st = registry.insert("a", small_design(8), &info);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DesignRegistry, EvictsLeastRecentlyUsed) {
+  // Size the cap so exactly two of these designs fit.
+  DesignRegistry::LoadInfo probe;
+  {
+    DesignRegistry sizing(std::size_t{64} << 20);
+    ASSERT_TRUE(sizing.insert("p", small_design(64), &probe).is_ok());
+  }
+  const std::size_t one = probe.entry->resident_bytes;
+  DesignRegistry registry(2 * one + one / 2);
+
+  DesignRegistry::LoadInfo info;
+  ASSERT_TRUE(registry.insert("a", small_design(64), &info).is_ok());
+  ASSERT_TRUE(registry.insert("b", small_design(64), &info).is_ok());
+  EXPECT_TRUE(info.evicted.empty());
+
+  // Touch "a" so "b" is the LRU victim.
+  ASSERT_NE(registry.find("a"), nullptr);
+  ASSERT_TRUE(registry.insert("c", small_design(64), &info).is_ok());
+  ASSERT_EQ(info.evicted.size(), 1u);
+  EXPECT_EQ(info.evicted[0], "b");
+  EXPECT_EQ(registry.find("b"), nullptr);
+  EXPECT_NE(registry.find("a"), nullptr);
+  EXPECT_NE(registry.find("c"), nullptr);
+}
+
+TEST(DesignRegistry, OversizedDesignStillAdmitted) {
+  DesignRegistry registry(1);  // everything is over this cap
+  DesignRegistry::LoadInfo info;
+  ASSERT_TRUE(registry.insert("big", small_design(32), &info).is_ok());
+  EXPECT_NE(registry.find("big"), nullptr);
+  // Loading another evicts the first but still admits the newcomer.
+  ASSERT_TRUE(registry.insert("big2", small_design(32), &info).is_ok());
+  ASSERT_EQ(info.evicted.size(), 1u);
+  EXPECT_EQ(info.evicted[0], "big");
+  EXPECT_NE(registry.find("big2"), nullptr);
+}
+
+TEST(DesignRegistry, EntrySurvivesEviction) {
+  DesignRegistry registry(1);
+  DesignRegistry::LoadInfo info;
+  ASSERT_TRUE(registry.insert("a", small_design(16), &info).is_ok());
+  const DesignRegistry::EntryPtr held = registry.find("a");
+  ASSERT_NE(held, nullptr);
+
+  ASSERT_TRUE(registry.insert("b", small_design(16), &info).is_ok());
+  EXPECT_EQ(registry.find("a"), nullptr);
+  // The held reference still reads valid data after eviction.
+  EXPECT_EQ(held->design.netlist.num_cells(), 16u);
+}
+
+TEST(DesignRegistry, ListIsMostRecentlyUsedFirst) {
+  DesignRegistry registry(std::size_t{64} << 20);
+  DesignRegistry::LoadInfo info;
+  ASSERT_TRUE(registry.insert("a", small_design(8), &info).is_ok());
+  ASSERT_TRUE(registry.insert("b", small_design(8), &info).is_ok());
+  ASSERT_NE(registry.find("a"), nullptr);
+
+  const auto list = registry.list();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].name, "a");
+  EXPECT_EQ(list[1].name, "b");
+  EXPECT_EQ(list[0].cells, 8u);
+}
+
+TEST(DesignRegistry, LoadsFromSnapshot) {
+  const std::filesystem::path snap =
+      std::filesystem::temp_directory_path() / "gtl_registry_test.snap";
+  std::filesystem::remove(snap);
+  ASSERT_TRUE(try_write_snapshot(small_design(24), snap).is_ok());
+
+  DesignRegistry registry(std::size_t{64} << 20);
+  DesignRegistry::LoadInfo info;
+  ASSERT_TRUE(registry.load("snapped", "", snap, &info).is_ok());
+  EXPECT_TRUE(info.snapshot_hit);
+  EXPECT_EQ(info.entry->design.netlist.num_cells(), 24u);
+  std::filesystem::remove(snap);
+}
+
+TEST(DesignRegistry, MissingSnapshotWithoutAuxIsNotFound) {
+  DesignRegistry registry(std::size_t{64} << 20);
+  DesignRegistry::LoadInfo info;
+  const Status st = registry.load(
+      "ghost", "", "/nonexistent/dir/ghost.snap", &info);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(DesignRegistry, ResidentBytesAccountsPlacement) {
+  BookshelfDesign bare = small_design(32);
+  BookshelfDesign placed = small_design(32);
+  placed.x.assign(32, 1.0);
+  placed.y.assign(32, 2.0);
+  EXPECT_GT(design_resident_bytes(placed), design_resident_bytes(bare));
+}
+
+}  // namespace
+}  // namespace gtl::serve

@@ -1,0 +1,197 @@
+// Wire-protocol unit tests: request parsing (strictness and error-code
+// selection), response serialization, and the determinism contract of
+// deterministic_result_json.
+
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "finder/finder_json.hpp"
+
+namespace gtl::serve {
+namespace {
+
+Request parse_ok(const std::string& line) {
+  Request req;
+  ErrorCode code = ErrorCode::kInternal;
+  bool has_id = false;
+  const Status st = parse_request(line, &req, &code, &has_id);
+  EXPECT_TRUE(st.is_ok()) << line << " -> " << st.to_string();
+  EXPECT_TRUE(has_id);
+  return req;
+}
+
+struct ParseFailure {
+  Status status;
+  ErrorCode code = ErrorCode::kInternal;
+  bool has_id = false;
+};
+
+ParseFailure parse_fail(const std::string& line) {
+  Request req;
+  ParseFailure f;
+  f.status = parse_request(line, &req, &f.code, &f.has_id);
+  EXPECT_FALSE(f.status.is_ok()) << line << " unexpectedly parsed";
+  return f;
+}
+
+TEST(ServeProtocol, ParsesEveryOp) {
+  EXPECT_EQ(parse_ok(R"({"id": 1, "op": "status"})").op, Op::kStatus);
+  EXPECT_EQ(parse_ok(R"({"id": 2, "op": "stats"})").op, Op::kStats);
+
+  const Request load = parse_ok(
+      R"({"id": 3, "op": "load_design", "design": "ibm01",)"
+      R"( "aux": "a.aux", "snapshot": "a.snap"})");
+  EXPECT_EQ(load.op, Op::kLoadDesign);
+  EXPECT_EQ(load.design, "ibm01");
+  EXPECT_EQ(load.aux, "a.aux");
+  EXPECT_EQ(load.snapshot, "a.snap");
+
+  const Request unload =
+      parse_ok(R"({"id": 4, "op": "unload_design", "design": "ibm01"})");
+  EXPECT_EQ(unload.op, Op::kUnloadDesign);
+
+  const Request cancel =
+      parse_ok(R"({"id": 5, "op": "cancel", "target_id": 17})");
+  EXPECT_EQ(cancel.op, Op::kCancel);
+  EXPECT_EQ(cancel.target_id, 17u);
+
+  const Request run = parse_ok(
+      R"({"id": 6, "op": "run_finder", "design": "ibm01",)"
+      R"( "deadline_ms": 250})");
+  EXPECT_EQ(run.op, Op::kRunFinder);
+  EXPECT_EQ(run.deadline_ms, 250u);
+}
+
+TEST(ServeProtocol, RunFinderConfigRoundTrips) {
+  FinderConfig cfg;
+  cfg.num_seeds = 17;
+  cfg.max_ordering_length = 4321;
+  const std::string line = R"({"id": 9, "op": "run_finder",)"
+                           R"( "design": "d", "config": )" +
+                           to_json(cfg).dump() + "}";
+  const Request req = parse_ok(line);
+  EXPECT_EQ(req.config.num_seeds, 17u);
+  EXPECT_EQ(req.config.max_ordering_length, 4321u);
+}
+
+TEST(ServeProtocol, ErrorCodeProgression) {
+  // Not JSON at all: parse_error, no id recoverable.
+  {
+    const ParseFailure f = parse_fail("{nope");
+    EXPECT_EQ(f.code, ErrorCode::kParseError);
+    EXPECT_FALSE(f.has_id);
+  }
+  // Valid JSON, not a valid request envelope: invalid_request.
+  EXPECT_EQ(parse_fail("[1, 2]").code, ErrorCode::kInvalidRequest);
+  EXPECT_EQ(parse_fail(R"({"op": "status"})").code,
+            ErrorCode::kInvalidRequest);
+  EXPECT_EQ(parse_fail(R"({"id": -3, "op": "status"})").code,
+            ErrorCode::kInvalidRequest);
+  EXPECT_EQ(parse_fail(R"({"id": 1, "op": "frobnicate"})").code,
+            ErrorCode::kInvalidRequest);
+  // The id is recovered even when the op is junk, so the error routes.
+  {
+    const ParseFailure f = parse_fail(R"({"id": 8, "op": "frobnicate"})");
+    EXPECT_TRUE(f.has_id);
+  }
+  // Envelope fine, op-level fields wrong: invalid_argument.
+  EXPECT_EQ(parse_fail(R"({"id": 1, "op": "run_finder"})").code,
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(parse_fail(R"({"id": 1, "op": "load_design", "design": "d"})")
+                .code,
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(parse_fail(R"({"id": 1, "op": "cancel"})").code,
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, RejectsUnknownKeys) {
+  EXPECT_EQ(parse_fail(R"({"id": 1, "op": "status", "extra": 1})").code,
+            ErrorCode::kInvalidRequest);
+  EXPECT_EQ(
+      parse_fail(
+          R"({"id": 1, "op": "run_finder", "design": "d", "designn": "d"})")
+          .code,
+      ErrorCode::kInvalidRequest);
+}
+
+TEST(ServeProtocol, ResponseLinesRoundTrip) {
+  JsonValue::Object result;
+  result.emplace("answer", JsonValue(std::uint64_t{42}));
+  ServerTiming timing;
+  timing.queue_seconds = 0.5;
+  timing.run_seconds = 1.25;
+  const std::string ok =
+      ok_line(7, Op::kRunFinder, JsonValue(std::move(result)), &timing);
+
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::parse(ok, &parsed).is_ok());
+  EXPECT_TRUE(response_status(parsed).is_ok());
+  std::uint64_t id = 0;
+  ASSERT_TRUE(parsed.find("id")->get_uint64(&id).is_ok());
+  EXPECT_EQ(id, 7u);
+  EXPECT_NE(parsed.find("server"), nullptr);
+
+  const std::string err = error_line(true, 9, true, Op::kRunFinder,
+                                     ErrorCode::kOverloaded, "queue full");
+  ASSERT_TRUE(JsonValue::parse(err, &parsed).is_ok());
+  const Status st = response_status(parsed);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_NE(st.message().find("queue full"), std::string::npos);
+}
+
+TEST(ServeProtocol, ErrorLineWithoutIdIsNull) {
+  const std::string err = error_line(false, 0, false, Op::kStatus,
+                                     ErrorCode::kParseError, "bad line");
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::parse(err, &parsed).is_ok());
+  EXPECT_TRUE(parsed.find("id")->is_null());
+  EXPECT_TRUE(parsed.find("op")->is_null());
+  EXPECT_EQ(response_status(parsed).code(), StatusCode::kParseError);
+}
+
+TEST(ServeProtocol, ResponseStatusMapsEveryWireCode) {
+  const auto status_for = [](ErrorCode code) {
+    JsonValue parsed;
+    EXPECT_TRUE(
+        JsonValue::parse(error_line(true, 1, true, Op::kRunFinder, code, "m"),
+                         &parsed)
+            .is_ok());
+    return response_status(parsed);
+  };
+  EXPECT_EQ(status_for(ErrorCode::kNotFound).code(), StatusCode::kNotFound);
+  EXPECT_EQ(status_for(ErrorCode::kOverloaded).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(status_for(ErrorCode::kDeadlineExceeded).code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(status_for(ErrorCode::kCancelled).code(), StatusCode::kCancelled);
+  EXPECT_EQ(status_for(ErrorCode::kInvalidArgument).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, DeterministicResultZeroesWallClock) {
+  FinderResult result;
+  result.orderings_grown = 3;
+  result.phase1_2_seconds = 1.5;
+  result.phase3_seconds = 0.25;
+  result.total_seconds = 1.75;
+
+  const JsonValue json = deterministic_result_json(result);
+  double v = 1.0;
+  ASSERT_TRUE(json.find("phase1_2_seconds")->get_double(&v).is_ok());
+  EXPECT_EQ(v, 0.0);
+  ASSERT_TRUE(json.find("phase3_seconds")->get_double(&v).is_ok());
+  EXPECT_EQ(v, 0.0);
+  ASSERT_TRUE(json.find("total_seconds")->get_double(&v).is_ok());
+  EXPECT_EQ(v, 0.0);
+
+  // Identical runs with different wall clocks serialize byte-identically.
+  FinderResult other = result;
+  other.phase1_2_seconds = 9.0;
+  other.total_seconds = 99.0;
+  EXPECT_EQ(deterministic_result_json(result).dump(),
+            deterministic_result_json(other).dump());
+}
+
+}  // namespace
+}  // namespace gtl::serve

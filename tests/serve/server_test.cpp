@@ -1,0 +1,407 @@
+// Server behavior tests: request routing, the byte-identical determinism
+// contract, admission control, deadlines, cancellation, and the socket
+// transport end-to-end (Server::serve + Client).
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "finder/finder_json.hpp"
+#include "graphgen/planted_graph.hpp"
+#include "netlist/netlist_io.hpp"
+#include "serve/client.hpp"
+#include "util/rng.hpp"
+
+namespace gtl::serve {
+namespace {
+
+BookshelfDesign planted_design() {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 3000;
+  cfg.gtls.push_back({200, 1});
+  Rng rng(11);
+  BookshelfDesign design;
+  design.netlist = generate_planted_graph(cfg, rng).netlist;
+  return design;
+}
+
+/// Small-but-real config: runs in tens of milliseconds.
+FinderConfig quick_config() {
+  FinderConfig cfg;
+  cfg.num_seeds = 8;
+  cfg.max_ordering_length = 600;
+  cfg.num_threads = 1;
+  return cfg;
+}
+
+/// Heavy config: runs long enough that a cancel/deadline lands mid-run.
+FinderConfig slow_config() {
+  FinderConfig cfg;
+  cfg.num_seeds = 2000;
+  cfg.max_ordering_length = 3000;
+  cfg.num_threads = 1;
+  return cfg;
+}
+
+JsonValue parse(const std::string& line) {
+  JsonValue json;
+  EXPECT_TRUE(JsonValue::parse(line, &json).is_ok()) << line;
+  return json;
+}
+
+std::string error_code_of(const JsonValue& response) {
+  const JsonValue* error = response.find("error");
+  if (error == nullptr) return "";
+  std::string code;
+  EXPECT_TRUE(error->find("code")->get_string(&code).is_ok());
+  return code;
+}
+
+std::string run_line(std::uint64_t id, const std::string& design,
+                     const FinderConfig& cfg, std::uint64_t deadline_ms = 0) {
+  JsonValue::Object obj;
+  obj.emplace("id", JsonValue(id));
+  obj.emplace("op", JsonValue("run_finder"));
+  obj.emplace("design", JsonValue(design));
+  obj.emplace("config", to_json(cfg));
+  if (deadline_ms != 0) {
+    obj.emplace("deadline_ms", JsonValue(deadline_ms));
+  }
+  return JsonValue(std::move(obj)).dump();
+}
+
+/// Connect, retrying while the serve() thread is still binding.
+Status connect_with_retry(const std::filesystem::path& path, Client* client) {
+  Status st = Status::ok();
+  for (int i = 0; i < 200; ++i) {
+    st = Client::connect(path, client);
+    if (st.is_ok()) return st;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return st;
+}
+
+/// Collects one asynchronous response.
+class Capture {
+ public:
+  Server::ResponseFn sink() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lk(mu_);
+      line_ = line;
+      done_ = true;
+      cv_.notify_all();
+    };
+  }
+  std::string wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return done_; });
+    return line_;
+  }
+  bool done() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return done_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::string line_;
+  bool done_ = false;
+};
+
+TEST(Server, StatusAndStatsReflectPreload) {
+  ServerConfig cfg;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
+
+  const JsonValue status = parse(server.handle_line(R"({"id":1,"op":"status"})"));
+  ASSERT_TRUE(response_status(status).is_ok());
+  const JsonValue* designs = status.find("result")->find("designs");
+  ASSERT_NE(designs, nullptr);
+  ASSERT_EQ(designs->array().size(), 1u);
+  std::string name;
+  ASSERT_TRUE(designs->array()[0].find("name")->get_string(&name).is_ok());
+  EXPECT_EQ(name, "d");
+
+  const JsonValue stats = parse(server.handle_line(R"({"id":2,"op":"stats"})"));
+  ASSERT_TRUE(response_status(stats).is_ok());
+  std::uint64_t received = 0;
+  ASSERT_TRUE(stats.find("result")
+                  ->find("global")
+                  ->find("received")
+                  ->get_uint64(&received)
+                  .is_ok());
+  EXPECT_EQ(received, 2u);
+}
+
+TEST(Server, RunFinderMatchesDirectRunByteForByte) {
+  const BookshelfDesign design = planted_design();
+  const FinderConfig cfg = quick_config();
+
+  // Direct, single-threaded reference run.
+  Finder direct(design.netlist, cfg);
+  const std::string expected =
+      deterministic_result_json(direct.run()).dump();
+
+  ServerConfig scfg;
+  Server server(scfg);
+  ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
+
+  const JsonValue response = parse(server.handle_line(run_line(1, "d", cfg)));
+  ASSERT_TRUE(response_status(response).is_ok());
+  EXPECT_EQ(response.find("result")->dump(), expected);
+
+  // Again through a warm (reused) session: still byte-identical.
+  const JsonValue again = parse(server.handle_line(run_line(2, "d", cfg)));
+  ASSERT_TRUE(response_status(again).is_ok());
+  EXPECT_EQ(again.find("result")->dump(), expected);
+
+  std::uint64_t reused = 0;
+  const JsonValue stats = parse(server.handle_line(R"({"id":3,"op":"stats"})"));
+  ASSERT_TRUE(stats.find("result")
+                  ->find("designs")
+                  ->find("d")
+                  ->find("sessions_reused")
+                  ->get_uint64(&reused)
+                  .is_ok());
+  EXPECT_EQ(reused, 1u);
+}
+
+TEST(Server, UnknownDesignIsNotFound) {
+  ServerConfig cfg;
+  Server server(cfg);
+  const JsonValue response =
+      parse(server.handle_line(run_line(1, "ghost", quick_config())));
+  EXPECT_EQ(error_code_of(response), "not_found");
+}
+
+TEST(Server, UnloadMakesDesignNotFound) {
+  ServerConfig cfg;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
+  const JsonValue unloaded = parse(
+      server.handle_line(R"({"id":1,"op":"unload_design","design":"d"})"));
+  ASSERT_TRUE(response_status(unloaded).is_ok());
+  EXPECT_EQ(error_code_of(parse(server.handle_line(
+                run_line(2, "d", quick_config())))),
+            "not_found");
+  EXPECT_EQ(error_code_of(parse(server.handle_line(
+                R"({"id":3,"op":"unload_design","design":"d"})"))),
+            "not_found");
+}
+
+TEST(Server, OverloadedWhenQueueFull) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
+
+  // First request occupies the single worker for a while; the second
+  // fills the queue; the third must bounce with "overloaded" (and the
+  // rejection is inline, so no waiting).
+  Capture first, second, third;
+  server.submit(run_line(1, "d", slow_config()), first.sink());
+  // Wait for the worker to pick up #1, so #2 queues instead of bouncing.
+  for (int i = 0; i < 500; ++i) {
+    const JsonValue status =
+        parse(server.handle_line(R"({"id":100,"op":"status"})"));
+    std::uint64_t depth = 1;
+    ASSERT_TRUE(status.find("result")
+                    ->find("queue_depth")
+                    ->get_uint64(&depth)
+                    .is_ok());
+    if (depth == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  server.submit(run_line(2, "d", quick_config()), second.sink());
+  server.submit(run_line(3, "d", quick_config()), third.sink());
+  EXPECT_EQ(error_code_of(parse(third.wait())), "overloaded");
+
+  // The queued ones still complete normally.
+  EXPECT_TRUE(response_status(parse(first.wait())).is_ok());
+  EXPECT_TRUE(response_status(parse(second.wait())).is_ok());
+
+  std::uint64_t rejected = 0;
+  const JsonValue stats = parse(server.handle_line(R"({"id":4,"op":"stats"})"));
+  ASSERT_TRUE(stats.find("result")
+                  ->find("global")
+                  ->find("rejected_overload")
+                  ->get_uint64(&rejected)
+                  .is_ok());
+  EXPECT_EQ(rejected, 1u);
+}
+
+TEST(Server, DeadlineExpiresMidRun) {
+  ServerConfig cfg;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
+  const JsonValue response =
+      parse(server.handle_line(run_line(1, "d", slow_config(), 5)));
+  EXPECT_EQ(error_code_of(response), "deadline_exceeded");
+}
+
+TEST(Server, DefaultDeadlineApplies) {
+  ServerConfig cfg;
+  cfg.default_deadline_ms = 5;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
+  const JsonValue response =
+      parse(server.handle_line(run_line(1, "d", slow_config())));
+  EXPECT_EQ(error_code_of(response), "deadline_exceeded");
+}
+
+TEST(Server, CancelStopsInFlightRun) {
+  ServerConfig cfg;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
+
+  Capture run;
+  server.submit(run_line(42, "d", slow_config()), run.sink());
+  // The cancel op is inline, so it can land while 42 runs.
+  const JsonValue cancel = parse(
+      server.handle_line(R"({"id":43,"op":"cancel","target_id":42})"));
+  ASSERT_TRUE(response_status(cancel).is_ok());
+  EXPECT_EQ(error_code_of(parse(run.wait())), "cancelled");
+}
+
+TEST(Server, CancelUnknownTargetIsNotFound) {
+  ServerConfig cfg;
+  Server server(cfg);
+  const JsonValue response = parse(
+      server.handle_line(R"({"id":1,"op":"cancel","target_id":999})"));
+  EXPECT_EQ(error_code_of(response), "not_found");
+}
+
+TEST(Server, DuplicateInFlightIdRejected) {
+  ServerConfig cfg;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
+
+  Capture first, dup;
+  server.submit(run_line(7, "d", slow_config()), first.sink());
+  server.submit(run_line(7, "d", quick_config()), dup.sink());
+  EXPECT_EQ(error_code_of(parse(dup.wait())), "invalid_request");
+  // Kill the long run so the test exits quickly.
+  (void)server.handle_line(R"({"id":8,"op":"cancel","target_id":7})");
+  (void)first.wait();
+}
+
+TEST(Server, StopDrainsQueueWithCancelled) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
+
+  Capture running, queued;
+  server.submit(run_line(1, "d", slow_config()), running.sink());
+  server.submit(run_line(2, "d", quick_config()), queued.sink());
+  server.stop();
+  // The in-flight run was cancelled, the queued one drained.
+  EXPECT_EQ(error_code_of(parse(running.wait())), "cancelled");
+  EXPECT_EQ(error_code_of(parse(queued.wait())), "cancelled");
+
+  // Post-stop submissions are refused, not lost.
+  Capture late;
+  server.submit(run_line(3, "d", quick_config()), late.sink());
+  EXPECT_EQ(error_code_of(parse(late.wait())), "cancelled");
+}
+
+TEST(Server, SocketRoundTripWithClient) {
+  const std::filesystem::path socket_path =
+      std::filesystem::temp_directory_path() / "gtl_server_test.sock";
+  std::filesystem::remove(socket_path);
+
+  ServerConfig cfg;
+  cfg.socket_path = socket_path;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
+
+  std::atomic<bool> stop{false};
+  Status serve_status = Status::ok();
+  std::thread serving(
+      [&] { serve_status = server.serve(stop); });
+
+  Client client;
+  ASSERT_TRUE(connect_with_retry(socket_path, &client).is_ok());
+
+  JsonValue status;
+  ASSERT_TRUE(client.status(&status).is_ok());
+  EXPECT_EQ(status.find("designs")->array().size(), 1u);
+
+  const FinderConfig qcfg = quick_config();
+  FinderResult over_wire;
+  JsonValue raw;
+  ASSERT_TRUE(client.run_finder("d", &qcfg, 0, &over_wire, &raw).is_ok());
+
+  Finder direct(server.registry().find("d")->design.netlist, qcfg);
+  EXPECT_EQ(raw.dump(), deterministic_result_json(direct.run()).dump());
+  EXPECT_EQ(over_wire.total_seconds, 0.0);
+
+  // Wire errors surface as Status values.
+  FinderResult ignored;
+  const Status miss = client.run_finder("ghost", &qcfg, 0, &ignored);
+  EXPECT_EQ(miss.code(), StatusCode::kNotFound);
+
+  JsonValue stats;
+  ASSERT_TRUE(client.stats(&stats).is_ok());
+  std::uint64_t ok_count = 0;
+  ASSERT_TRUE(stats.find("global")
+                  ->find("completed_ok")
+                  ->get_uint64(&ok_count)
+                  .is_ok());
+  EXPECT_GE(ok_count, 2u);
+
+  stop.store(true);
+  serving.join();
+  EXPECT_TRUE(serve_status.is_ok()) << serve_status.to_string();
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+TEST(Server, LoadDesignOverWireFromSnapshot) {
+  const std::filesystem::path dir = std::filesystem::temp_directory_path();
+  const std::filesystem::path snap = dir / "gtl_server_load_test.snap";
+  const std::filesystem::path socket_path = dir / "gtl_server_load_test.sock";
+  std::filesystem::remove(snap);
+  std::filesystem::remove(socket_path);
+  ASSERT_TRUE(try_write_snapshot(planted_design(), snap).is_ok());
+
+  ServerConfig cfg;
+  cfg.socket_path = socket_path;
+  Server server(cfg);
+  std::atomic<bool> stop{false};
+  std::thread serving([&] { (void)server.serve(stop); });
+
+  Client client;
+  ASSERT_TRUE(connect_with_retry(socket_path, &client).is_ok());
+  JsonValue result;
+  ASSERT_TRUE(client.load_design("snapped", "", snap, &result).is_ok());
+  bool hit = false;
+  ASSERT_TRUE(result.find("snapshot_hit")->get_bool(&hit).is_ok());
+  EXPECT_TRUE(hit);
+
+  // Loading the same name again is already_loaded -> invalid argument.
+  const Status dup = client.load_design("snapped", "", snap);
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.message().find("already_loaded"), std::string::npos);
+
+  const FinderConfig qcfg = quick_config();
+  FinderResult result_run;
+  EXPECT_TRUE(client.run_finder("snapped", &qcfg, 0, &result_run).is_ok());
+
+  stop.store(true);
+  serving.join();
+  std::filesystem::remove(snap);
+}
+
+}  // namespace
+}  // namespace gtl::serve

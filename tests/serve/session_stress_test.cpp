@@ -1,0 +1,101 @@
+// Concurrent-session stress: many client threads hammer one design
+// through the server's session pool, and every single response must be
+// byte-identical to a direct single-threaded Finder::run() — the
+// determinism contract that makes the server's answers cacheable and
+// cross-checkable.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "finder/finder_json.hpp"
+#include "graphgen/planted_graph.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace gtl::serve {
+namespace {
+
+TEST(ServeSessionStress, ConcurrentQueriesMatchDirectRunByteForByte) {
+  PlantedGraphConfig gcfg;
+  gcfg.num_cells = 4000;
+  gcfg.gtls.push_back({250, 1});
+  Rng rng(23);
+  BookshelfDesign design;
+  design.netlist = generate_planted_graph(gcfg, rng).netlist;
+
+  FinderConfig fcfg;
+  fcfg.num_seeds = 12;
+  fcfg.max_ordering_length = 800;
+  fcfg.num_threads = 1;
+
+  // The canonical answer: one direct, single-threaded session.
+  Finder direct(design.netlist, fcfg);
+  const std::string expected = deterministic_result_json(direct.run()).dump();
+
+  ServerConfig scfg;
+  scfg.workers = 4;
+  scfg.queue_capacity = 64;
+  scfg.max_idle_sessions = 3;  // fewer than threads: forces churn
+  Server server(scfg);
+  ASSERT_TRUE(server.preload("d", std::move(design)).is_ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kRunsPerThread = 3;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRunsPerThread; ++i) {
+        JsonValue::Object obj;
+        obj.emplace("id",
+                    JsonValue(static_cast<std::uint64_t>(t * 1000 + i + 1)));
+        obj.emplace("op", JsonValue("run_finder"));
+        obj.emplace("design", JsonValue("d"));
+        obj.emplace("config", to_json(fcfg));
+        const std::string response_line =
+            server.handle_line(JsonValue(std::move(obj)).dump());
+
+        JsonValue response;
+        if (!JsonValue::parse(response_line, &response).is_ok() ||
+            !response_status(response).is_ok()) {
+          failures[t] = "request failed: " + response_line;
+          return;
+        }
+        if (response.find("result")->dump() != expected) {
+          failures[t] = "result diverged from the direct run";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << "thread " << t << ": " << failures[t];
+  }
+
+  // The pool really was exercised concurrently: more sessions than one
+  // were created, and at least one warm reuse happened.
+  JsonValue stats;
+  ASSERT_TRUE(
+      JsonValue::parse(server.handle_line(R"({"id":999999,"op":"stats"})"),
+                       &stats)
+          .is_ok());
+  const JsonValue* d = stats.find("result")->find("designs")->find("d");
+  ASSERT_NE(d, nullptr);
+  std::uint64_t queries = 0, created = 0, reused = 0;
+  ASSERT_TRUE(d->find("queries")->get_uint64(&queries).is_ok());
+  ASSERT_TRUE(d->find("sessions_created")->get_uint64(&created).is_ok());
+  ASSERT_TRUE(d->find("sessions_reused")->get_uint64(&reused).is_ok());
+  EXPECT_EQ(queries, static_cast<std::uint64_t>(kThreads * kRunsPerThread));
+  EXPECT_GE(created, 1u);
+  EXPECT_GE(reused, 1u);
+  EXPECT_EQ(created + reused, queries);
+}
+
+}  // namespace
+}  // namespace gtl::serve

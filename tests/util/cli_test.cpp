@@ -103,6 +103,55 @@ TEST(CliArgs, NonDashArgumentsIgnored) {
   EXPECT_FALSE(args.has("positional"));
 }
 
+TEST(CliArgs, GetStringReturnsValueOrFallback) {
+  const auto args = make_args({"--aux=design.aux"});
+  EXPECT_EQ(args.get_string("aux"), "design.aux");
+  EXPECT_EQ(args.get_string("absent", "fallback"), "fallback");
+  EXPECT_TRUE(args.status().is_ok());
+}
+
+TEST(CliArgs, GetStringBareFlagRecordsError) {
+  // A bare --aux where a value is expected is a typo (--aux=... was
+  // meant), symmetric with get_int on an unparseable value.
+  const auto args = make_args({"--aux"});
+  EXPECT_EQ(args.get_string("aux", "fallback"), "fallback");
+  const Status st = args.status();
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("aux"), std::string::npos);
+
+  std::string out = "untouched";
+  EXPECT_FALSE(args.parse_string("aux", &out).is_ok());
+  EXPECT_EQ(out, "untouched");
+}
+
+TEST(CliArgs, DuplicateFlagRecordsError) {
+  const auto args = make_args({"--seeds=3", "--seeds=4"});
+  const Status st = args.status();
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("more than once"), std::string::npos);
+}
+
+TEST(CliArgs, UnknownFlagRecordsErrorOnceDescribed) {
+  // Without any describe()d options the check is off (ad-hoc parsers).
+  EXPECT_TRUE(make_args({"--sees=40"}).status().is_ok());
+
+  auto args = make_args({"--sees=40"});
+  args.describe("seeds=N", "random starting seeds");
+  const Status st = args.status();
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("--sees"), std::string::npos);
+  EXPECT_NE(st.message().find("unknown option"), std::string::npos);
+}
+
+TEST(CliArgs, DescribedFlagsAndHelpPassUnknownCheck) {
+  auto args = make_args({"--seeds=3", "--verbose"});
+  args.describe("seeds=N", "seeds").describe("verbose", "print more");
+  EXPECT_TRUE(args.status().is_ok());
+  auto help = make_args({"--help"});
+  help.describe("seeds=N", "seeds");
+  EXPECT_TRUE(help.status().is_ok());
+}
+
 TEST(Scale, ParseAndName) {
   EXPECT_EQ(parse_scale(make_args({"--scale=smoke"})), Scale::kSmoke);
   EXPECT_EQ(parse_scale(make_args({"--scale=paper"})), Scale::kPaper);

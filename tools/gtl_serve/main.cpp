@@ -1,0 +1,151 @@
+// gtl_serve — the Finder-as-a-service daemon.
+//
+//   $ gtl_serve --socket=/tmp/gtl.sock --workers=2
+//       --preload-name=ibm01 --preload-aux=bench/data/ibm01.aux
+//
+// Serves the JSON-lines protocol of src/serve/protocol.hpp on a Unix
+// socket until SIGINT/SIGTERM.  Designs can be preloaded here (so the
+// first query never pays a parse) or loaded at runtime via the
+// load_design op; `--demo-design` plants a synthetic ISPD-like design
+// in-process, which is how CI and bench/serve_load.py get a workload
+// without fixture files.
+//
+// Prints exactly one "gtl_serve listening on <path>" line to stdout once
+// accepting — scripts wait for it before connecting.
+
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "gtl/netlist.hpp"
+#include "graphgen/presets.hpp"
+#include "graphgen/synthetic_circuit.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int /*signum*/) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gtl::CliArgs args(argc, argv);
+  args.usage("Serve tangled-logic queries over a Unix-socket JSON-lines API.")
+      .describe("socket=PATH", "socket path to listen on (required)")
+      .describe("workers=N", "worker threads for queued ops (default 2)")
+      .describe("queue-cap=N",
+                "admission queue bound; beyond it requests get "
+                "\"overloaded\" (default 16)")
+      .describe("max-resident-mb=N",
+                "design registry residency cap, LRU-evicted (default 512)")
+      .describe("default-deadline-ms=N",
+                "deadline for run_finder requests that give none "
+                "(default 0 = unlimited)")
+      .describe("max-threads-per-query=N",
+                "cap on a query's num_threads (default 0 = as requested)")
+      .describe("max-idle-sessions=N",
+                "warm Finder sessions kept per design (default 4)")
+      .describe("preload-name=NAME", "register a design at startup as NAME")
+      .describe("preload-aux=PATH", "Bookshelf .aux for --preload-name")
+      .describe("preload-snapshot=PATH",
+                "binary snapshot cache for --preload-name (read if "
+                "present, else filled after the .aux parse)")
+      .describe("demo-design=NAME",
+                "plant a synthetic ISPD-like design (bigblue1, adaptec1, "
+                "...) and register it as NAME")
+      .describe("demo-factor=X",
+                "scale of the demo design in (0, 1] (default 0.05)");
+  if (gtl::cli_help_exit(args)) return 0;
+
+  gtl::serve::ServerConfig cfg;
+  cfg.socket_path = args.get_string("socket");
+  cfg.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  cfg.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-cap", 16));
+  cfg.max_resident_bytes =
+      static_cast<std::size_t>(args.get_int("max-resident-mb", 512)) << 20;
+  cfg.default_deadline_ms =
+      static_cast<std::uint64_t>(args.get_int("default-deadline-ms", 0));
+  cfg.max_threads_per_query =
+      static_cast<std::size_t>(args.get_int("max-threads-per-query", 0));
+  cfg.max_idle_sessions =
+      static_cast<std::size_t>(args.get_int("max-idle-sessions", 4));
+
+  const std::string preload_name = args.get_string("preload-name");
+  const std::string preload_aux = args.get_string("preload-aux");
+  const std::string preload_snapshot = args.get_string("preload-snapshot");
+  const std::string demo_design = args.get_string("demo-design");
+  const double demo_factor = args.get_double("demo-factor", 0.05);
+
+  if (cfg.socket_path.empty()) {
+    args.record_error(gtl::Status::invalid_argument("--socket is required"));
+  }
+  if (!preload_name.empty() && preload_aux.empty() &&
+      preload_snapshot.empty()) {
+    args.record_error(gtl::Status::invalid_argument(
+        "--preload-name needs --preload-aux and/or --preload-snapshot"));
+  }
+  if (gtl::cli_error_exit(args)) return 2;
+
+  gtl::serve::Server server(cfg);
+
+  if (!demo_design.empty()) {
+    gtl::SyntheticCircuitConfig demo_cfg;
+    try {
+      demo_cfg = gtl::ispd_like_config(demo_design, demo_factor);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "gtl_serve: --demo-design: " << e.what() << "\n";
+      return 2;
+    }
+    gtl::Rng rng;
+    gtl::SyntheticCircuit circuit = gtl::generate_synthetic_circuit(demo_cfg, rng);
+    gtl::BookshelfDesign design;
+    design.netlist = std::move(circuit.netlist);
+    design.x = std::move(circuit.hint_x);
+    design.y = std::move(circuit.hint_y);
+    if (const gtl::Status st =
+            server.preload(demo_design, std::move(design));
+        !st.is_ok()) {
+      std::cerr << "gtl_serve: demo preload failed: " << st.to_string()
+                << "\n";
+      return 1;
+    }
+    std::cout << "gtl_serve: demo design \"" << demo_design << "\" ready\n";
+  }
+
+  if (!preload_name.empty()) {
+    gtl::serve::DesignRegistry::LoadInfo info;
+    if (const gtl::Status st = server.registry().load(
+            preload_name, preload_aux, preload_snapshot, &info);
+        !st.is_ok()) {
+      std::cerr << "gtl_serve: preload of \"" << preload_name
+                << "\" failed: " << st.to_string() << "\n";
+      return 1;
+    }
+    std::cout << "gtl_serve: preloaded \"" << preload_name << "\" ("
+              << info.entry->design.netlist.num_cells() << " cells"
+              << (info.snapshot_hit ? ", snapshot hit" : "") << ")\n";
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // A peer vanishing mid-write must be a Status, not a process death.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cout << "gtl_serve listening on " << cfg.socket_path.string()
+            << std::endl;
+
+  const gtl::Status st = server.serve(g_stop);
+  server.stop();
+  if (!st.is_ok()) {
+    std::cerr << "gtl_serve: " << st.to_string() << "\n";
+    return 1;
+  }
+  std::cout << "gtl_serve: shut down cleanly\n";
+  return 0;
+}
