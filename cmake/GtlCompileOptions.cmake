@@ -18,6 +18,13 @@ elseif(MSVC)
   endif()
 endif()
 
+# Every gtl target (libraries, tools, tests, benches) attaches
+# gtl::compile_options, so the define is consistent across all TUs — the
+# failpoint sites are inline in headers and must not differ per TU.
+if(GTL_FAILPOINTS)
+  target_compile_definitions(gtl_compile_options INTERFACE GTL_FAILPOINTS_ENABLED=1)
+endif()
+
 if(GTL_SANITIZE)
   string(REPLACE "," ";" _gtl_san_list "${GTL_SANITIZE}")
   foreach(_san IN LISTS _gtl_san_list)

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/failpoint.hpp"
 #include "util/fileio.hpp"
 
 namespace gtl {
@@ -118,6 +119,11 @@ class SnapshotWriter {
     out_.write(reinterpret_cast<const char*>(&h), sizeof(h));
     out_.flush();
   }
+
+  /// Poison the stream as if a write had failed (failpoint support):
+  /// every later ok() check sees the failure, so the normal error path
+  /// — remove the temp file, report a Status — runs unchanged.
+  void poison() { out_.setstate(std::ios::badbit); }
 
  private:
   std::ofstream out_;
@@ -243,6 +249,16 @@ Status try_write_snapshot(const BookshelfDesign& design,
   const std::filesystem::path tmp =
       path.string() + ".tmp." + std::to_string(nonce);
   SnapshotWriter w(tmp);
+  // Failpoint "snapshot.write.open": fail = injected open failure for
+  // the temp file (read-only cache directory, exhausted fds, ...).
+  if (failpoint::Action fp;
+      failpoint::check("snapshot.write.open", &fp) &&
+      fp.kind == failpoint::Action::Kind::kFail) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return Status::not_found("snapshot: cannot write " + tmp.string() +
+                             " (injected failpoint)");
+  }
   if (!w.ok()) {
     return Status::not_found("snapshot: cannot write " + tmp.string());
   }
@@ -288,11 +304,38 @@ Status try_write_snapshot(const BookshelfDesign& design,
     w.write_array(design.x);
     w.write_array(design.y);
   }
+  // Failpoint "snapshot.write": fail = injected mid-write error (disk
+  // full); short_io = torn write, the temp file is cut to `param` bytes.
+  // Both poison the writer, so the regular remove-the-temp error path
+  // below runs — the cache path must never gain a partial file.
+  if (failpoint::Action fp; failpoint::check("snapshot.write", &fp)) {
+    if (fp.kind == failpoint::Action::Kind::kFail ||
+        fp.kind == failpoint::Action::Kind::kShortIo) {
+      if (fp.kind == failpoint::Action::Kind::kShortIo) {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(tmp, ec);
+        if (!ec && size > fp.param) {
+          std::filesystem::resize_file(tmp, fp.param, ec);
+        }
+      }
+      w.poison();
+    }
+  }
   w.seal();
   if (!w.ok()) {
     std::error_code ec;
     std::filesystem::remove(tmp, ec);
     return Status::parse_error("snapshot: write failed for " + tmp.string());
+  }
+  // Failpoint "snapshot.rename": fail = injected rename failure (cache
+  // path vanished, cross-device move, ...).  The temp file is removed.
+  if (failpoint::Action fp;
+      failpoint::check("snapshot.rename", &fp) &&
+      fp.kind == failpoint::Action::Kind::kFail) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return Status::parse_error("snapshot: cannot move " + tmp.string() +
+                               " into place (injected failpoint)");
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -492,6 +535,7 @@ Status load_with_snapshot_cache(
     const std::function<Status(BookshelfDesign*)>& load_source,
     BookshelfDesign* out, SnapshotCacheResult* result) {
   result->hit = false;
+  result->fill_failed = false;
   result->notes.clear();
   if (!snapshot.empty() && std::filesystem::exists(snapshot)) {
     GTL_RETURN_IF_ERROR(try_read_snapshot(snapshot, out));
@@ -502,6 +546,7 @@ Status load_with_snapshot_cache(
   if (!snapshot.empty()) {
     // Cache fill is an optimization: record, never fail.
     if (const Status st = try_write_snapshot(*out, snapshot); !st.is_ok()) {
+      result->fill_failed = true;
       result->notes.push_back("warning: " + st.to_string());
     } else {
       result->notes.push_back("snapshot written to " + snapshot.string());

@@ -73,6 +73,11 @@ void write_snapshot(const BookshelfDesign& design,
 /// a "snapshot written to ..." line on a successful fill.
 struct SnapshotCacheResult {
   bool hit = false;
+  /// True when the best-effort cache fill failed (the warning is in
+  /// `notes`).  The cache path holds no partial file in that case — the
+  /// writer stages through a temp file and removes it on any failure —
+  /// so the next load simply re-parses the source and retries the fill.
+  bool fill_failed = false;
   std::vector<std::string> notes;
 };
 [[nodiscard]] Status load_with_snapshot_cache(

@@ -1,5 +1,9 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "finder/finder_json.hpp"
 
 namespace gtl::serve {
@@ -18,7 +22,68 @@ Status result_block(const JsonValue& response, JsonValue* out) {
 }  // namespace
 
 Status Client::connect(const std::filesystem::path& path, Client* out) {
+  out->path_ = path;
   return UnixStream::connect(path, &out->stream_);
+}
+
+Status Client::reconnect() {
+  if (path_.empty()) {
+    return Status::invalid_argument("client has no remembered socket path");
+  }
+  stream_.close();
+  return UnixStream::connect(path_, &stream_);
+}
+
+void Client::set_retry_policy(const RetryPolicy& policy) {
+  retry_ = policy;
+  if (retry_.max_attempts == 0) retry_.max_attempts = 1;
+  rng_.reseed(retry_.seed);
+}
+
+Status Client::call_retrying(Op op, const JsonValue::Object& fields,
+                             JsonValue* response, bool idempotent,
+                             std::uint64_t budget_ms) {
+  using Clock = std::chrono::steady_clock;
+  if (budget_ms == 0) budget_ms = retry_.budget_ms;
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::milliseconds(budget_ms);
+
+  Status last = Status::ok();
+  for (std::size_t attempt = 0;; ++attempt) {
+    *response = JsonValue();
+    last = call(op, fields, response);
+    if (last.is_ok()) return last;
+
+    // A filled response object means the server answered: that is a
+    // wire-level error, retryable only when it says "overloaded".  An
+    // unfilled one means the transport failed under us (dead server,
+    // dropped connection) — retryable after a reconnect.
+    const bool transport = !response->is_object();
+    const bool overloaded =
+        !transport && last.code() == StatusCode::kUnavailable;
+    if (!idempotent || (!transport && !overloaded)) return last;
+    if (attempt + 1 >= retry_.max_attempts) return last;
+
+    std::uint64_t backoff = retry_.max_backoff_ms;
+    if (attempt < 20) {
+      backoff = std::min<std::uint64_t>(retry_.max_backoff_ms,
+                                        retry_.base_backoff_ms << attempt);
+    }
+    // The server's shed hint is a floor, never a shortcut.
+    backoff = std::max(backoff, response_retry_after_ms(*response));
+    const std::uint64_t half = backoff / 2;
+    const std::uint64_t wait =
+        half + (backoff > half ? rng_.next_below(backoff - half + 1) : 0);
+    if (Clock::now() + std::chrono::milliseconds(wait) >= give_up) {
+      return last;  // the budget cannot fit another attempt
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    if (transport) {
+      if (const Status rc = reconnect(); !rc.is_ok()) {
+        last = rc;  // server may still be restarting; keep trying
+      }
+    }
+  }
 }
 
 Status Client::call(Op op, JsonValue::Object fields, JsonValue* response) {
@@ -65,7 +130,10 @@ Status Client::load_design(const std::string& name,
     fields.emplace("snapshot", JsonValue(snapshot.string()));
   }
   JsonValue response;
-  GTL_RETURN_IF_ERROR(call(Op::kLoadDesign, std::move(fields), &response));
+  // Retry-safe: the server's load_design is idempotent for a same-source
+  // replay, so a lost reply costs nothing.
+  GTL_RETURN_IF_ERROR(
+      call_retrying(Op::kLoadDesign, fields, &response, true, 0));
   if (result != nullptr) {
     GTL_RETURN_IF_ERROR(result_block(response, result));
   }
@@ -76,6 +144,8 @@ Status Client::unload_design(const std::string& name) {
   JsonValue::Object fields;
   fields.emplace("design", JsonValue(name));
   JsonValue response;
+  // NEVER retried: a replayed unload whose first attempt succeeded (but
+  // whose reply was lost) would observe its own success as not_found.
   return call(Op::kUnloadDesign, std::move(fields), &response);
 }
 
@@ -88,7 +158,10 @@ Status Client::run_finder(const std::string& design,
   if (config != nullptr) fields.emplace("config", to_json(*config));
   if (deadline_ms != 0) fields.emplace("deadline_ms", JsonValue(deadline_ms));
   JsonValue response;
-  GTL_RETURN_IF_ERROR(call(Op::kRunFinder, std::move(fields), &response));
+  // Retry-safe: results are deterministic, so a duplicated run returns
+  // the identical bytes.  The caller's deadline bounds the whole loop.
+  GTL_RETURN_IF_ERROR(
+      call_retrying(Op::kRunFinder, fields, &response, true, deadline_ms));
   JsonValue result;
   GTL_RETURN_IF_ERROR(result_block(response, &result));
   GTL_RETURN_IF_ERROR(finder_result_from_json(result, out));
@@ -100,7 +173,9 @@ Status Client::cancel(std::uint64_t target_id, bool* delivered) {
   JsonValue::Object fields;
   fields.emplace("target_id", JsonValue(target_id));
   JsonValue response;
-  GTL_RETURN_IF_ERROR(call(Op::kCancel, std::move(fields), &response));
+  // Retry-safe: cancelling an already-settled run answers not_found,
+  // cancelling twice is a no-op.
+  GTL_RETURN_IF_ERROR(call_retrying(Op::kCancel, fields, &response, true, 0));
   if (delivered != nullptr) {
     *delivered = false;
     JsonValue result;
@@ -114,13 +189,15 @@ Status Client::cancel(std::uint64_t target_id, bool* delivered) {
 
 Status Client::status(JsonValue* result) {
   JsonValue response;
-  GTL_RETURN_IF_ERROR(call(Op::kStatus, JsonValue::Object{}, &response));
+  GTL_RETURN_IF_ERROR(
+      call_retrying(Op::kStatus, JsonValue::Object{}, &response, true, 0));
   return result_block(response, result);
 }
 
 Status Client::stats(JsonValue* result) {
   JsonValue response;
-  GTL_RETURN_IF_ERROR(call(Op::kStats, JsonValue::Object{}, &response));
+  GTL_RETURN_IF_ERROR(
+      call_retrying(Op::kStats, JsonValue::Object{}, &response, true, 0));
   return result_block(response, result);
 }
 

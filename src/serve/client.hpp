@@ -18,10 +18,30 @@
 #include "finder/finder.hpp"
 #include "serve/protocol.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 #include "util/socket.hpp"
 #include "util/status.hpp"
 
 namespace gtl::serve {
+
+/// Client-side retry behavior (see Client::set_retry_policy).  Retries
+/// use capped exponential backoff with seeded jitter: attempt k waits a
+/// uniform draw from [b/2, b] where b = min(max_backoff_ms,
+/// base_backoff_ms * 2^k), floored by the server's retry_after_ms hint
+/// when one arrived.  The whole retry loop stays within a budget — the
+/// caller's deadline_ms for run_finder, else `budget_ms`.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = no retries (the default —
+  /// existing single-shot semantics are preserved until a caller opts
+  /// in).
+  std::size_t max_attempts = 1;
+  std::uint64_t base_backoff_ms = 50;
+  std::uint64_t max_backoff_ms = 2000;
+  /// Retry budget for ops without their own deadline.
+  std::uint64_t budget_ms = 10000;
+  /// Seed for the jitter stream (deterministic tests).
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
 
 class Client {
  public:
@@ -31,11 +51,25 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connect to the server socket at `path`.
+  /// Connect to the server socket at `path`.  The path is remembered
+  /// for reconnects.
   [[nodiscard]] static Status connect(const std::filesystem::path& path,
                                       Client* out);
 
   [[nodiscard]] bool connected() const { return stream_.valid(); }
+
+  /// Opt into retries: transport failures (dead/restarted server —
+  /// reconnect first) and "overloaded" sheds are retried with backoff,
+  /// but ONLY for idempotent ops: load_design (idempotent on the
+  /// server), run_finder (deterministic), cancel, status, stats.
+  /// unload_design never retries — after a lost reply a retry could
+  /// observe its own success as not_found.
+  void set_retry_policy(const RetryPolicy& policy);
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Drop the current connection and dial the remembered path again.
+  /// Pending state on the old stream is discarded.
+  [[nodiscard]] Status reconnect();
 
   /// load_design.  `aux`/`snapshot` may each be empty (not both).
   /// `result` (optional) receives the response's result block.
@@ -76,8 +110,17 @@ class Client {
                             JsonValue* response);
 
  private:
+  /// call() wrapped in the retry policy.  `idempotent` gates any retry;
+  /// `budget_ms` 0 uses the policy budget.
+  [[nodiscard]] Status call_retrying(Op op, const JsonValue::Object& fields,
+                                     JsonValue* response, bool idempotent,
+                                     std::uint64_t budget_ms);
+
   UnixStream stream_;
+  std::filesystem::path path_;
   std::uint64_t next_id_ = 1;
+  RetryPolicy retry_;
+  Rng rng_{retry_.seed};
 };
 
 }  // namespace gtl::serve

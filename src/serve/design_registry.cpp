@@ -15,9 +15,13 @@ std::size_t design_resident_bytes(const BookshelfDesign& design) {
   return total;
 }
 
-DesignRegistry::DesignRegistry(std::size_t max_resident_bytes)
-    : max_bytes_(max_resident_bytes) {
+DesignRegistry::DesignRegistry(std::size_t max_resident_bytes,
+                               std::size_t hard_resident_bytes)
+    : max_bytes_(max_resident_bytes), hard_bytes_(hard_resident_bytes) {
   GTL_REQUIRE(max_resident_bytes > 0, "residency cap must be positive");
+  GTL_REQUIRE(hard_resident_bytes == 0 ||
+                  hard_resident_bytes >= max_resident_bytes,
+              "hard watermark must be 0 (off) or >= the soft watermark");
 }
 
 Status DesignRegistry::load(const std::string& name,
@@ -54,6 +58,20 @@ Status DesignRegistry::load(const std::string& name,
       &entry->design, &cache);
   GTL_RETURN_IF_ERROR(load_st);
   entry->resident_bytes = design_resident_bytes(entry->design);
+  entry->source_aux = aux.string();
+  entry->source_snapshot = snapshot.string();
+
+  // Hard watermark: a design that alone exceeds it would force every
+  // other design out and still overshoot — shed it instead.  After the
+  // LRU eviction below the steady-state total is <= max(soft, this
+  // design), so this upfront check is the only way past hard.
+  if (hard_bytes_ != 0 && entry->resident_bytes > hard_bytes_) {
+    return Status::unavailable(
+        "design \"" + name + "\" needs " +
+        std::to_string(entry->resident_bytes) +
+        " resident bytes, above the hard watermark of " +
+        std::to_string(hard_bytes_));
+  }
 
   std::lock_guard<std::mutex> lk(mu_);
   if (entries_.count(name) != 0) {
@@ -62,6 +80,7 @@ Status DesignRegistry::load(const std::string& name,
   }
   info->entry = entry;
   info->snapshot_hit = cache.hit;
+  info->fill_failed = cache.fill_failed;
   info->notes = std::move(cache.notes);
   info->evicted = insert_locked(std::move(entry));
   return Status::ok();
@@ -76,6 +95,13 @@ Status DesignRegistry::insert(const std::string& name, BookshelfDesign design,
   entry->name = name;
   entry->design = std::move(design);
   entry->resident_bytes = design_resident_bytes(entry->design);
+  if (hard_bytes_ != 0 && entry->resident_bytes > hard_bytes_) {
+    return Status::unavailable(
+        "design \"" + name + "\" needs " +
+        std::to_string(entry->resident_bytes) +
+        " resident bytes, above the hard watermark of " +
+        std::to_string(hard_bytes_));
+  }
 
   std::lock_guard<std::mutex> lk(mu_);
   if (entries_.count(name) != 0) {

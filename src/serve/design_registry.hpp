@@ -35,20 +35,33 @@ namespace gtl::serve {
 
 class DesignRegistry {
  public:
-  /// One loaded design; immutable after registration.
+  /// One loaded design; immutable after registration.  `source_aux` /
+  /// `source_snapshot` record where load() read it from (both empty for
+  /// insert()ed designs) — the key for idempotent reloads and the
+  /// payload of the server's recovery manifest.
   struct Entry {
     std::string name;
     BookshelfDesign design;
     std::size_t resident_bytes = 0;
+    std::string source_aux;
+    std::string source_snapshot;
   };
   using EntryPtr = std::shared_ptr<const Entry>;
 
-  explicit DesignRegistry(std::size_t max_resident_bytes);
+  /// `max_resident_bytes` is the *soft* watermark: loading past it
+  /// evicts LRU entries to make room (a single oversized design is
+  /// still admitted — see above).  `hard_resident_bytes`, when nonzero,
+  /// is the shed point: a design whose own footprint exceeds it is
+  /// refused with kUnavailable instead of nuking the whole working set.
+  /// 0 keeps the pre-watermark behavior (admit anything).
+  explicit DesignRegistry(std::size_t max_resident_bytes,
+                          std::size_t hard_resident_bytes = 0);
 
   /// What a load did, for the response/metrics.
   struct LoadInfo {
     EntryPtr entry;
     bool snapshot_hit = false;
+    bool fill_failed = false;          ///< best-effort cache fill failed
     std::vector<std::string> notes;    ///< snapshot-cache fill notes
     std::vector<std::string> evicted;  ///< names evicted to make room
   };
@@ -84,6 +97,7 @@ class DesignRegistry {
 
   [[nodiscard]] std::size_t total_resident_bytes() const;
   [[nodiscard]] std::size_t max_resident_bytes() const { return max_bytes_; }
+  [[nodiscard]] std::size_t hard_resident_bytes() const { return hard_bytes_; }
   [[nodiscard]] std::size_t size() const;
 
  private:
@@ -98,6 +112,7 @@ class DesignRegistry {
 
   mutable std::mutex mu_;
   std::size_t max_bytes_;
+  std::size_t hard_bytes_;
   std::size_t total_bytes_ = 0;
   /// Front = most recently used.
   std::list<std::string> lru_;

@@ -1,0 +1,151 @@
+#include "serve/manifest.hpp"
+
+#include <chrono>
+#include <fstream>
+
+#include "util/failpoint.hpp"
+#include "util/fileio.hpp"
+#include "util/json.hpp"
+
+namespace gtl::serve {
+namespace {
+
+Status entry_from_json(const std::string& name, const JsonValue& json,
+                       ManifestEntry* out) {
+  if (!json.is_object()) {
+    return Status::invalid_argument("manifest design \"" + name +
+                                    "\" must be a JSON object");
+  }
+  for (const auto& [key, value] : json.object()) {
+    if (key == "aux") {
+      GTL_RETURN_IF_ERROR(value.get_string(&out->aux));
+    } else if (key == "snapshot") {
+      GTL_RETURN_IF_ERROR(value.get_string(&out->snapshot));
+    } else {
+      return Status::invalid_argument("manifest design \"" + name +
+                                      "\": unknown key \"" + key + "\"");
+    }
+  }
+  if (out->aux.empty() && out->snapshot.empty()) {
+    return Status::invalid_argument("manifest design \"" + name +
+                                    "\" has neither aux nor snapshot");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status read_manifest(const std::filesystem::path& path, Manifest* out) {
+  out->clear();
+  std::string text;
+  GTL_RETURN_IF_ERROR(read_file_to_string(path, &text));
+  JsonValue json;
+  if (const Status st = JsonValue::parse(text, &json); !st.is_ok()) {
+    return Status::parse_error("manifest " + path.string() + ": " +
+                               st.message());
+  }
+  if (!json.is_object()) {
+    return Status::invalid_argument("manifest " + path.string() +
+                                    " must be a JSON object");
+  }
+  bool saw_version = false;
+  for (const auto& [key, value] : json.object()) {
+    if (key == "version") {
+      std::uint64_t version = 0;
+      GTL_RETURN_IF_ERROR(value.get_uint64(&version));
+      if (version == 0 || version > kManifestVersion) {
+        return Status::invalid_argument(
+            "manifest " + path.string() + ": unsupported version " +
+            std::to_string(version));
+      }
+      saw_version = true;
+    } else if (key == "designs") {
+      if (!value.is_object()) {
+        return Status::invalid_argument("manifest " + path.string() +
+                                        ": \"designs\" must be an object");
+      }
+      for (const auto& [name, entry_json] : value.object()) {
+        if (name.empty()) {
+          return Status::invalid_argument("manifest " + path.string() +
+                                          ": empty design name");
+        }
+        ManifestEntry entry;
+        GTL_RETURN_IF_ERROR(entry_from_json(name, entry_json, &entry));
+        (*out)[name] = std::move(entry);
+      }
+    } else {
+      return Status::invalid_argument("manifest " + path.string() +
+                                      ": unknown key \"" + key + "\"");
+    }
+  }
+  if (!saw_version) {
+    return Status::invalid_argument("manifest " + path.string() +
+                                    " is missing \"version\"");
+  }
+  return Status::ok();
+}
+
+Status write_manifest_atomic(const Manifest& manifest,
+                             const std::filesystem::path& path) {
+  JsonValue::Object designs;
+  for (const auto& [name, entry] : manifest) {
+    JsonValue::Object obj;
+    if (!entry.aux.empty()) obj.emplace("aux", JsonValue(entry.aux));
+    if (!entry.snapshot.empty()) {
+      obj.emplace("snapshot", JsonValue(entry.snapshot));
+    }
+    designs.emplace(name, JsonValue(std::move(obj)));
+  }
+  JsonValue::Object root;
+  root.emplace("version",
+               JsonValue(static_cast<std::uint64_t>(kManifestVersion)));
+  root.emplace("designs", JsonValue(std::move(designs)));
+  const std::string text = JsonValue(std::move(root)).dump();
+
+  // Same unique-temp + rename discipline as the snapshot cache: a crash
+  // or failure at any point leaves either the old manifest or the new
+  // one at `path`, never a torn file.
+  const auto nonce = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (reinterpret_cast<std::uintptr_t>(&manifest) << 16);
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(nonce);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::not_found("manifest: cannot write " + tmp.string());
+    }
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.put('\n');
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Status::parse_error("manifest: write failed for " +
+                                 tmp.string());
+    }
+  }
+  // Failpoint "manifest.write": fail = injected write/rename failure
+  // (full disk, vanished directory, ...).  The temp file is removed and
+  // the previous manifest survives untouched.
+  if (failpoint::Action fp;
+      failpoint::check("manifest.write", &fp) &&
+      fp.kind == failpoint::Action::Kind::kFail) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return Status::parse_error("manifest: cannot write " + path.string() +
+                               " (injected failpoint)");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    const std::string why = ec.message();
+    std::filesystem::remove(tmp, ec);
+    return Status::parse_error("manifest: cannot move " + tmp.string() +
+                               " into place: " + why);
+  }
+  return Status::ok();
+}
+
+}  // namespace gtl::serve

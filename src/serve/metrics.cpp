@@ -49,8 +49,13 @@ JsonValue ServerMetrics::to_json() const {
   global.emplace("rejected_overload", JsonValue(rejected_overload));
   global.emplace("completed_ok", JsonValue(completed_ok));
   global.emplace("snapshot_hits", JsonValue(snapshot_hits));
+  global.emplace("snapshot_fill_failures", JsonValue(snapshot_fill_failures));
   global.emplace("designs_loaded", JsonValue(designs_loaded));
   global.emplace("designs_evicted", JsonValue(designs_evicted));
+  global.emplace("designs_recovered", JsonValue(designs_recovered));
+  global.emplace("loads_idempotent", JsonValue(loads_idempotent));
+  global.emplace("loads_shed", JsonValue(loads_shed));
+  global.emplace("manifest_write_failures", JsonValue(manifest_write_failures));
   global.emplace("cancel_requests", JsonValue(cancel_requests));
 
   JsonValue::Object designs;

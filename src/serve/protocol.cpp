@@ -167,10 +167,14 @@ std::string ok_line(std::uint64_t id, Op op, JsonValue result,
 }
 
 std::string error_line(bool has_id, std::uint64_t id, bool has_op, Op op,
-                       ErrorCode code, const std::string& message) {
+                       ErrorCode code, const std::string& message,
+                       std::uint64_t retry_after_ms) {
   JsonValue::Object error;
   error.emplace("code", JsonValue(error_code_name(code)));
   error.emplace("message", JsonValue(message));
+  if (retry_after_ms != 0) {
+    error.emplace("retry_after_ms", JsonValue(retry_after_ms));
+  }
 
   JsonValue::Object obj;
   obj.emplace("id", has_id ? JsonValue(id) : JsonValue(nullptr));
@@ -186,6 +190,16 @@ JsonValue deterministic_result_json(const FinderResult& result) {
   json.set("phase3_seconds", JsonValue(0.0));
   json.set("total_seconds", JsonValue(0.0));
   return json;
+}
+
+std::uint64_t response_retry_after_ms(const JsonValue& response) {
+  if (!response.is_object()) return 0;
+  const JsonValue* error = response.find("error");
+  if (error == nullptr || !error->is_object()) return 0;
+  const JsonValue* hint = error->find("retry_after_ms");
+  std::uint64_t ms = 0;
+  if (hint != nullptr) (void)hint->get_uint64(&ms);
+  return ms;
 }
 
 Status response_status(const JsonValue& response) {

@@ -14,7 +14,18 @@
 // Response: {"id": <u64|null>, "ok": true,  "op": "<op>",
 //            "result": {...}, "server": {"queue_seconds", "run_seconds"}}
 //        or {"id": <u64|null>, "ok": false, "op": "<op>|null",
-//            "error": {"code": "<code>", "message": "..."}}
+//            "error": {"code": "<code>", "message": "...",
+//                      "retry_after_ms": <u64, only when shedding>}}
+//
+// "retry_after_ms" appears on "overloaded" rejections: the server's
+// backoff hint.  Retrying sooner is not an error, just wasted work.
+//
+// load_design is idempotent: re-loading a name whose recorded (aux,
+// snapshot) sources match the request answers ok with "idempotent":
+// true instead of re-parsing — a client that lost the first reply can
+// safely resend.  The same name with *different* sources (or a design
+// preloaded in-process, which records no sources) still answers
+// "already_loaded".
 //
 // `id` is chosen by the client and echoed verbatim; it is how responses
 // are matched to requests and how `cancel` names its target.  When a
@@ -123,10 +134,15 @@ struct ServerTiming {
                                   const ServerTiming* timing);
 
 /// Serialize an error response line.  `has_id` false emits "id": null;
-/// `has_op` false emits "op": null.
+/// `has_op` false emits "op": null.  A nonzero `retry_after_ms` is
+/// emitted into the error object (overload shedding hint).
 [[nodiscard]] std::string error_line(bool has_id, std::uint64_t id,
                                      bool has_op, Op op, ErrorCode code,
-                                     const std::string& message);
+                                     const std::string& message,
+                                     std::uint64_t retry_after_ms = 0);
+
+/// The "retry_after_ms" hint of an error response; 0 when absent.
+[[nodiscard]] std::uint64_t response_retry_after_ms(const JsonValue& response);
 
 /// FinderResult -> the deterministic "result" JSON of a run_finder
 /// response: to_json(result) with the wall-clock fields zeroed (see the

@@ -3,6 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "util/failpoint.hpp"
+
 namespace gtl::serve {
 namespace {
 
@@ -16,7 +18,7 @@ double seconds_between(Clock::time_point from, Clock::time_point to) {
 
 Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)),
-      registry_(cfg_.max_resident_bytes) {
+      registry_(cfg_.max_resident_bytes, cfg_.hard_resident_bytes) {
   if (cfg_.workers == 0) cfg_.workers = 1;
   if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
   workers_.reserve(cfg_.workers);
@@ -35,9 +37,88 @@ Status Server::preload(const std::string& name, BookshelfDesign design) {
     std::lock_guard<std::mutex> lk(pools_mu_);
     for (const std::string& evicted : info.evicted) pools_.erase(evicted);
   }
+  (void)manifest_apply("", nullptr, info.evicted);
   std::lock_guard<std::mutex> lk(metrics_mu_);
   ++metrics_.designs_loaded;
   metrics_.designs_evicted += info.evicted.size();
+  return Status::ok();
+}
+
+Status Server::manifest_apply(const std::string& record_name,
+                              const ManifestEntry* record,
+                              const std::vector<std::string>& forget) {
+  if (cfg_.manifest_path.empty()) return Status::ok();
+  std::lock_guard<std::mutex> lk(manifest_mu_);
+  bool changed = false;
+  for (const std::string& name : forget) {
+    changed = manifest_.erase(name) != 0 || changed;
+  }
+  if (record != nullptr) {
+    auto [it, inserted] = manifest_.insert_or_assign(record_name, *record);
+    (void)it;
+    changed = true;
+    (void)inserted;
+  }
+  if (!changed) return Status::ok();
+  // The in-memory map is updated even when the write fails: it is the
+  // truth the next (hopefully successful) write will persist.
+  const Status st = write_manifest_atomic(manifest_, cfg_.manifest_path);
+  if (!st.is_ok()) {
+    std::lock_guard<std::mutex> mlk(metrics_mu_);
+    ++metrics_.manifest_write_failures;
+  }
+  return st;
+}
+
+Status Server::recover_from_manifest(RecoveryReport* report) {
+  report->attempted = 0;
+  report->recovered = 0;
+  report->notes.clear();
+  if (cfg_.manifest_path.empty()) return Status::ok();
+
+  Manifest recorded;
+  if (const Status st = read_manifest(cfg_.manifest_path, &recorded);
+      !st.is_ok()) {
+    if (st.code() == StatusCode::kNotFound) return Status::ok();  // fresh
+    // Corrupt manifest: report it, recover nothing.  The stale file is
+    // left for inspection; the next successful load overwrites it.
+    return st;
+  }
+
+  Manifest survivors;
+  for (const auto& [name, entry] : recorded) {
+    ++report->attempted;
+    DesignRegistry::LoadInfo info;
+    const Status st = registry_.load(name, entry.aux, entry.snapshot, &info);
+    if (!st.is_ok()) {
+      report->notes.push_back("dropped \"" + name + "\": " + st.to_string());
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lk(pools_mu_);
+      for (const std::string& evicted : info.evicted) pools_.erase(evicted);
+    }
+    for (const std::string& evicted : info.evicted) survivors.erase(evicted);
+    survivors[name] = entry;
+    ++report->recovered;
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    ++metrics_.designs_loaded;
+    ++metrics_.designs_recovered;
+    if (info.snapshot_hit) ++metrics_.snapshot_hits;
+    if (info.fill_failed) ++metrics_.snapshot_fill_failures;
+    metrics_.designs_evicted += info.evicted.size();
+  }
+
+  std::lock_guard<std::mutex> lk(manifest_mu_);
+  manifest_ = std::move(survivors);
+  const Status st = write_manifest_atomic(manifest_, cfg_.manifest_path);
+  if (!st.is_ok()) {
+    {
+      std::lock_guard<std::mutex> mlk(metrics_mu_);
+      ++metrics_.manifest_write_failures;
+    }
+    report->notes.push_back("warning: " + st.to_string());
+  }
   return Status::ok();
 }
 
@@ -67,6 +148,21 @@ void Server::submit(std::string line, ResponseFn reply) {
   if (req.op == Op::kStatus || req.op == Op::kStats ||
       req.op == Op::kCancel || req.op == Op::kUnloadDesign) {
     run_inline(req, reply);
+    return;
+  }
+
+  // Failpoint "serve.admit": fail = shed this heavy op at admission, as
+  // if the queue were full (same wire contract: overloaded + hint).
+  if (failpoint::Action fp;
+      failpoint::check("serve.admit", &fp) &&
+      fp.kind == failpoint::Action::Kind::kFail) {
+    {
+      std::lock_guard<std::mutex> lk(metrics_mu_);
+      ++metrics_.rejected_overload;
+    }
+    reply(error_line(true, req.id, true, req.op, ErrorCode::kOverloaded,
+                     "admission shed (injected failpoint); retry with backoff",
+                     cfg_.retry_after_ms));
     return;
   }
 
@@ -116,7 +212,8 @@ void Server::submit(std::string line, ResponseFn reply) {
       reply_error(job, ErrorCode::kOverloaded,
                   "admission queue is full (" +
                       std::to_string(cfg_.queue_capacity) +
-                      " waiting); retry with backoff");
+                      " waiting); retry with backoff",
+                  cfg_.retry_after_ms);
       return;
     }
     queue_.push_back(std::move(job));
@@ -158,6 +255,20 @@ void Server::worker_loop() {
 }
 
 void Server::execute(Job job) {
+  // Failpoint "serve.execute": delay = stall this worker before the op
+  // runs (widens queue/deadline races); fail = injected worker failure,
+  // still answered with exactly one clean "internal" error line.
+  if (failpoint::Action fp; failpoint::check("serve.execute", &fp)) {
+    if (fp.kind == failpoint::Action::Kind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fp.param));
+    } else if (fp.kind == failpoint::Action::Kind::kFail) {
+      if (job.inflight != nullptr) finish_inflight(job.req.id);
+      reply_error(job, ErrorCode::kInternal,
+                  fp.message.empty() ? "worker failed (injected failpoint)"
+                                     : fp.message);
+      return;
+    }
+  }
   try {
     if (job.req.op == Op::kRunFinder) {
       execute_run(job);
@@ -284,9 +395,43 @@ void Server::execute_load(Job& job) {
   const std::string& name = job.req.design;
   Timer load_timer;
 
-  if (registry_.find(name) != nullptr) {
+  if (const DesignRegistry::EntryPtr existing = registry_.find(name);
+      existing != nullptr) {
+    // Idempotent replay: the same name from the same recorded sources is
+    // acknowledged again without re-parsing, so a client that lost the
+    // first reply (crash, dropped connection) can safely resend.
+    // Preloaded designs record no sources and never match.
+    const bool has_sources = !existing->source_aux.empty() ||
+                             !existing->source_snapshot.empty();
+    if (has_sources && existing->source_aux == job.req.aux &&
+        existing->source_snapshot == job.req.snapshot) {
+      {
+        std::lock_guard<std::mutex> lk(metrics_mu_);
+        ++metrics_.loads_idempotent;
+        ++metrics_.completed_ok;
+      }
+      timing.run_seconds = load_timer.seconds();
+      const Netlist& nl = existing->design.netlist;
+      JsonValue::Object result;
+      result.emplace("design", JsonValue(name));
+      result.emplace("cells",
+                     JsonValue(static_cast<std::uint64_t>(nl.num_cells())));
+      result.emplace("nets",
+                     JsonValue(static_cast<std::uint64_t>(nl.num_nets())));
+      result.emplace("pins",
+                     JsonValue(static_cast<std::uint64_t>(nl.num_pins())));
+      result.emplace("resident_bytes",
+                     JsonValue(static_cast<std::uint64_t>(
+                         existing->resident_bytes)));
+      result.emplace("idempotent", JsonValue(true));
+      job.reply(ok_line(job.req.id, job.req.op, JsonValue(std::move(result)),
+                        &timing));
+      return;
+    }
     reply_error(job, ErrorCode::kAlreadyLoaded,
-                "design \"" + name + "\" is already loaded (unload first)");
+                "design \"" + name + "\" is already loaded" +
+                    (has_sources ? " from different sources (unload first)"
+                                 : " (unload first)"));
     return;
   }
 
@@ -294,6 +439,17 @@ void Server::execute_load(Job& job) {
   const Status st =
       registry_.load(name, job.req.aux, job.req.snapshot, &info);
   if (!st.is_ok()) {
+    if (st.code() == StatusCode::kUnavailable) {
+      // Hard watermark shed: same wire contract as a full queue.
+      {
+        std::lock_guard<std::mutex> lk(metrics_mu_);
+        ++metrics_.loads_shed;
+        ++metrics_.rejected_overload;
+      }
+      reply_error(job, ErrorCode::kOverloaded, st.message(),
+                  cfg_.retry_after_ms);
+      return;
+    }
     const ErrorCode code = st.code() == StatusCode::kNotFound
                                ? ErrorCode::kNotFound
                                : ErrorCode::kInvalidArgument;
@@ -308,8 +464,19 @@ void Server::execute_load(Job& job) {
     std::lock_guard<std::mutex> lk(metrics_mu_);
     ++metrics_.designs_loaded;
     if (info.snapshot_hit) ++metrics_.snapshot_hits;
+    if (info.fill_failed) ++metrics_.snapshot_fill_failures;
     metrics_.designs_evicted += info.evicted.size();
     ++metrics_.completed_ok;
+  }
+
+  // Manifest the load *before* acknowledging it: every ok reply the
+  // client ever sees is covered by the manifest (write-ahead for the
+  // acknowledgment).  A failed manifest write degrades durability, not
+  // availability — the load stands, the client is told via a note.
+  ManifestEntry manifest_entry{job.req.aux, job.req.snapshot};
+  if (const Status mst = manifest_apply(name, &manifest_entry, info.evicted);
+      !mst.is_ok()) {
+    info.notes.push_back("warning: manifest not updated: " + mst.to_string());
   }
   timing.run_seconds = load_timer.seconds();
 
@@ -322,6 +489,7 @@ void Server::execute_load(Job& job) {
   result.emplace("resident_bytes", JsonValue(static_cast<std::uint64_t>(
                                        info.entry->resident_bytes)));
   result.emplace("snapshot_hit", JsonValue(info.snapshot_hit));
+  result.emplace("idempotent", JsonValue(false));
   JsonValue::Array evicted;
   for (const std::string& e : info.evicted) evicted.emplace_back(e);
   result.emplace("evicted", JsonValue(std::move(evicted)));
@@ -349,6 +517,14 @@ void Server::run_inline(const Request& req, const ResponseFn& reply) {
         std::lock_guard<std::mutex> lk(metrics_mu_);
         result = metrics_.to_json();
         ++metrics_.completed_ok;
+      }
+      if (failpoint::compiled_in()) {
+        // Chaos observability: which failpoints fired, and how often.
+        JsonValue::Object points;
+        for (const auto& [name, triggers] : failpoint::trigger_counts()) {
+          points.emplace(name, JsonValue(triggers));
+        }
+        result.set("failpoints", JsonValue(std::move(points)));
       }
       reply(ok_line(req.id, req.op, std::move(result), nullptr));
       return;
@@ -398,6 +574,9 @@ void Server::run_inline(const Request& req, const ResponseFn& reply) {
                          "design \"" + req.design + "\" is not loaded"));
         return;
       }
+      // Forget before acknowledging: once the client hears ok, a restart
+      // must not resurrect the design.
+      (void)manifest_apply("", nullptr, {req.design});
       JsonValue::Object result;
       result.emplace("design", JsonValue(req.design));
       {
@@ -441,6 +620,8 @@ JsonValue Server::status_json() {
                                     registry_.total_resident_bytes())));
   obj.emplace("max_resident_bytes", JsonValue(static_cast<std::uint64_t>(
                                         registry_.max_resident_bytes())));
+  obj.emplace("hard_resident_bytes", JsonValue(static_cast<std::uint64_t>(
+                                         registry_.hard_resident_bytes())));
   obj.emplace("queue_depth",
               JsonValue(static_cast<std::uint64_t>(queue_depth)));
   obj.emplace("queue_capacity",
@@ -466,8 +647,10 @@ std::shared_ptr<SessionPool> Server::pool_for(
 }
 
 void Server::reply_error(const Job& job, ErrorCode code,
-                         const std::string& msg) {
-  job.reply(error_line(true, job.req.id, true, job.req.op, code, msg));
+                         const std::string& msg,
+                         std::uint64_t retry_after_ms) {
+  job.reply(error_line(true, job.req.id, true, job.req.op, code, msg,
+                       retry_after_ms));
 }
 
 void Server::arm_deadline(Clock::time_point when, const InFlightPtr& target) {
@@ -544,13 +727,18 @@ Status Server::serve(const std::atomic<bool>& stop_flag) {
         if (const Status st =
                 conn->stream.read_line(&line, &eof, cfg_.max_line_bytes);
             !st.is_ok()) {
-          // Oversized line / read error: framing is lost, tell the peer
-          // once and drop the connection.
-          const std::string resp =
-              error_line(false, 0, false, Op::kStatus, ErrorCode::kParseError,
-                         st.message());
-          std::lock_guard<std::mutex> wlk(conn->write_mu);
-          (void)conn->stream.write_line(resp);
+          // An oversized line means the peer is alive but framing is
+          // lost: tell it once, then drop.  Any other read error is a
+          // broken transport — the peer cannot hear a farewell, and a
+          // stray unaddressed line would only confuse a reconnecting
+          // client mid-request — so drop silently.
+          if (st.code() == StatusCode::kOutOfRange) {
+            const std::string resp =
+                error_line(false, 0, false, Op::kStatus,
+                           ErrorCode::kParseError, st.message());
+            std::lock_guard<std::mutex> wlk(conn->write_mu);
+            (void)conn->stream.write_line(resp);
+          }
           break;
         }
         if (!line.empty()) {

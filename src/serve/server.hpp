@@ -41,6 +41,7 @@
 
 #include "finder/progress.hpp"
 #include "serve/design_registry.hpp"
+#include "serve/manifest.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session_pool.hpp"
@@ -57,8 +58,19 @@ struct ServerConfig {
   /// Admission-queue bound; a request arriving when `queue_capacity`
   /// jobs are already waiting is rejected with "overloaded".
   std::size_t queue_capacity = 16;
-  /// Registry residency cap (LRU eviction above this).
+  /// Registry residency soft watermark (LRU eviction above this).
   std::size_t max_resident_bytes = std::size_t{512} << 20;
+  /// Hard residency watermark: a load whose design alone exceeds this is
+  /// shed with "overloaded" + retry_after_ms instead of evicting the
+  /// entire working set.  0 = off (any single design is admitted).
+  std::size_t hard_resident_bytes = 0;
+  /// Backoff hint stamped on shed responses (queue full, hard
+  /// watermark).
+  std::uint64_t retry_after_ms = 1000;
+  /// Crash-safe design manifest path; empty = no manifest.  See
+  /// manifest.hpp for the write-ahead discipline and
+  /// recover_from_manifest() for restart replay.
+  std::filesystem::path manifest_path;
   /// Applied to run_finder requests that give no deadline_ms (0 = none).
   std::uint64_t default_deadline_ms = 0;
   /// Cap on FinderConfig::num_threads per query; 0 leaves configs alone.
@@ -83,9 +95,26 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Register an already-built design (preload / demo / tests), bypassing
-  /// the wire protocol.  Same registry semantics as load_design.
+  /// the wire protocol.  Same registry semantics as load_design, but the
+  /// design records no sources (so it is neither manifested nor
+  /// idempotently reloadable).
   [[nodiscard]] Status preload(const std::string& name,
                                BookshelfDesign design);
+
+  /// What a manifest replay did.
+  struct RecoveryReport {
+    std::size_t attempted = 0;  ///< manifest entries seen
+    std::size_t recovered = 0;  ///< designs re-loaded successfully
+    std::vector<std::string> notes;  ///< one line per dropped entry
+  };
+
+  /// Replay `cfg.manifest_path`: re-load every recorded design from its
+  /// recorded sources, then rewrite the manifest with the survivors
+  /// (entries whose sources vanished are dropped with a note, not
+  /// fatal).  A missing manifest is a fresh server (OK, zero attempted);
+  /// a corrupt one is reported as an error and otherwise ignored — the
+  /// next successful load overwrites it.  Call before serving traffic.
+  [[nodiscard]] Status recover_from_manifest(RecoveryReport* report);
 
   /// Feed one request line into the server.
   void submit(std::string line, ResponseFn reply);
@@ -148,7 +177,15 @@ class Server {
   JsonValue status_json();
 
   std::shared_ptr<SessionPool> pool_for(const DesignRegistry::EntryPtr& e);
-  void reply_error(const Job& job, ErrorCode code, const std::string& msg);
+  void reply_error(const Job& job, ErrorCode code, const std::string& msg,
+                   std::uint64_t retry_after_ms = 0);
+  /// Record (`record` non-null) and/or forget manifest entries, then
+  /// persist atomically.  No-op without a manifest path.  A failed write
+  /// bumps manifest_write_failures and is returned for the caller's
+  /// notes — availability beats durability, the op still succeeds.
+  Status manifest_apply(const std::string& record_name,
+                        const ManifestEntry* record,
+                        const std::vector<std::string>& forget);
   void arm_deadline(std::chrono::steady_clock::time_point when,
                     const InFlightPtr& target);
   void finish_inflight(std::uint64_t id);
@@ -162,6 +199,12 @@ class Server {
 
   std::mutex metrics_mu_;
   ServerMetrics metrics_;
+
+  /// In-memory mirror of the manifest file (guard: manifest_mu_, held
+  /// across the map update *and* the file write so the file always
+  /// serializes a consistent state).
+  std::mutex manifest_mu_;
+  Manifest manifest_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -1,0 +1,279 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/fileio.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace gtl::failpoint {
+namespace {
+
+Status action_kind_from_name(const std::string& name, Action::Kind* out) {
+  if (name == "fail") {
+    *out = Action::Kind::kFail;
+  } else if (name == "delay") {
+    *out = Action::Kind::kDelay;
+  } else if (name == "short_io") {
+    *out = Action::Kind::kShortIo;
+  } else if (name == "eintr") {
+    *out = Action::Kind::kEintr;
+  } else {
+    return Status::invalid_argument(
+        "failpoint: unknown action \"" + name +
+        "\" (expected fail, delay, short_io, or eintr)");
+  }
+  return Status::ok();
+}
+
+Status spec_from_json(const std::string& point, const JsonValue& json,
+                      Spec* out) {
+  if (!json.is_object()) {
+    return Status::invalid_argument("failpoint \"" + point +
+                                    "\": spec must be a JSON object");
+  }
+  const JsonValue* action = json.find("action");
+  if (action == nullptr) {
+    return Status::invalid_argument("failpoint \"" + point +
+                                    "\": spec is missing \"action\"");
+  }
+  std::string action_name;
+  GTL_RETURN_IF_ERROR(action->get_string(&action_name));
+  GTL_RETURN_IF_ERROR(action_kind_from_name(action_name, &out->action.kind));
+  for (const auto& [key, value] : json.object()) {
+    if (key == "action") continue;
+    if (key == "param") {
+      GTL_RETURN_IF_ERROR(value.get_uint64(&out->action.param));
+    } else if (key == "message") {
+      GTL_RETURN_IF_ERROR(value.get_string(&out->action.message));
+    } else if (key == "skip") {
+      GTL_RETURN_IF_ERROR(value.get_uint64(&out->skip));
+    } else if (key == "limit") {
+      GTL_RETURN_IF_ERROR(value.get_uint64(&out->limit));
+    } else if (key == "probability") {
+      GTL_RETURN_IF_ERROR(value.get_double(&out->probability));
+      if (!(out->probability >= 0.0 && out->probability <= 1.0)) {
+        return Status::invalid_argument(
+            "failpoint \"" + point + "\": probability must be in [0, 1]");
+      }
+    } else {
+      return Status::invalid_argument("failpoint \"" + point +
+                                      "\": unknown spec key \"" + key + "\"");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status parse_config(std::string_view text, Config* out) {
+  out->seed = 0;
+  out->points.clear();
+  JsonValue json;
+  GTL_RETURN_IF_ERROR(JsonValue::parse(text, &json));
+  if (!json.is_object()) {
+    return Status::invalid_argument(
+        "failpoint config must be a JSON object");
+  }
+  for (const auto& [key, value] : json.object()) {
+    if (key == "seed") {
+      GTL_RETURN_IF_ERROR(value.get_uint64(&out->seed));
+    } else if (key == "points") {
+      if (!value.is_object()) {
+        return Status::invalid_argument(
+            "failpoint config: \"points\" must be an object");
+      }
+      for (const auto& [point, spec_json] : value.object()) {
+        Spec spec;
+        GTL_RETURN_IF_ERROR(spec_from_json(point, spec_json, &spec));
+        out->points.emplace_back(point, spec);
+      }
+    } else {
+      return Status::invalid_argument(
+          "failpoint config: unknown key \"" + key + "\"");
+    }
+  }
+  return Status::ok();
+}
+
+namespace {
+
+/// Inline JSON beats a file path when both are set (tests arm inline).
+Status env_config_text(std::string* text, bool* present) {
+  *present = false;
+  if (const char* inline_json = std::getenv("GTL_FAILPOINTS")) {
+    *text = inline_json;
+    *present = true;
+    return Status::ok();
+  }
+  if (const char* file = std::getenv("GTL_FAILPOINTS_FILE")) {
+    *present = true;
+    return read_file_to_string(file, text);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+#if defined(GTL_FAILPOINTS_ENABLED)
+
+namespace {
+
+/// FNV-1a over the point name: each point gets a probability stream
+/// derived from (global seed, name), independent of arming order.
+std::uint64_t name_hash(std::string_view name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct PointState {
+  Spec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t triggers = 0;
+  Rng rng;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::uint64_t seed = 0;
+  std::unordered_map<std::string, PointState> points;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<std::uint64_t> g_armed{0};
+
+}  // namespace
+
+namespace detail {
+
+bool any_armed() { return g_armed.load(std::memory_order_relaxed) != 0; }
+
+bool check_slow(std::string_view name, Action* out) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.points.find(std::string(name));
+  if (it == r.points.end()) return false;
+  PointState& state = it->second;
+  ++state.hits;
+  if (state.hits <= state.spec.skip) return false;
+  if (state.triggers >= state.spec.limit) return false;
+  if (state.spec.probability < 1.0 &&
+      !state.rng.next_bool(state.spec.probability)) {
+    return false;
+  }
+  ++state.triggers;
+  *out = state.spec.action;
+  return true;
+}
+
+}  // namespace detail
+
+void arm(std::string name, Spec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  PointState state;
+  state.spec = std::move(spec);
+  state.rng.reseed(r.seed ^ name_hash(name));
+  const bool inserted =
+      r.points.insert_or_assign(std::move(name), std::move(state)).second;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool disarm(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  if (r.points.erase(std::string(name)) == 0) return false;
+  g_armed.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.points.clear();
+  g_armed.store(0, std::memory_order_relaxed);
+}
+
+void reseed(std::uint64_t seed) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.seed = seed;
+}
+
+std::uint64_t hit_count(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.points.find(std::string(name));
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t trigger_count(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.points.find(std::string(name));
+  return it == r.points.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> trigger_counts() {
+  Registry& r = registry();
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lk(r.mu);
+    out.reserve(r.points.size());
+    for (const auto& [name, state] : r.points) {
+      out.emplace_back(name, state.triggers);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void apply(const Config& config) {
+  reseed(config.seed);
+  for (const auto& [name, spec] : config.points) arm(name, spec);
+}
+
+Status configure_from_json(std::string_view text) {
+  Config config;
+  GTL_RETURN_IF_ERROR(parse_config(text, &config));
+  apply(config);
+  return Status::ok();
+}
+
+Status configure_from_env() {
+  std::string text;
+  bool present = false;
+  GTL_RETURN_IF_ERROR(env_config_text(&text, &present));
+  if (!present) return Status::ok();
+  return configure_from_json(text);
+}
+
+#else  // !GTL_FAILPOINTS_ENABLED
+
+Status configure_from_env() {
+  // Sites are compiled out, so arming is pointless — but a schedule that
+  // would not even parse should still fail loudly instead of silently
+  // testing nothing.  compiled_in() lets callers warn about the rest.
+  std::string text;
+  bool present = false;
+  GTL_RETURN_IF_ERROR(env_config_text(&text, &present));
+  if (!present) return Status::ok();
+  Config config;
+  return parse_config(text, &config);
+}
+
+#endif  // GTL_FAILPOINTS_ENABLED
+
+}  // namespace gtl::failpoint

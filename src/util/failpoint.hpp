@@ -1,0 +1,157 @@
+#pragma once
+// Deterministic fault injection for robustness testing.
+//
+// A *failpoint* is a named hook compiled into an I/O or concurrency hot
+// spot (socket send/recv, file reads, snapshot writes, the serve
+// admission path, ...).  Tests and the chaos harness *arm* failpoints
+// with a Spec — a schedule of when to trigger (skip the first N hits,
+// trigger at most M times, per-hit probability) and an Action saying
+// what the site should do: fail with an injected Status, sleep, process
+// only a prefix of the bytes (short read/write), or behave as if the
+// call was interrupted (EINTR storm).  All randomness is seeded, so a
+// chaos schedule replays bit-for-bit.
+//
+// Cost model: sites are compiled only when the CMake option
+// `GTL_FAILPOINTS=ON` defines GTL_FAILPOINTS_ENABLED.  Without it,
+// `check()` is a constant-false inline and every site folds to nothing —
+// production builds carry zero branches, zero strings, zero atomics.
+// With it but nothing armed, a site costs one relaxed atomic load.
+//
+// Configuration reaches a binary three ways:
+//   * programmatically: arm()/disarm()/disarm_all() (what tests use);
+//   * the GTL_FAILPOINTS env var holding inline JSON;
+//   * the GTL_FAILPOINTS_FILE env var naming a JSON file.
+// JSON shape (every spec field optional except "action"):
+//   {"seed": 42,
+//    "points": {"socket.send": {"action": "short_io", "param": 3,
+//                               "skip": 2, "limit": 5,
+//                               "probability": 0.5,
+//                               "message": "injected"}}}
+// Actions: "fail", "delay" (param = ms), "short_io" (param = byte cap),
+// "eintr" (one interrupted iteration per trigger; "limit" bounds the
+// storm).  Sites honor the subset of actions that makes sense for them
+// and ignore the rest; the per-site contract is documented at the site.
+//
+// Counters: hit_count() (evaluations) and trigger_count() per point let
+// the chaos suite assert a schedule actually fired; gtl_serve surfaces
+// trigger_counts() in its `stats` op when compiled in.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gtl::failpoint {
+
+/// What a triggered failpoint tells its site to do.
+struct Action {
+  enum class Kind {
+    kFail,     ///< return an injected error Status
+    kDelay,    ///< sleep `param` milliseconds, then continue normally
+    kShortIo,  ///< process at most `param` bytes in this call
+    kEintr,    ///< behave as one EINTR-interrupted iteration
+  };
+  Kind kind = Kind::kFail;
+  std::uint64_t param = 0;  ///< ms (delay) / bytes (short_io); else unused
+  std::string message;      ///< optional text for the injected Status
+};
+
+/// When a failpoint triggers.  Defaults: every hit, forever.
+struct Spec {
+  Action action;
+  /// The first `skip` hits never trigger (fail-the-Nth = skip N-1, limit 1).
+  std::uint64_t skip = 0;
+  /// Trigger at most this many times.
+  std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
+  /// Per-eligible-hit trigger probability, from the seeded stream.
+  double probability = 1.0;
+};
+
+/// Parsed form of the JSON configuration (see the header comment).
+struct Config {
+  std::uint64_t seed = 0;
+  std::vector<std::pair<std::string, Spec>> points;
+};
+
+/// Parse the JSON configuration text.  Pure (no registry side effects)
+/// and always compiled, so config validation is testable in any build.
+[[nodiscard]] Status parse_config(std::string_view text, Config* out);
+
+#if defined(GTL_FAILPOINTS_ENABLED)
+
+/// True in builds configured with -DGTL_FAILPOINTS=ON.
+[[nodiscard]] constexpr bool compiled_in() { return true; }
+
+namespace detail {
+/// Number of armed points; the one-load fast path of check().
+[[nodiscard]] bool any_armed();
+[[nodiscard]] bool check_slow(std::string_view name, Action* out);
+}  // namespace detail
+
+/// Evaluate the failpoint `name`: true (and *out filled) when it
+/// triggers on this hit.  Thread-safe.
+[[nodiscard]] inline bool check(std::string_view name, Action* out) {
+  return detail::any_armed() && detail::check_slow(name, out);
+}
+
+/// Arm (or replace) a failpoint.  Resets its counters and its seeded
+/// probability stream.
+void arm(std::string name, Spec spec);
+
+/// Disarm one point (true if it was armed) / all points.
+bool disarm(std::string_view name);
+void disarm_all();
+
+/// Reseed the probability streams of *subsequently armed* points.
+void reseed(std::uint64_t seed);
+
+/// Evaluations / triggers since the point was (re)armed; 0 when unknown.
+[[nodiscard]] std::uint64_t hit_count(std::string_view name);
+[[nodiscard]] std::uint64_t trigger_count(std::string_view name);
+
+/// (name, triggers) for every armed point, name-sorted — for stats.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+trigger_counts();
+
+/// Apply a parsed Config: reseed, then arm every listed point.
+void apply(const Config& config);
+
+/// Parse and apply inline JSON.
+[[nodiscard]] Status configure_from_json(std::string_view text);
+
+/// Read GTL_FAILPOINTS (inline JSON) else GTL_FAILPOINTS_FILE (path to
+/// JSON); absent env vars are OK (nothing armed).
+[[nodiscard]] Status configure_from_env();
+
+#else  // !GTL_FAILPOINTS_ENABLED — constant no-ops the optimizer erases.
+
+[[nodiscard]] constexpr bool compiled_in() { return false; }
+
+[[nodiscard]] inline bool check(std::string_view, Action*) { return false; }
+
+inline void arm(std::string, Spec) {}
+inline bool disarm(std::string_view) { return false; }
+inline void disarm_all() {}
+inline void reseed(std::uint64_t) {}
+[[nodiscard]] inline std::uint64_t hit_count(std::string_view) { return 0; }
+[[nodiscard]] inline std::uint64_t trigger_count(std::string_view) {
+  return 0;
+}
+[[nodiscard]] inline std::vector<std::pair<std::string, std::uint64_t>>
+trigger_counts() {
+  return {};
+}
+inline void apply(const Config&) {}
+[[nodiscard]] inline Status configure_from_json(std::string_view text) {
+  Config config;  // still validate: a typo'd schedule should fail loudly
+  return parse_config(text, &config);
+}
+[[nodiscard]] Status configure_from_env();
+
+#endif  // GTL_FAILPOINTS_ENABLED
+
+}  // namespace gtl::failpoint

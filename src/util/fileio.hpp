@@ -4,10 +4,13 @@
 // bytes in place, so parse cost tracks memory bandwidth instead of
 // per-line stream churn.
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 
+#include "util/failpoint.hpp"
 #include "util/status.hpp"
 
 namespace gtl {
@@ -15,8 +18,18 @@ namespace gtl {
 /// Read the entire file at `path` into `*out` (replacing its contents).
 /// Binary-exact: no newline translation.  Returns kNotFound when the
 /// file cannot be opened, kParseError when a read fails midway.
+///
+/// Failpoints: "fileio.read.open" (fail = injected open failure) and
+/// "fileio.read" (fail = injected mid-read failure; short_io = truncate
+/// the result to `param` bytes, simulating a torn read; delay honored).
 [[nodiscard]] inline Status read_file_to_string(
     const std::filesystem::path& path, std::string* out) {
+  if (failpoint::Action fp;
+      failpoint::check("fileio.read.open", &fp) &&
+      fp.kind == failpoint::Action::Kind::kFail) {
+    return Status::not_found("cannot open " + path.string() +
+                             " (injected failpoint)");
+  }
   std::FILE* f = std::fopen(path.string().c_str(), "rb");
   if (f == nullptr) {
     return Status::not_found("cannot open " + path.string());
@@ -42,6 +55,24 @@ namespace gtl {
   std::fclose(f);
   if (bad) {
     return Status::parse_error("read failed for " + path.string());
+  }
+  if (failpoint::Action fp; failpoint::check("fileio.read", &fp)) {
+    switch (fp.kind) {
+      case failpoint::Action::Kind::kFail:
+        return Status::parse_error("read failed for " + path.string() +
+                                   " (injected failpoint)");
+      case failpoint::Action::Kind::kShortIo:
+        // Torn read: the caller sees a clean-looking prefix of the file.
+        if (out->size() > fp.param) {
+          out->resize(static_cast<std::size_t>(fp.param));
+        }
+        break;
+      case failpoint::Action::Kind::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(fp.param));
+        break;
+      case failpoint::Action::Kind::kEintr:
+        break;  // no interruptible loop here
+    }
   }
   return Status::ok();
 }

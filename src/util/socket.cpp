@@ -1,7 +1,10 @@
 #include "util/socket.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include <poll.h>
@@ -10,11 +13,18 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "util/failpoint.hpp"
+
 namespace gtl {
 namespace {
 
 Status errno_status(const std::string& what) {
   return Status::invalid_argument(what + ": " + std::strerror(errno));
+}
+
+/// Status for a kFail action, preferring the schedule's message.
+Status injected_status(const failpoint::Action& fp, const char* fallback) {
+  return Status::unavailable(fp.message.empty() ? fallback : fp.message);
 }
 
 /// Fill sockaddr_un, rejecting paths longer than sun_path holds.
@@ -68,9 +78,28 @@ Status UnixStream::write_all(std::string_view data) {
   if (fd_ < 0) return Status::invalid_argument("write on a closed stream");
   std::size_t off = 0;
   while (off < data.size()) {
+    std::size_t len = data.size() - off;
+    // Failpoint "socket.send": fail = injected transport error; eintr =
+    // one interrupted iteration; short_io = send at most `param` bytes
+    // this call; delay honored.
+    if (failpoint::Action fp; failpoint::check("socket.send", &fp)) {
+      switch (fp.kind) {
+        case failpoint::Action::Kind::kFail:
+          return injected_status(fp, "send failed (injected failpoint)");
+        case failpoint::Action::Kind::kEintr:
+          continue;  // exactly what a real EINTR does here
+        case failpoint::Action::Kind::kShortIo:
+          len = std::min<std::size_t>(
+              len, static_cast<std::size_t>(std::max<std::uint64_t>(
+                       1, fp.param)));
+          break;
+        case failpoint::Action::Kind::kDelay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(fp.param));
+          break;
+      }
+    }
     // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a fatal SIGPIPE.
-    const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd_, data.data() + off, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return errno_status("send");
@@ -109,7 +138,27 @@ Status UnixStream::read_line(std::string* line, bool* eof,
                                   std::to_string(max_bytes) + "-byte cap");
     }
     char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    std::size_t want = sizeof(chunk);
+    // Failpoint "socket.recv": fail = injected transport error; eintr =
+    // one interrupted iteration; short_io = receive at most `param`
+    // bytes this call; delay honored.
+    if (failpoint::Action fp; failpoint::check("socket.recv", &fp)) {
+      switch (fp.kind) {
+        case failpoint::Action::Kind::kFail:
+          return injected_status(fp, "recv failed (injected failpoint)");
+        case failpoint::Action::Kind::kEintr:
+          continue;
+        case failpoint::Action::Kind::kShortIo:
+          want = std::min<std::size_t>(
+              want, static_cast<std::size_t>(std::max<std::uint64_t>(
+                        1, fp.param)));
+          break;
+        case failpoint::Action::Kind::kDelay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(fp.param));
+          break;
+      }
+    }
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return errno_status("recv");

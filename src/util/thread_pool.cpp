@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+
+#include "util/failpoint.hpp"
 
 namespace gtl {
 
@@ -35,6 +38,14 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+    }
+    // Failpoint "thread_pool.task": delay = stall this worker before the
+    // task runs, widening scheduling races for the chaos suite.  Other
+    // actions are meaningless here and ignored.
+    if (failpoint::Action fp; failpoint::check("thread_pool.task", &fp)) {
+      if (fp.kind == failpoint::Action::Kind::kDelay) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(fp.param));
+      }
     }
     task();
   }

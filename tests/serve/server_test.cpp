@@ -389,8 +389,18 @@ TEST(Server, LoadDesignOverWireFromSnapshot) {
   ASSERT_TRUE(result.find("snapshot_hit")->get_bool(&hit).is_ok());
   EXPECT_TRUE(hit);
 
-  // Loading the same name again is already_loaded -> invalid argument.
-  const Status dup = client.load_design("snapped", "", snap);
+  // Re-loading the same name from the same sources is idempotent: a
+  // client that lost the first reply can safely resend.
+  JsonValue dup_result;
+  ASSERT_TRUE(client.load_design("snapped", "", snap, &dup_result).is_ok());
+  bool idempotent = false;
+  ASSERT_NE(dup_result.find("idempotent"), nullptr);
+  ASSERT_TRUE(dup_result.find("idempotent")->get_bool(&idempotent).is_ok());
+  EXPECT_TRUE(idempotent);
+
+  // The same name from *different* sources is still already_loaded.
+  const Status dup =
+      client.load_design("snapped", "elsewhere.aux", "");
   EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(dup.message().find("already_loaded"), std::string::npos);
 

@@ -1,0 +1,301 @@
+// Failpoint framework: config parsing (validated in every build) and the
+// arming/scheduling/determinism semantics (compiled only under
+// GTL_FAILPOINTS=ON — those tests skip themselves elsewhere so the
+// default tier-1 suite stays meaningful without the option).
+
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/fileio.hpp"
+
+namespace gtl::failpoint {
+namespace {
+
+TEST(FailpointConfig, ParsesFullSchedule) {
+  Config config;
+  const Status st = parse_config(
+      R"({"seed": 42,
+          "points": {"socket.send": {"action": "short_io", "param": 3,
+                                     "skip": 2, "limit": 5,
+                                     "probability": 0.5,
+                                     "message": "injected"}}})",
+      &config);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(config.seed, 42u);
+  ASSERT_EQ(config.points.size(), 1u);
+  EXPECT_EQ(config.points[0].first, "socket.send");
+  const Spec& spec = config.points[0].second;
+  EXPECT_EQ(spec.action.kind, Action::Kind::kShortIo);
+  EXPECT_EQ(spec.action.param, 3u);
+  EXPECT_EQ(spec.action.message, "injected");
+  EXPECT_EQ(spec.skip, 2u);
+  EXPECT_EQ(spec.limit, 5u);
+  EXPECT_DOUBLE_EQ(spec.probability, 0.5);
+}
+
+TEST(FailpointConfig, DefaultsAreEveryHitForever) {
+  Config config;
+  ASSERT_TRUE(parse_config(R"({"points": {"p": {"action": "fail"}}})",
+                           &config)
+                  .is_ok());
+  ASSERT_EQ(config.points.size(), 1u);
+  const Spec& spec = config.points[0].second;
+  EXPECT_EQ(spec.action.kind, Action::Kind::kFail);
+  EXPECT_EQ(spec.skip, 0u);
+  EXPECT_EQ(spec.limit, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_DOUBLE_EQ(spec.probability, 1.0);
+  EXPECT_EQ(config.seed, 0u);
+}
+
+TEST(FailpointConfig, EmptyScheduleIsValid) {
+  Config config;
+  EXPECT_TRUE(parse_config("{}", &config).is_ok());
+  EXPECT_TRUE(config.points.empty());
+}
+
+TEST(FailpointConfig, RejectsMalformedSchedules) {
+  // A schedule that silently tests nothing is worse than a loud error,
+  // so every typo class must be rejected.
+  const char* bad[] = {
+      "",                                                   // not JSON
+      "[]",                                                 // not an object
+      R"({"sede": 1})",                                     // top-level typo
+      R"({"points": []})",                                  // points not object
+      R"({"points": {"p": "fail"}})",                       // spec not object
+      R"({"points": {"p": {}}})",                           // missing action
+      R"({"points": {"p": {"action": "explode"}}})",        // unknown action
+      R"({"points": {"p": {"action": 3}}})",                // action not string
+      R"({"points": {"p": {"action": "fail", "prm": 1}}})", // spec key typo
+      R"({"points": {"p": {"action": "fail",
+                           "probability": 1.5}}})",         // out of range
+      R"({"points": {"p": {"action": "fail",
+                           "probability": -0.1}}})",        // out of range
+      R"({"seed": "lots"})",                                // seed not number
+  };
+  for (const char* text : bad) {
+    Config config;
+    EXPECT_FALSE(parse_config(text, &config).is_ok())
+        << "accepted: " << text;
+  }
+}
+
+TEST(FailpointConfig, ConfigureFromJsonValidatesInEveryBuild) {
+  // Compiled out, this still parses (and reports the typo); compiled in,
+  // it additionally arms — either way a bad schedule is an error.
+  EXPECT_FALSE(configure_from_json(R"({"nope": 1})").is_ok());
+  EXPECT_TRUE(configure_from_json("{}").is_ok());
+  disarm_all();
+}
+
+#if defined(GTL_FAILPOINTS_ENABLED)
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disarm_all();
+    reseed(0);
+  }
+  void TearDown() override {
+    disarm_all();
+    reseed(0);
+  }
+};
+
+TEST_F(FailpointTest, CompiledIn) { EXPECT_TRUE(compiled_in()); }
+
+TEST_F(FailpointTest, UnarmedPointNeverTriggers) {
+  Action action;
+  EXPECT_FALSE(check("no.such.point", &action));
+  EXPECT_EQ(hit_count("no.such.point"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedPointTriggersWithItsAction) {
+  Spec spec;
+  spec.action.kind = Action::Kind::kFail;
+  spec.action.message = "boom";
+  arm("p", spec);
+
+  Action action;
+  ASSERT_TRUE(check("p", &action));
+  EXPECT_EQ(action.kind, Action::Kind::kFail);
+  EXPECT_EQ(action.message, "boom");
+  EXPECT_EQ(hit_count("p"), 1u);
+  EXPECT_EQ(trigger_count("p"), 1u);
+}
+
+TEST_F(FailpointTest, SkipAndLimitImplementFailTheNth) {
+  // fail-the-3rd-hit-once: skip 2, limit 1.
+  Spec spec;
+  spec.skip = 2;
+  spec.limit = 1;
+  arm("p", spec);
+
+  Action action;
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(check("p", &action));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(hit_count("p"), 6u);
+  EXPECT_EQ(trigger_count("p"), 1u);
+}
+
+TEST_F(FailpointTest, ProbabilityStreamIsSeedDeterministic) {
+  const auto pattern = [](std::uint64_t seed) {
+    disarm_all();
+    reseed(seed);
+    Spec spec;
+    spec.probability = 0.5;
+    arm("p", spec);
+    std::vector<bool> fired;
+    Action action;
+    for (int i = 0; i < 64; ++i) fired.push_back(check("p", &action));
+    return fired;
+  };
+
+  const std::vector<bool> a = pattern(7);
+  const std::vector<bool> b = pattern(7);
+  const std::vector<bool> c = pattern(8);
+  EXPECT_EQ(a, b) << "same seed must replay bit-for-bit";
+  EXPECT_NE(a, c) << "different seeds must give different schedules";
+  // p = 0.5 over 64 draws: both outcomes occur (probability ~2^-64 not to).
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST_F(FailpointTest, StreamsAreIndependentOfArmingOrder) {
+  const auto run = [](bool p_first) {
+    disarm_all();
+    reseed(99);
+    Spec spec;
+    spec.probability = 0.5;
+    if (p_first) {
+      arm("p", spec);
+      arm("q", spec);
+    } else {
+      arm("q", spec);
+      arm("p", spec);
+    }
+    std::vector<bool> fired;
+    Action action;
+    for (int i = 0; i < 32; ++i) fired.push_back(check("p", &action));
+    return fired;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST_F(FailpointTest, DisarmStopsTriggersAndReportsPresence) {
+  arm("p", Spec{});
+  Action action;
+  ASSERT_TRUE(check("p", &action));
+  EXPECT_TRUE(disarm("p"));
+  EXPECT_FALSE(disarm("p"));
+  EXPECT_FALSE(check("p", &action));
+}
+
+TEST_F(FailpointTest, RearmResetsCounters) {
+  arm("p", Spec{});
+  Action action;
+  ASSERT_TRUE(check("p", &action));
+  ASSERT_TRUE(check("p", &action));
+  EXPECT_EQ(hit_count("p"), 2u);
+  arm("p", Spec{});
+  EXPECT_EQ(hit_count("p"), 0u);
+  EXPECT_EQ(trigger_count("p"), 0u);
+}
+
+TEST_F(FailpointTest, TriggerCountsAreNameSorted) {
+  arm("b.point", Spec{});
+  arm("a.point", Spec{});
+  Action action;
+  ASSERT_TRUE(check("b.point", &action));
+  const auto counts = trigger_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "a.point");
+  EXPECT_EQ(counts[0].second, 0u);
+  EXPECT_EQ(counts[1].first, "b.point");
+  EXPECT_EQ(counts[1].second, 1u);
+}
+
+TEST_F(FailpointTest, ConfigureFromJsonArms) {
+  ASSERT_TRUE(configure_from_json(
+                  R"({"seed": 5,
+                      "points": {"p": {"action": "delay", "param": 1,
+                                       "limit": 2}}})")
+                  .is_ok());
+  Action action;
+  ASSERT_TRUE(check("p", &action));
+  EXPECT_EQ(action.kind, Action::Kind::kDelay);
+  EXPECT_EQ(action.param, 1u);
+  ASSERT_TRUE(check("p", &action));
+  EXPECT_FALSE(check("p", &action)) << "limit 2 must cap the storm";
+}
+
+TEST_F(FailpointTest, ShortReadFaultSurfacesAsTornFileRead) {
+  // End-to-end through a wired site: a short_io on "fileio.read" hands
+  // the caller a prefix, which downstream validation must then reject —
+  // the file itself is untouched.
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "gtl_failpoint_read.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "0123456789";
+  }
+
+  Spec spec;
+  spec.action.kind = Action::Kind::kShortIo;
+  spec.action.param = 4;
+  spec.limit = 1;
+  arm("fileio.read", spec);
+
+  std::string torn;
+  ASSERT_TRUE(read_file_to_string(path, &torn).is_ok());
+  EXPECT_EQ(torn, "0123") << "short_io must hand back exactly the prefix";
+
+  std::string whole;
+  ASSERT_TRUE(read_file_to_string(path, &whole).is_ok());
+  EXPECT_EQ(whole, "0123456789") << "the limit spent, reads heal";
+  std::filesystem::remove(path);
+}
+
+TEST_F(FailpointTest, InjectedOpenFailureIsNotFound) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "gtl_failpoint_open.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "payload";
+  }
+  Spec spec;
+  spec.limit = 1;
+  arm("fileio.read.open", spec);
+
+  std::string text;
+  const Status st = read_file_to_string(path, &text);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound) << st.to_string();
+  EXPECT_TRUE(read_file_to_string(path, &text).is_ok());
+  std::filesystem::remove(path);
+}
+
+#else  // !GTL_FAILPOINTS_ENABLED
+
+TEST(Failpoint, DisabledBuildIsInert) {
+  EXPECT_FALSE(compiled_in());
+  arm("p", Spec{});  // no-op, nothing to trigger
+  Action action;
+  EXPECT_FALSE(check("p", &action));
+  EXPECT_EQ(hit_count("p"), 0u);
+  EXPECT_TRUE(trigger_counts().empty());
+}
+
+#endif  // GTL_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace gtl::failpoint

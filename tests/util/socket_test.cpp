@@ -1,0 +1,199 @@
+// UnixStream/UnixListener robustness: the SIGPIPE contract (a peer
+// vanishing mid-response must surface as a Status on the writer, never
+// kill the process), line framing limits, and listener edge cases.
+//
+// These tests run in-process with real AF_UNIX sockets: if the SIGPIPE
+// guard (MSG_NOSIGNAL in write_all) ever regresses, the injected-peer
+// tests take down the whole test binary — the loudest possible failure.
+
+#include "util/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace gtl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Keep the path short: sun_path caps out near 100 bytes.
+    path_ = fs::temp_directory_path() /
+            ("gtl_sock_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++) + ".sock");
+    fs::remove(path_);
+  }
+  void TearDown() override {
+    if (client_.joinable()) client_.join();
+    fs::remove(path_);
+  }
+
+  /// Accept one connection while `client_action` runs against the path
+  /// on its own thread (joined in TearDown — the peer conversation and
+  /// the client conversation interleave).
+  UnixStream accept_one(const std::function<void(const fs::path&)>&
+                            client_action) {
+    EXPECT_TRUE(UnixListener::bind_and_listen(path_, &listener_).is_ok());
+    client_ = std::thread([this, client_action] { client_action(path_); });
+    UnixStream peer;
+    bool accepted = false;
+    EXPECT_TRUE(listener_.poll_accept(2000, &peer, &accepted).is_ok());
+    EXPECT_TRUE(accepted);
+    return peer;
+  }
+
+  fs::path path_;
+  UnixListener listener_;
+  std::thread client_;
+  static int counter_;
+};
+
+int SocketTest::counter_ = 0;
+
+TEST_F(SocketTest, LineRoundTripAndCleanEof) {
+  UnixStream peer = accept_one([](const fs::path& path) {
+    UnixStream client;
+    ASSERT_TRUE(UnixStream::connect(path, &client).is_ok());
+    ASSERT_TRUE(client.write_line("hello").is_ok());
+    std::string line;
+    bool eof = false;
+    ASSERT_TRUE(client.read_line(&line, &eof).is_ok());
+    EXPECT_EQ(line, "world");
+    client.close();
+  });
+
+  std::string line;
+  bool eof = false;
+  ASSERT_TRUE(peer.read_line(&line, &eof).is_ok());
+  EXPECT_EQ(line, "hello");
+  EXPECT_FALSE(eof);
+  ASSERT_TRUE(peer.write_line("world").is_ok());
+
+  // The client closed after its read: next read is a clean EOF.
+  ASSERT_TRUE(peer.read_line(&line, &eof).is_ok());
+  EXPECT_TRUE(eof);
+  EXPECT_TRUE(line.empty());
+}
+
+TEST_F(SocketTest, WriteToVanishedPeerIsStatusNotSigpipe) {
+  // The satellite contract: a client that disconnects without reading
+  // must turn the server's writes into an error *value*.  If SIGPIPE
+  // leaked through, this test would not fail — it would kill the
+  // process.
+  UnixStream peer = accept_one([](const fs::path& path) {
+    UnixStream client;
+    ASSERT_TRUE(UnixStream::connect(path, &client).is_ok());
+    client.close();  // vanish before reading anything
+  });
+
+  // The first writes may land in the socket buffer; keep pushing until
+  // the broken pipe surfaces.  64 MiB is far past any kernel buffer.
+  const std::string chunk(std::size_t{1} << 20, 'x');
+  Status st = Status::ok();
+  for (int i = 0; i < 64 && st.is_ok(); ++i) st = peer.write_all(chunk);
+  EXPECT_FALSE(st.is_ok()) << "peer is gone; writes must fail eventually";
+}
+
+TEST_F(SocketTest, PeerKilledMidResponseSurfacesError) {
+  // Same contract one step later in the protocol: the client got part of
+  // a response, then died.  The remaining writes must fail cleanly.
+  UnixStream peer = accept_one([](const fs::path& path) {
+    UnixStream client;
+    ASSERT_TRUE(UnixStream::connect(path, &client).is_ok());
+    ASSERT_TRUE(client.write_line("req").is_ok());
+    std::string first;
+    bool eof = false;
+    ASSERT_TRUE(client.read_line(&first, &eof).is_ok());
+    EXPECT_EQ(first, "part-1");
+    client.close();  // die mid-response
+  });
+
+  std::string line;
+  bool eof = false;
+  ASSERT_TRUE(peer.read_line(&line, &eof).is_ok());
+  EXPECT_EQ(line, "req");
+  ASSERT_TRUE(peer.write_line("part-1").is_ok());
+
+  const std::string chunk(std::size_t{1} << 20, 'y');
+  Status st = Status::ok();
+  for (int i = 0; i < 64 && st.is_ok(); ++i) st = peer.write_all(chunk);
+  EXPECT_FALSE(st.is_ok());
+}
+
+TEST_F(SocketTest, OverlongLineIsOutOfRangeNotUnbounded) {
+  UnixStream peer = accept_one([](const fs::path& path) {
+    UnixStream client;
+    ASSERT_TRUE(UnixStream::connect(path, &client).is_ok());
+    ASSERT_TRUE(client.write_line(std::string(64, 'a')).is_ok());
+  });
+
+  std::string line;
+  bool eof = false;
+  const Status st = peer.read_line(&line, &eof, /*max_bytes=*/16);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange) << st.to_string();
+}
+
+TEST_F(SocketTest, PollAcceptTimesOutCleanly) {
+  UnixListener listener;
+  ASSERT_TRUE(UnixListener::bind_and_listen(path_, &listener).is_ok());
+  UnixStream peer;
+  bool accepted = true;
+  ASSERT_TRUE(listener.poll_accept(20, &peer, &accepted).is_ok());
+  EXPECT_FALSE(accepted);
+}
+
+TEST_F(SocketTest, RefusesToBindOverNonSocketFile) {
+  {
+    std::ofstream out(path_);
+    out << "precious data";
+  }
+  UnixListener listener;
+  EXPECT_FALSE(UnixListener::bind_and_listen(path_, &listener).is_ok());
+  EXPECT_TRUE(fs::exists(path_)) << "a non-socket file must never be removed";
+}
+
+TEST_F(SocketTest, ReplacesStaleSocketFile) {
+  // Simulate a crashed server: a bound socket whose process died without
+  // unlinking the path (our listener unlinks in close(), so build the
+  // stale file with raw calls).
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string p = path_.string();
+    ASSERT_LT(p.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd);  // no unlink: the stale file stays behind
+  }
+  ASSERT_TRUE(fs::exists(path_));
+
+  UnixListener listener;
+  ASSERT_TRUE(UnixListener::bind_and_listen(path_, &listener).is_ok());
+  UnixStream client;
+  EXPECT_TRUE(UnixStream::connect(path_, &client).is_ok());
+}
+
+TEST_F(SocketTest, ConnectToMissingPathIsError) {
+  UnixStream client;
+  EXPECT_FALSE(UnixStream::connect(path_, &client).is_ok());
+  EXPECT_FALSE(client.valid());
+}
+
+}  // namespace
+}  // namespace gtl

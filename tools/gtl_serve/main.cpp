@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -23,6 +24,7 @@
 #include "graphgen/synthetic_circuit.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -43,6 +45,16 @@ int main(int argc, char** argv) {
                 "\"overloaded\" (default 16)")
       .describe("max-resident-mb=N",
                 "design registry residency cap, LRU-evicted (default 512)")
+      .describe("hard-resident-mb=N",
+                "hard watermark: a single design above this is shed with "
+                "\"overloaded\" instead of evicting everything "
+                "(default 0 = off)")
+      .describe("retry-after-ms=N",
+                "backoff hint stamped on overloaded rejections "
+                "(default 1000)")
+      .describe("manifest=PATH",
+                "crash-safe design manifest: loads are recorded here and "
+                "replayed on restart (default none)")
       .describe("default-deadline-ms=N",
                 "deadline for run_finder requests that give none "
                 "(default 0 = unlimited)")
@@ -69,6 +81,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("queue-cap", 16));
   cfg.max_resident_bytes =
       static_cast<std::size_t>(args.get_int("max-resident-mb", 512)) << 20;
+  cfg.hard_resident_bytes =
+      static_cast<std::size_t>(args.get_int("hard-resident-mb", 0)) << 20;
+  cfg.retry_after_ms =
+      static_cast<std::uint64_t>(args.get_int("retry-after-ms", 1000));
+  cfg.manifest_path = args.get_string("manifest");
   cfg.default_deadline_ms =
       static_cast<std::uint64_t>(args.get_int("default-deadline-ms", 0));
   cfg.max_threads_per_query =
@@ -92,7 +109,42 @@ int main(int argc, char** argv) {
   }
   if (gtl::cli_error_exit(args)) return 2;
 
+  // Fault-injection schedules (GTL_FAILPOINTS / GTL_FAILPOINTS_FILE env)
+  // are applied before anything touches a failpoint site.  A schedule
+  // that does not parse is fatal — silently testing nothing is worse —
+  // and a schedule given to a binary without compiled-in sites gets a
+  // loud warning for the same reason.
+  if (const gtl::Status st = gtl::failpoint::configure_from_env();
+      !st.is_ok()) {
+    std::cerr << "gtl_serve: failpoint config: " << st.to_string() << "\n";
+    return 2;
+  }
+  if (!gtl::failpoint::compiled_in() &&
+      (std::getenv("GTL_FAILPOINTS") != nullptr ||
+       std::getenv("GTL_FAILPOINTS_FILE") != nullptr)) {
+    std::cerr << "gtl_serve: warning: failpoint schedule given but this "
+                 "binary was built without GTL_FAILPOINTS=ON; no faults "
+                 "will fire\n";
+  }
+
   gtl::serve::Server server(cfg);
+
+  if (!cfg.manifest_path.empty()) {
+    gtl::serve::Server::RecoveryReport report;
+    if (const gtl::Status st = server.recover_from_manifest(&report);
+        !st.is_ok()) {
+      // A corrupt manifest is degraded durability, not an outage.
+      std::cerr << "gtl_serve: manifest recovery failed: " << st.to_string()
+                << " (continuing with an empty design set)\n";
+    } else if (report.attempted != 0) {
+      std::cout << "gtl_serve: recovered " << report.recovered << "/"
+                << report.attempted << " designs from "
+                << cfg.manifest_path.string() << "\n";
+    }
+    for (const std::string& note : report.notes) {
+      std::cerr << "gtl_serve: manifest: " << note << "\n";
+    }
+  }
 
   if (!demo_design.empty()) {
     gtl::SyntheticCircuitConfig demo_cfg;
