@@ -86,7 +86,8 @@ int main(int argc, char** argv) {
       {std::max<std::uint32_t>(100, static_cast<std::uint32_t>(400 * f)), 2});
   Rng rng(31337);
   const PlantedGraph pg = generate_planted_graph(gcfg, rng);
-  std::cout << "workload: " << fmt_int(gcfg.num_cells) << " cells, 4 planted GTLs\n\n";
+  std::cout << "workload: " << fmt_int(gcfg.num_cells)
+            << " cells, 4 planted GTLs\n\n";
 
   FinderConfig base;
   base.num_seeds = static_cast<std::size_t>(arg_seeds);

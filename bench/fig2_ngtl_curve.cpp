@@ -47,8 +47,12 @@ int main(int argc, char** argv) {
   t.add_row({"planted GTL size", fmt_int(fx.gtl_size), "40,000"});
   t.add_row({"outside curve at small k", fmt_double(out_start, 2), "~0.3"});
   t.add_row({"outside curve plateau", fmt_double(out_end, 2), "~0.9"});
-  t.add_row({"outside curve min (no dip)", fmt_double(out_v, 2) + " @ k=" + fmt_int(static_cast<long long>(out_k)), "none (monotone rise)"});
-  t.add_row({"inside curve peak before dip", fmt_double(in_peak_before, 2), ">1.5"});
+  t.add_row({"outside curve min (no dip)",
+             fmt_double(out_v, 2) + " @ k=" +
+                 fmt_int(static_cast<long long>(out_k)),
+             "none (monotone rise)"});
+  t.add_row({"inside curve peak before dip", fmt_double(in_peak_before, 2),
+             ">1.5"});
   t.add_row({"inside curve min value", fmt_double(in_v, 3), "~0.1"});
   t.add_row({"inside curve min position", fmt_int(static_cast<long long>(in_k)),
              fmt_int(fx.gtl_size) + " (= GTL size)"});

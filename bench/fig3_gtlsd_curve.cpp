@@ -44,14 +44,20 @@ int main(int argc, char** argv) {
 
   Table t("Figure 3 (measured vs paper)");
   t.set_header({"quantity", "measured", "paper"});
-  t.add_row({"GTL-SD min (inside)", fmt_double(sd_v, 4) + " @ k=" + fmt_int(static_cast<long long>(sd_k)),
+  t.add_row({"GTL-SD min (inside)",
+             fmt_double(sd_v, 4) + " @ k=" +
+                 fmt_int(static_cast<long long>(sd_k)),
              "deep minimum at GTL size"});
-  t.add_row({"nGTL-S min (inside)", fmt_double(ng_v, 4) + " @ k=" + fmt_int(static_cast<long long>(ng_k)),
+  t.add_row({"nGTL-S min (inside)",
+             fmt_double(ng_v, 4) + " @ k=" +
+                 fmt_int(static_cast<long long>(ng_k)),
              "~0.1 at GTL size"});
   t.add_row({"GTL-SD dip contrast", fmt_double(sd_contrast, 1) + "x",
              "more dramatic than nGTL-S"});
   t.add_row({"nGTL-S dip contrast", fmt_double(ng_contrast, 1) + "x", "-"});
-  t.add_row({"outside GTL-SD min", fmt_double(out_v, 2) + " @ k=" + fmt_int(static_cast<long long>(out_k)),
+  t.add_row({"outside GTL-SD min",
+             fmt_double(out_v, 2) + " @ k=" +
+                 fmt_int(static_cast<long long>(out_k)),
              "no dip (flat curve)"});
   t.print(std::cout);
 

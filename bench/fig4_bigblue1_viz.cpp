@@ -131,8 +131,9 @@ int main(int argc, char** argv) {
     }
     const double bbox_share =
         (max_x - min_x) * (max_y - min_y) / die_area;
-    const double cell_share = static_cast<double>(groups[i].size()) /
-                              static_cast<double>(circuit.netlist.num_movable());
+    const double cell_share =
+        static_cast<double>(groups[i].size()) /
+        static_cast<double>(circuit.netlist.num_movable());
     // Crowding factor: a uniformly spread group of this cell share would
     // cover the whole die (share ~1); a clot covers ~its cell share.
     const double crowding = bbox_share > 1e-12 ? 1.0 / bbox_share : 1e12;

@@ -94,7 +94,8 @@ int main(int argc, char** argv) {
     inflate_set.insert(inflate_set.end(), g.cells.begin(), g.cells.end());
   }
   std::cout << "\nfinder: " << found.gtls.size() << " GTLs (" << strong
-            << " strong, " << fmt_int(static_cast<long long>(inflate_set.size()))
+            << " strong, "
+            << fmt_int(static_cast<long long>(inflate_set.size()))
             << " cells inflated 4x) in " << fmt_double(find_timer.seconds(), 1)
             << "s\n";
 
@@ -120,19 +121,22 @@ int main(int argc, char** argv) {
   t.add_row({"nets through >=100% tiles",
              fmt_int(static_cast<long long>(rep0.nets_through_full)),
              fmt_int(static_cast<long long>(rep1.nets_through_full)),
-             fmt_double(ratio(rep0.nets_through_full, rep1.nets_through_full), 1) + "x",
+             fmt_double(ratio(rep0.nets_through_full, rep1.nets_through_full),
+                        1) + "x",
              "179K -> 36K (5x)"});
   t.add_row({"nets through >=90% tiles",
              fmt_int(static_cast<long long>(rep0.nets_through_90)),
              fmt_int(static_cast<long long>(rep1.nets_through_90)),
-             fmt_double(ratio(rep0.nets_through_90, rep1.nets_through_90), 1) + "x",
+             fmt_double(ratio(rep0.nets_through_90, rep1.nets_through_90),
+                        1) + "x",
              "217K -> 113K (~2x)"});
   t.add_row({"avg congestion, worst-20% nets",
              fmt_percent(rep0.avg_congestion_worst20),
              fmt_percent(rep1.avg_congestion_worst20), "-", "136% -> 91%"});
   t.add_row({"peak tile utilization", fmt_percent(rep0.max_tile_utilization),
              fmt_percent(rep1.max_tile_utilization), "-", "-"});
-  t.add_row({"tiles at >=100%", fmt_int(static_cast<long long>(rep0.full_tiles)),
+  t.add_row({"tiles at >=100%",
+             fmt_int(static_cast<long long>(rep0.full_tiles)),
              fmt_int(static_cast<long long>(rep1.full_tiles)), "-", "-"});
   t.add_row({"total HPWL", fmt_double(before.hpwl, 0),
              fmt_double(after.hpwl, 0), "-", "grows (area cost)"});

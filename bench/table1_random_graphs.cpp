@@ -49,10 +49,14 @@ int main(int argc, char** argv) {
   const double f = size_factor(scale);
 
   const std::vector<Case> cases = {
-      {1, 10'000, {{500, 1}}, "1 GTL found, size 501, nGTL-S 0.1, miss 0%, over 0.2%"},
-      {2, 100'000, {{2'000, 1}, {15'000, 1}}, "2 GTLs, nGTL-S 0.017-0.025, miss <=0.03%, over <=0.5%"},
-      {3, 100'000, {{5'000, 1}}, "1 GTL, size 5008, nGTL-S 0.023, miss 0%, over 0.16%"},
-      {4, 800'000, {{40'000, 6}}, "6 GTLs, nGTL-S 0.0095-0.0191, miss <=0.14%, over <=0.28%"},
+      {1, 10'000, {{500, 1}},
+       "1 GTL found, size 501, nGTL-S 0.1, miss 0%, over 0.2%"},
+      {2, 100'000, {{2'000, 1}, {15'000, 1}},
+       "2 GTLs, nGTL-S 0.017-0.025, miss <=0.03%, over <=0.5%"},
+      {3, 100'000, {{5'000, 1}},
+       "1 GTL, size 5008, nGTL-S 0.023, miss 0%, over 0.16%"},
+      {4, 800'000, {{40'000, 6}},
+       "6 GTLs, nGTL-S 0.0095-0.0191, miss <=0.14%, over <=0.28%"},
   };
 
   Table t("Table 1 (measured)");
@@ -102,14 +106,16 @@ int main(int argc, char** argv) {
                  first_row ? std::to_string(res.gtls.size()) : "",
                  fmt_int(static_cast<long long>(g.size())),
                  fmt_double(g.ngtl_s, 4), fmt_double(g.gtl_sd, 4),
-                 fmt_percent(best.miss_fraction), fmt_percent(best.over_fraction)});
+                 fmt_percent(best.miss_fraction),
+                 fmt_percent(best.over_fraction)});
       first_row = false;
     }
     if (res.gtls.empty()) {
       t.add_row({std::to_string(c.id), fmt_int(gcfg.num_cells), synth,
                  std::to_string(fcfg.num_seeds), "0", "-", "-", "-", "-", "-"});
     }
-    std::cout << "case " << c.id << " done in " << fmt_double(timer.seconds(), 1)
+    std::cout << "case " << c.id << " done in "
+              << fmt_double(timer.seconds(), 1)
               << "s   [paper: " << c.paper_row << "]\n";
   }
 

@@ -29,12 +29,22 @@ struct PaperRow {
 };
 
 constexpr PaperRow kPaper[] = {
-    {"bigblue1", "6187/369/0.14/0.031; 1548/307/0.32/0.083; 3539/800/0.46/0.14", 72, 81},
-    {"bigblue2", "13888/397/0.107/0.045; 9602/560/0.196/0.111; 10776/1091/0.352/0.195", 93, 104},
-    {"bigblue3", "695/81/0.204/0.225; 297/76/0.354/0.202; 13005/2289/0.686/0.454", 112, 159},
-    {"adaptec1", "2628/124/0.128/0.083; 2616/136/0.141/0.093; 375/36/0.142/0.212", 78, 77},
-    {"adaptec2", "751/52/0.132/0.315; 3387/263/0.236/0.058; 618/123/0.358/0.435", 54, 114},
-    {"adaptec3", "896/31/0.065/0.058; 420/25/0.089/0.17; 960/67/0.134/0.126", 109, 142},
+    {"bigblue1",
+     "6187/369/0.14/0.031; 1548/307/0.32/0.083; 3539/800/0.46/0.14", 72, 81},
+    {"bigblue2",
+     "13888/397/0.107/0.045; 9602/560/0.196/0.111; 10776/1091/0.352/0.195", 93,
+     104},
+    {"bigblue3",
+     "695/81/0.204/0.225; 297/76/0.354/0.202; 13005/2289/0.686/0.454", 112,
+     159},
+    {"adaptec1",
+     "2628/124/0.128/0.083; 2616/136/0.141/0.093; 375/36/0.142/0.212", 78,
+     77},
+    {"adaptec2",
+     "751/52/0.132/0.315; 3387/263/0.236/0.058; 618/123/0.358/0.435", 54,
+     114},
+    {"adaptec3",
+     "896/31/0.065/0.058; 420/25/0.089/0.17; 960/67/0.134/0.126", 109, 142},
 };
 
 }  // namespace
@@ -128,7 +138,8 @@ int main(int argc, char** argv) {
          ++i) {
       const auto& g = res.gtls[i];
       t.add_row({i == 0 ? case_name : "",
-                 i == 0 ? fmt_int(static_cast<long long>(netlist.num_cells())) : "",
+                 i == 0 ? fmt_int(static_cast<long long>(netlist.num_cells()))
+                        : "",
                  i == 0 ? std::to_string(fcfg.num_seeds) : "",
                  i == 0 ? std::to_string(res.gtls.size()) : "",
                  "Structure " + std::to_string(i + 1),
@@ -138,7 +149,8 @@ int main(int argc, char** argv) {
                  i == 0 ? fmt_double(secs, 1) : ""});
     }
     if (res.gtls.empty()) {
-      t.add_row({case_name, fmt_int(static_cast<long long>(netlist.num_cells())),
+      t.add_row({case_name,
+                 fmt_int(static_cast<long long>(netlist.num_cells())),
                  std::to_string(fcfg.num_seeds), "0", "-", "-", "-", "-", "-",
                  fmt_double(secs, 1)});
     }

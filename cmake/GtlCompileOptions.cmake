@@ -40,6 +40,41 @@ endif()
 
 find_package(Threads REQUIRED)
 
+# clang-tidy as part of compilation (GTL_CLANG_TIDY=ON / `tidy` preset).
+# Attached per gtl target — never to third-party TUs (googletest,
+# benchmark) — via gtl_enable_clang_tidy().  Findings fail the build:
+# the tree carries a zero-warnings baseline (see .clang-tidy).  When a
+# Python 3 interpreter is available the invocation goes through
+# tools/tidy_cache.py, a ccache-style wrapper keyed on the compile
+# command + source/header/config hashes, so unchanged TUs replay
+# instantly on CI re-runs.
+if(GTL_CLANG_TIDY)
+  find_program(GTL_CLANG_TIDY_EXE
+               NAMES clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17
+                     clang-tidy-16 clang-tidy-15 clang-tidy-14)
+  if(NOT GTL_CLANG_TIDY_EXE)
+    message(FATAL_ERROR "GTL_CLANG_TIDY=ON but no clang-tidy in PATH")
+  endif()
+  set(_gtl_tidy_cmd "${GTL_CLANG_TIDY_EXE}")
+  find_package(Python3 COMPONENTS Interpreter QUIET)
+  if(Python3_Interpreter_FOUND)
+    set(_gtl_tidy_cmd
+        "${Python3_EXECUTABLE};${PROJECT_SOURCE_DIR}/tools/tidy_cache.py"
+        "--cache-dir;${CMAKE_BINARY_DIR}/tidy-cache"
+        "--root;${PROJECT_SOURCE_DIR}"
+        "--;${GTL_CLANG_TIDY_EXE}")
+  endif()
+  set(GTL_CLANG_TIDY_COMMAND "${_gtl_tidy_cmd}" CACHE INTERNAL
+      "clang-tidy launcher attached to gtl targets")
+endif()
+
+function(gtl_enable_clang_tidy target)
+  if(GTL_CLANG_TIDY)
+    set_target_properties(${target} PROPERTIES
+                          CXX_CLANG_TIDY "${GTL_CLANG_TIDY_COMMAND}")
+  endif()
+endfunction()
+
 # gtl_add_library(<name> SOURCES ... [DEPS ...])
 #
 # Defines STATIC library gtl_<name> with alias gtl::<name>, the shared
@@ -58,6 +93,7 @@ function(gtl_add_library name)
   target_link_libraries(gtl_${name}
     PUBLIC ${ARG_DEPS} Threads::Threads
     PRIVATE gtl::compile_options)
+  gtl_enable_clang_tidy(gtl_${name})
   set_property(GLOBAL APPEND PROPERTY GTL_INSTALL_TARGETS gtl_${name})
 endfunction()
 
@@ -67,6 +103,7 @@ function(gtl_add_executable name)
   add_executable(${name} ${ARG_SOURCES})
   target_link_libraries(${name}
     PRIVATE ${ARG_DEPS} gtl::compile_options)
+  gtl_enable_clang_tidy(${name})
   if(ARG_INSTALL_DIR)
     install(TARGETS ${name} RUNTIME DESTINATION ${ARG_INSTALL_DIR})
   endif()

@@ -142,7 +142,8 @@ int main(int argc, char** argv) {
   const double ng_full = ngtl_score(f_cut, f_n, ctx);
   const double ng_random = ngtl_score(r_cut, r_n, ctx);
   std::cout << "\nnGTL-S ranking: full(" << fmt_double(ng_full, 3)
-            << ") < sub-cluster(" << fmt_double(ng_small, 3) << ") << background("
+            << ") < sub-cluster(" << fmt_double(ng_small, 3)
+            << ") << background("
             << fmt_double(ng_random, 3)
             << ") — the whole structure wins, ordinary logic scores ~1.\n"
             << "ratio cut ranking would pick "

@@ -7,6 +7,7 @@
 #include "util/require.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+// gtl-lint: allow(det-wall-clock): timing metadata; zeroed in results
 #include "util/timer.hpp"
 
 namespace gtl {
@@ -14,7 +15,8 @@ namespace {
 
 /// Stable 64-bit mix for deriving per-index RNG streams.
 std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
-  std::uint64_t x = base ^ (0x9E3779B97F4A7C15ULL + index * 0xBF58476D1CE4E5B9ULL);
+  std::uint64_t x =
+      base ^ (0x9E3779B97F4A7C15ULL + index * 0xBF58476D1CE4E5B9ULL);
   x ^= x >> 30;
   x *= 0x94D049BB133111EBULL;
   x ^= x >> 27;
@@ -198,6 +200,7 @@ void Finder::dispatch_items(
 }
 
 const OrderingSet& Finder::grow_orderings() {
+  // gtl-lint: allow(det-wall-clock): timing metadata; zeroed in results
   Timer timer;
   // Fresh run: drop prior artifacts.
   stage_ = Stage::kIdle;
@@ -220,7 +223,8 @@ const OrderingSet& Finder::grow_orderings() {
       }
     } else {
       for (std::size_t i = 0; i < cfg_.num_seeds; ++i) {
-        orderings_.seeds.push_back(movable_[master.next_below(movable_.size())]);
+        orderings_.seeds.push_back(
+            movable_[master.next_below(movable_.size())]);
       }
     }
   }
@@ -249,6 +253,7 @@ const OrderingSet& Finder::grow_orderings() {
 const CandidateSet& Finder::extract_candidates() {
   GTL_REQUIRE(stage_ >= Stage::kGrown,
               "extract_candidates before grow_orderings");
+  // gtl-lint: allow(det-wall-clock): timing metadata; zeroed in results
   Timer timer;
   candidates_ = CandidateSet{};
   result_ = FinderResult{};
@@ -356,6 +361,7 @@ const CandidateSet& Finder::extract_candidates() {
 const FinderResult& Finder::refine_and_prune() {
   GTL_REQUIRE(stage_ >= Stage::kExtracted,
               "refine_and_prune before extract_candidates");
+  // gtl-lint: allow(det-wall-clock): timing metadata; zeroed in results
   Timer timer;
   result_ = FinderResult{};
   result_.context = candidates_.context;
@@ -427,6 +433,7 @@ const FinderResult& Finder::refine_and_prune() {
 }
 
 const FinderResult& Finder::run() {
+  // gtl-lint: allow(det-wall-clock): timing metadata; zeroed in results
   Timer total;
   grow_orderings();
   extract_candidates();

@@ -163,8 +163,9 @@ JsonValue candidate_to_json(const Candidate& c) {
 Status candidate_from_json(const JsonValue& json, Candidate* out) {
   ObjectReader r(json, "gtl");
   GTL_RETURN_IF_ERROR(r.require_object());
-  GTL_RETURN_IF_ERROR(r.read_with(
-      "cells", [&](const JsonValue& v) { return cells_from_json(v, &out->cells); }));
+  GTL_RETURN_IF_ERROR(r.read_with("cells", [&](const JsonValue& v) {
+    return cells_from_json(v, &out->cells);
+  }));
   GTL_RETURN_IF_ERROR(r.read_i64("cut", &out->cut));
   GTL_RETURN_IF_ERROR(r.read_double("avg_pins", &out->avg_pins));
   GTL_RETURN_IF_ERROR(r.read_double("ngtl_s", &out->ngtl_s));
@@ -197,7 +198,8 @@ JsonValue to_json(const FinderConfig& cfg) {
                 JsonValue(static_cast<std::uint64_t>(cfg.curve.rent_min_k)));
 
   JsonValue::Object obj;
-  obj.emplace("num_seeds", JsonValue(static_cast<std::uint64_t>(cfg.num_seeds)));
+  obj.emplace("num_seeds",
+              JsonValue(static_cast<std::uint64_t>(cfg.num_seeds)));
   obj.emplace("max_ordering_length",
               JsonValue(static_cast<std::uint64_t>(cfg.max_ordering_length)));
   obj.emplace("large_net_threshold", JsonValue(cfg.large_net_threshold));

@@ -61,7 +61,8 @@ SyntheticCircuitConfig ispd_like_config(const std::string& name,
   const std::uint32_t n_structs =
       std::clamp<std::uint32_t>(cfg.num_cells / 30'000 + 6, 6, 24);
   std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char ch : name) hash = (hash ^ static_cast<std::uint8_t>(ch)) * 0x100000001b3ULL;
+  for (const char ch : name)
+    hash = (hash ^ static_cast<std::uint8_t>(ch)) * 0x100000001b3ULL;
   for (std::uint32_t i = 0; i < n_structs; ++i) {
     StructureSpec spec;
     // Log-spaced ladder between 0.1% and 2.5% of |V| with a per-design

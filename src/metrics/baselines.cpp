@@ -205,7 +205,8 @@ DegreeSeparation degree_separation(const Netlist& nl,
       ++sep_count;
     }
   }
-  out.separation = sep_count == 0 ? 1.0 : sep_sum / static_cast<double>(sep_count);
+  out.separation =
+      sep_count == 0 ? 1.0 : sep_sum / static_cast<double>(sep_count);
   out.ds = out.separation > 0.0 ? out.degree / out.separation : out.degree;
   return out;
 }

@@ -39,8 +39,12 @@ class NetlistBuilder;
 /// Immutable netlist hypergraph. Construct via NetlistBuilder.
 class Netlist {
  public:
-  [[nodiscard]] std::size_t num_cells() const { return cell_net_offset_.size() - 1; }
-  [[nodiscard]] std::size_t num_nets() const { return net_pin_offset_.size() - 1; }
+  [[nodiscard]] std::size_t num_cells() const {
+    return cell_net_offset_.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_nets() const {
+    return net_pin_offset_.size() - 1;
+  }
   /// Total pin count = sum of net sizes (after per-net deduplication).
   [[nodiscard]] std::size_t num_pins() const { return net_pins_.size(); }
 

@@ -421,7 +421,8 @@ Status try_read_snapshot(const std::filesystem::path& path,
   expected += num_pins * 4;        // net_pins
   expected += num_cells * 8 * 2;   // widths + heights
   expected += num_cells;           // fixed flags
-  if ((flags & kFlagCellNames) != 0) expected += num_cells * 4 + cell_name_bytes;
+  if ((flags & kFlagCellNames) != 0)
+    expected += num_cells * 4 + cell_name_bytes;
   if ((flags & kFlagNetNames) != 0) expected += num_nets * 4 + net_name_bytes;
   if ((flags & kFlagPlacement) != 0) expected += num_cells * 8 * 2;
   expected += 8;  // checksum trailer

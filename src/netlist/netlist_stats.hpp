@@ -47,8 +47,8 @@ struct RentEstimate {
 /// at geometrically spaced sizes, and fitting ln T = ln A + p ln k.
 /// BFS regions approximate the "physical partitions" of classical Rent
 /// studies.  Deterministic given the Rng state.
-[[nodiscard]] RentEstimate estimate_rent_exponent(const Netlist& nl, Rng& rng,
-                                                  std::size_t samples = 32,
-                                                  std::size_t max_region = 4096);
+[[nodiscard]] RentEstimate estimate_rent_exponent(
+    const Netlist& nl, Rng& rng, std::size_t samples = 32,
+    std::size_t max_region = 4096);
 
 }  // namespace gtl

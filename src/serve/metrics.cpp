@@ -68,7 +68,8 @@ JsonValue ServerMetrics::to_json() const {
     d.emplace("deadline_exceeded", JsonValue(m.deadline_exceeded));
     d.emplace("sessions_created", JsonValue(m.sessions_created));
     d.emplace("sessions_reused", JsonValue(m.sessions_reused));
-    d.emplace("latency_window", JsonValue(static_cast<std::uint64_t>(p.window)));
+    d.emplace("latency_window",
+              JsonValue(static_cast<std::uint64_t>(p.window)));
     d.emplace("p50_ms", JsonValue(p.p50_seconds * 1e3));
     d.emplace("p95_ms", JsonValue(p.p95_seconds * 1e3));
     d.emplace("p99_ms", JsonValue(p.p99_seconds * 1e3));

@@ -483,7 +483,8 @@ void Server::execute_load(Job& job) {
   const Netlist& nl = info.entry->design.netlist;
   JsonValue::Object result;
   result.emplace("design", JsonValue(name));
-  result.emplace("cells", JsonValue(static_cast<std::uint64_t>(nl.num_cells())));
+  result.emplace("cells",
+                 JsonValue(static_cast<std::uint64_t>(nl.num_cells())));
   result.emplace("nets", JsonValue(static_cast<std::uint64_t>(nl.num_nets())));
   result.emplace("pins", JsonValue(static_cast<std::uint64_t>(nl.num_pins())));
   result.emplace("resident_bytes", JsonValue(static_cast<std::uint64_t>(

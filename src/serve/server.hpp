@@ -183,9 +183,9 @@ class Server {
   /// persist atomically.  No-op without a manifest path.  A failed write
   /// bumps manifest_write_failures and is returned for the caller's
   /// notes — availability beats durability, the op still succeeds.
-  Status manifest_apply(const std::string& record_name,
-                        const ManifestEntry* record,
-                        const std::vector<std::string>& forget);
+  [[nodiscard]] Status manifest_apply(const std::string& record_name,
+                                      const ManifestEntry* record,
+                                      const std::vector<std::string>& forget);
   void arm_deadline(std::chrono::steady_clock::time_point when,
                     const InFlightPtr& target);
   void finish_inflight(std::uint64_t id);

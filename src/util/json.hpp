@@ -28,7 +28,16 @@ class JsonValue {
   /// std::map keeps dump() output deterministically key-sorted.
   using Object = std::map<std::string, JsonValue>;
 
-  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+  enum class Kind {
+    kNull,
+    kBool,
+    kInt,
+    kUint,
+    kDouble,
+    kString,
+    kArray,
+    kObject
+  };
 
   JsonValue() : v_(nullptr) {}
   JsonValue(std::nullptr_t) : v_(nullptr) {}

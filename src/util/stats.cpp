@@ -17,7 +17,8 @@ double median(std::vector<double> xs) { return percentile(std::move(xs), 0.5); }
 
 double percentile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0.0;
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q not in [0,1]");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("percentile: q not in [0,1]");
   std::sort(xs.begin(), xs.end());
   const double pos = q * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -72,7 +73,8 @@ LineFit fit_power_law(std::span<const double> ks, std::span<const double> ts) {
       ly.push_back(std::log(ts[i]));
     }
   }
-  if (lx.size() < 2) throw std::invalid_argument("fit_power_law: need >= 2 positive points");
+  if (lx.size() < 2)
+    throw std::invalid_argument("fit_power_law: need >= 2 positive points");
   return fit_line(lx, ly);
 }
 

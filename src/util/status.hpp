@@ -37,7 +37,11 @@ enum class StatusCode {
   return "unknown";
 }
 
-class Status {
+// The class itself is [[nodiscard]]: ANY function returning a Status —
+// current or future, in any module — warns (and fails -Werror builds)
+// when the result is dropped.  Intentional drops must say so:
+//   (void)try_write_snapshot(...);  // best-effort cache fill
+class [[nodiscard]] Status {
  public:
   /// Default-constructed Status is OK.
   Status() = default;

@@ -95,7 +95,8 @@ std::string ascii_congestion(const CongestionMap& map, std::size_t cols,
       const std::size_t tx = c * map.tiles_x / cols;
       // Sample max utilization over the tile block this char covers.
       double u = 0.0;
-      const std::size_t ty_lo = map.tiles_y - 1 - ((r + 1) * map.tiles_y / rows - 1);
+      const std::size_t ty_lo =
+          map.tiles_y - 1 - ((r + 1) * map.tiles_y / rows - 1);
       for (std::size_t ty = std::min(ty_lo, ty_hi); ty <= ty_hi; ++ty) {
         const std::size_t tx_end =
             std::max(tx + 1, (c + 1) * map.tiles_x / cols);
@@ -129,7 +130,8 @@ std::string ascii_placement(const Netlist& nl, std::span<const double> x,
     return (rows - 1 - cy) * cols + cx;
   };
   for (CellId c = 0; c < nl.num_cells(); ++c) {
-    if (!nl.is_fixed(c)) marker[bin(x[c], y[c])] = std::max(marker[bin(x[c], y[c])], 1);
+    if (!nl.is_fixed(c))
+      marker[bin(x[c], y[c])] = std::max(marker[bin(x[c], y[c])], 1);
   }
   for (std::size_t g = 0; g < groups.size(); ++g) {
     for (const CellId c : groups[g]) {

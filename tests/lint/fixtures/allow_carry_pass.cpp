@@ -1,0 +1,6 @@
+// lint-fixture: path=src/order/fixture.cpp expect=none
+#include <cstdlib>
+
+// gtl-lint: allow(det-random): fixture exercises the carried scope
+
+int f() { return rand(); }

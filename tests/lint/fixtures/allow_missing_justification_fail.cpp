@@ -1,0 +1,4 @@
+// lint-fixture: path=src/metrics/fixture.cpp expect=lint-allow:4,det-random:4
+#include <cstdlib>
+
+int f() { return rand(); }  // gtl-lint: allow(det-random)

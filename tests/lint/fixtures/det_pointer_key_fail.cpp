@@ -1,0 +1,7 @@
+// lint-fixture: path=src/order/fixture.cpp expect=det-pointer-key:6,det-pointer-key:7
+#include <functional>
+#include <map>
+
+struct Cell;
+std::map<Cell*, int> by_ptr;
+using CellOrder = std::less<const Cell*>;

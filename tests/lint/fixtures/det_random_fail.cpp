@@ -1,0 +1,9 @@
+// lint-fixture: path=src/graphgen/fixture.cpp expect=det-random:6,det-random:7,det-random:8
+#include <cstdlib>
+#include <random>
+
+int f() {
+  std::random_device rd;
+  std::srand(rd());
+  return std::rand();
+}

@@ -1,0 +1,9 @@
+// lint-fixture: path=src/graphgen/fixture.cpp expect=none
+#include <algorithm>
+#include <random>
+#include <vector>
+
+void f(std::vector<int>& xs, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::shuffle(xs.begin(), xs.end(), gen);
+}

@@ -1,0 +1,13 @@
+// lint-fixture: path=src/finder/fixture.cpp expect=det-unordered-iter:8,det-unordered-iter:11
+#include <unordered_map>
+#include <vector>
+
+void f() {
+  std::unordered_map<int, int> seen;
+  seen[1] = 2;
+  for (const auto& kv : seen) {
+    (void)kv;
+  }
+  auto it = seen.begin();
+  (void)it;
+}

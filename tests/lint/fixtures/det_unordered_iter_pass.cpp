@@ -1,0 +1,14 @@
+// lint-fixture: path=src/metrics/fixture.cpp expect=none
+#include <unordered_set>
+#include <vector>
+
+int f(const std::vector<int>& xs) {
+  std::unordered_set<int> seen;
+  std::unordered_set<int> copy(xs.begin(), xs.end());
+  int hits = 0;
+  for (int x : xs) {
+    if (seen.count(x) != 0) ++hits;
+    seen.insert(x);
+  }
+  return hits + static_cast<int>(copy.size());
+}

@@ -1,0 +1,8 @@
+// lint-fixture: path=src/finder/fixture.cpp expect=none
+// gtl-lint: allow(det-wall-clock): timing metadata only; zeroed in results
+#include "util/timer.hpp"
+
+double f() {
+  gtl::Timer timer;  // gtl-lint: allow(det-wall-clock): metadata only
+  return timer.seconds();
+}

@@ -1,0 +1,10 @@
+// lint-fixture: path=src/finder/fixture.cpp expect=det-wall-clock:2,det-wall-clock:3,det-wall-clock:6,det-wall-clock:7
+#include "util/timer.hpp"
+#include <chrono>
+
+double f() {
+  gtl::Timer timer;
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return timer.seconds();
+}

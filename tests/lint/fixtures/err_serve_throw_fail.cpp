@@ -1,0 +1,4 @@
+// lint-fixture: path=src/serve/fixture.cpp expect=err-serve-throw:4
+#include <stdexcept>
+
+void f() { throw std::runtime_error("boom"); }

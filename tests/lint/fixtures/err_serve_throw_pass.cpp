@@ -1,0 +1,5 @@
+// lint-fixture: path=src/serve/fixture.cpp expect=none
+#include <string>
+
+// A comment mentioning throw is fine.
+std::string f() { return "error: throw reported upstream"; }

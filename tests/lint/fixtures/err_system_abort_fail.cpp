@@ -1,0 +1,8 @@
+// lint-fixture: path=src/util/fixture.cpp expect=err-system-abort:5,err-system-abort:6,err-system-abort:7
+#include <cstdlib>
+
+void f() {
+  std::system("ls");
+  std::abort();
+  std::exit(1);
+}

@@ -1,0 +1,5 @@
+// lint-fixture: path=src/util/fixture.cpp expect=none
+#include <string>
+
+void cli_help_exit(const std::string& s);
+void f() { cli_help_exit("x"); }

@@ -1,0 +1,4 @@
+// lint-fixture: path=src/netlist/fixture.cpp expect=layer-dep:2,layer-dep:3
+#include "finder/finder.hpp"
+#include "serve/protocol.hpp"
+#include "util/status.hpp"

@@ -1,0 +1,8 @@
+// lint-fixture: path=src/finder/fixture.cpp expect=none
+#include "finder/candidate.hpp"
+#include "metrics/scores.hpp"
+#include "netlist/netlist.hpp"
+#include "order/linear_ordering.hpp"
+#include "util/status.hpp"
+
+#include <vector>

@@ -1,0 +1,2 @@
+// lint-fixture: path=src/viz/fixture.cpp expect=layer-public-include:2
+#include "gtl/netlist.hpp"

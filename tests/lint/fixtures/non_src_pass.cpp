@@ -1,0 +1,4 @@
+// lint-fixture: path=tools/fixture.cpp expect=none
+#include <cstdlib>
+
+int f() { return rand(); }

@@ -1,0 +1,6 @@
+// lint-fixture: path=src/serve/fixture.cpp expect=none
+#include <string>
+
+std::string f() {
+  return R"json({"op": "throw system( abort( rand("})json";
+}

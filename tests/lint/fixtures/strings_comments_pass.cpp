@@ -1,0 +1,7 @@
+// lint-fixture: path=src/finder/fixture.cpp expect=none
+#include <string>
+
+// rand() and std::chrono in comments are not findings.
+std::string f() {
+  return "call rand() or std::random_device";  // and not in strings either
+}

@@ -1,0 +1,166 @@
+// Pins gtl_lint itself: every fixture under tests/lint/fixtures declares
+// on its first line where it pretends to live and exactly which findings
+// it must produce:
+//
+//   // lint-fixture: path=src/<module>/x.cpp expect=<rule>:<line>[,...]
+//   // lint-fixture: path=src/<module>/x.cpp expect=none
+//
+// A must-fail fixture that stops failing (or fails on the wrong line,
+// or with the wrong rule) breaks this suite — the linter's behaviour is
+// version-controlled next to the rules it enforces.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_core.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gtl::lint::Finding;
+using gtl::lint::lint_file;
+using gtl::lint::rule_names;
+
+struct Fixture {
+  std::string name;
+  std::string path;                                    // pretend repo path
+  std::multiset<std::pair<std::string, int>> expect;   // (rule, line)
+  std::string text;
+};
+
+std::vector<Fixture> load_fixtures() {
+  static const std::regex kHeader(
+      R"(^// lint-fixture: path=(\S+) expect=(\S+))");
+  std::vector<Fixture> fixtures;
+  for (const auto& entry : fs::directory_iterator(GTL_LINT_FIXTURE_DIR)) {
+    if (!entry.is_regular_file()) continue;
+    Fixture fx;
+    fx.name = entry.path().filename().string();
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fx.text = buf.str();
+    std::smatch m;
+    const std::string first_line = fx.text.substr(0, fx.text.find('\n'));
+    if (!std::regex_search(first_line, m, kHeader)) {
+      ADD_FAILURE() << fx.name << ": missing lint-fixture header";
+      continue;
+    }
+    fx.path = m[1].str();
+    const std::string expect = m[2].str();
+    if (expect != "none") {
+      std::stringstream ss(expect);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        const std::size_t colon = item.rfind(':');
+        if (colon == std::string::npos) {
+          ADD_FAILURE() << fx.name << ": bad expect item " << item;
+          continue;
+        }
+        fx.expect.emplace(item.substr(0, colon),
+                          std::stoi(item.substr(colon + 1)));
+      }
+    }
+    fixtures.push_back(std::move(fx));
+  }
+  EXPECT_GE(fixtures.size(), 15u) << "fixture corpus went missing?";
+  return fixtures;
+}
+
+std::string describe(const std::multiset<std::pair<std::string, int>>& set) {
+  std::string out;
+  for (const auto& [rule, line] : set) {
+    if (!out.empty()) out += ", ";
+    out += rule + ":" + std::to_string(line);
+  }
+  return out.empty() ? "none" : out;
+}
+
+TEST(GtlLintFixtures, EveryFixtureProducesExactlyItsDeclaredFindings) {
+  for (const Fixture& fx : load_fixtures()) {
+    const std::vector<Finding> findings = lint_file(fx.path, fx.text);
+    std::multiset<std::pair<std::string, int>> got;
+    for (const Finding& f : findings) {
+      EXPECT_EQ(f.file, fx.path) << fx.name;
+      EXPECT_FALSE(f.message.empty()) << fx.name << ": " << f.rule;
+      got.emplace(f.rule, f.line);
+    }
+    EXPECT_EQ(got, fx.expect)
+        << fx.name << ": expected {" << describe(fx.expect) << "}, got {"
+        << describe(got) << "}";
+  }
+}
+
+TEST(GtlLintFixtures, MustFailFixturesDoFail) {
+  // The naming convention is load-bearing for humans scanning the
+  // corpus: *_fail.cpp must produce findings, *_pass.cpp must not.
+  for (const Fixture& fx : load_fixtures()) {
+    if (fx.name.find("_fail.") != std::string::npos) {
+      EXPECT_FALSE(fx.expect.empty()) << fx.name;
+      EXPECT_FALSE(lint_file(fx.path, fx.text).empty()) << fx.name;
+    }
+    if (fx.name.find("_pass.") != std::string::npos) {
+      EXPECT_TRUE(fx.expect.empty()) << fx.name;
+      EXPECT_TRUE(lint_file(fx.path, fx.text).empty()) << fx.name;
+    }
+  }
+}
+
+TEST(GtlLint, RuleNamesAreUniqueAndStable) {
+  const std::vector<std::string>& names = rule_names();
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
+            names.size());
+  // Removing or renaming a rule silently orphans allow() comments in the
+  // tree; force that to be a conscious decision.
+  const std::set<std::string> expected = {
+      "det-unordered-iter", "det-random",           "det-wall-clock",
+      "det-pointer-key",    "layer-dep",            "layer-public-include",
+      "err-serve-throw",    "err-system-abort",
+  };
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
+}
+
+TEST(GtlLint, NonSourcePathsProduceNoFindings) {
+  const std::string bad = "int f() { return rand(); }\n";
+  EXPECT_TRUE(lint_file("tests/foo.cpp", bad).empty());
+  EXPECT_TRUE(lint_file("bench/foo.cpp", bad).empty());
+  EXPECT_TRUE(lint_file("src/", bad).empty());
+  EXPECT_TRUE(lint_file("src/nosuchmodule/foo.cpp", bad).empty());
+}
+
+TEST(GtlLint, LayerDagMatchesTheDocumentedArchitecture) {
+  const auto violates = [](const std::string& mod, const std::string& inc) {
+    const std::string text = "#include \"" + inc + "\"\n";
+    return !lint_file("src/" + mod + "/x.cpp", text).empty();
+  };
+  // Spine of the DAG: util -> netlist -> {order,metrics,graphgen,place}
+  // -> finder -> serve; viz hangs off place.
+  EXPECT_TRUE(violates("util", "netlist/netlist.hpp"));
+  EXPECT_TRUE(violates("netlist", "order/linear_ordering.hpp"));
+  EXPECT_TRUE(violates("order", "finder/finder.hpp"));
+  EXPECT_TRUE(violates("metrics", "finder/finder.hpp"));
+  EXPECT_TRUE(violates("graphgen", "metrics/scores.hpp"));
+  EXPECT_TRUE(violates("place", "viz/plots.hpp"));
+  EXPECT_TRUE(violates("finder", "serve/server.hpp"));
+  EXPECT_TRUE(violates("finder", "viz/plots.hpp"));
+  EXPECT_TRUE(violates("serve", "viz/plots.hpp"));
+
+  EXPECT_FALSE(violates("netlist", "util/status.hpp"));
+  EXPECT_FALSE(violates("metrics", "order/linear_ordering.hpp"));
+  EXPECT_FALSE(violates("viz", "place/congestion.hpp"));
+  EXPECT_FALSE(violates("finder", "metrics/scores.hpp"));
+  EXPECT_FALSE(violates("serve", "finder/finder.hpp"));
+  EXPECT_FALSE(violates("serve", "serve/protocol.hpp"));  // self
+  EXPECT_FALSE(violates("util", "util/status.hpp"));      // self
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Pins tools/tidy_cache.py against a stub clang-tidy.
+
+The stub appends one line to a counter file per real invocation and
+echoes a canned diagnostic, so the test can assert:
+
+  1. first call runs the tool; second identical call replays from cache
+     (identical stdout/exit, no new tool invocation),
+  2. editing the source file invalidates the entry,
+  3. editing an unrelated repo header invalidates the entry (the global
+     header hash is deliberately coarse),
+  4. a nonzero tool exit is replayed faithfully,
+  5. GTL_TIDY_CACHE_DISABLE=1 bypasses the cache,
+  6. missing `--` is a usage error (exit 3).
+
+Usage: tidy_cache_test.py <path-to-tidy_cache.py>
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+PASSES = 0
+
+
+def check(cond, what):
+    global PASSES
+    if not cond:
+        sys.exit(f"tidy_cache_test: FAIL: {what}")
+    PASSES += 1
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: tidy_cache_test.py <tidy_cache.py>")
+    wrapper = os.path.abspath(sys.argv[1])
+    check(os.path.isfile(wrapper), f"wrapper exists at {wrapper}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = os.path.join(tmp, "repo")
+        os.makedirs(os.path.join(root, "src", "util"))
+        cache = os.path.join(tmp, "cache")
+        counter = os.path.join(tmp, "count")
+        source = os.path.join(tmp, "file.cpp")
+        header = os.path.join(root, "src", "util", "a.hpp")
+        stub = os.path.join(tmp, "fake_tidy.py")
+
+        with open(source, "w") as f:
+            f.write("int x;\n")
+        with open(header, "w") as f:
+            f.write("#pragma once\n")
+        with open(os.path.join(root, ".clang-tidy"), "w") as f:
+            f.write("Checks: '-*'\n")
+        with open(stub, "w") as f:
+            f.write(
+                "import os, sys\n"
+                f"open({counter!r}, 'a').write('run\\n')\n"
+                "print('stub-finding: something')\n"
+                "sys.exit(int(os.environ.get('STUB_EXIT', '0')))\n"
+            )
+
+        def runs():
+            if not os.path.exists(counter):
+                return 0
+            with open(counter) as f:
+                return len(f.readlines())
+
+        def invoke(env_extra=None, args=None):
+            env = dict(os.environ)
+            if env_extra:
+                env.update(env_extra)
+            cmd = [sys.executable, wrapper] + (
+                args
+                if args is not None
+                else ["--cache-dir", cache, "--root", root, "--",
+                      sys.executable, stub, source, "--", "c++", "-c", source]
+            )
+            return subprocess.run(cmd, capture_output=True, text=True,
+                                  env=env)
+
+        # 1. miss then hit
+        r1 = invoke()
+        check(r1.returncode == 0, f"first run exits 0: {r1.stderr}")
+        check("stub-finding" in r1.stdout, "first run prints the diagnostic")
+        check(runs() == 1, "first run invoked the tool")
+        r2 = invoke()
+        check(r2.returncode == 0, "cache hit exits 0")
+        check(r2.stdout == r1.stdout, "cache hit replays stdout verbatim")
+        check(runs() == 1, "cache hit did not invoke the tool")
+
+        # 2. source edit invalidates
+        with open(source, "w") as f:
+            f.write("int y;\n")
+        invoke()
+        check(runs() == 2, "source edit causes a re-run")
+
+        # 3. unrelated repo header edit invalidates (coarse global hash)
+        with open(header, "w") as f:
+            f.write("#pragma once\nint z;\n")
+        invoke()
+        check(runs() == 3, "repo header edit causes a re-run")
+
+        # 4. nonzero exit is cached and replayed
+        with open(source, "w") as f:
+            f.write("int bad;\n")
+        r4 = invoke(env_extra={"STUB_EXIT": "7"})
+        check(r4.returncode == 7, "tool failure propagates")
+        check(runs() == 4, "failure ran the tool")
+        r5 = invoke(env_extra={"STUB_EXIT": "7"})
+        check(r5.returncode == 7, "cached failure replays its exit code")
+        check(runs() == 4, "cached failure did not re-run the tool")
+
+        # 5. disable switch bypasses the cache
+        invoke(env_extra={"GTL_TIDY_CACHE_DISABLE": "1"})
+        check(runs() == 5, "GTL_TIDY_CACHE_DISABLE=1 always runs the tool")
+
+        # 6. usage errors
+        r7 = invoke(args=["--cache-dir", cache, "--root", root])
+        check(r7.returncode == 3, "missing -- is a usage error")
+
+    print(f"tidy_cache_test: ok ({PASSES} checks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -51,7 +51,8 @@ class LineReader {
  public:
   explicit LineReader(const std::filesystem::path& path)
       : path_(path), in_(path) {
-    if (!in_) throw std::runtime_error("bookshelf: cannot open " + path.string());
+    if (!in_)
+      throw std::runtime_error("bookshelf: cannot open " + path.string());
   }
 
   std::vector<std::string> next() {

@@ -198,7 +198,8 @@ TEST_F(ManifestRecoveryTest, RestartRecoversAndAnswersIdentically) {
   const JsonValue* global = stats_result->find("global");
   ASSERT_NE(global, nullptr);
   std::uint64_t recovered = 0, hits = 0;
-  ASSERT_TRUE(global->find("designs_recovered")->get_uint64(&recovered).is_ok());
+  ASSERT_TRUE(
+      global->find("designs_recovered")->get_uint64(&recovered).is_ok());
   ASSERT_TRUE(global->find("snapshot_hits")->get_uint64(&hits).is_ok());
   EXPECT_EQ(recovered, 1u);
   EXPECT_EQ(hits, 1u);

@@ -122,7 +122,8 @@ TEST(Server, StatusAndStatsReflectPreload) {
   Server server(cfg);
   ASSERT_TRUE(server.preload("d", planted_design()).is_ok());
 
-  const JsonValue status = parse(server.handle_line(R"({"id":1,"op":"status"})"));
+  const JsonValue status =
+      parse(server.handle_line(R"({"id":1,"op":"status"})"));
   ASSERT_TRUE(response_status(status).is_ok());
   const JsonValue* designs = status.find("result")->find("designs");
   ASSERT_NE(designs, nullptr);

@@ -57,10 +57,12 @@ TEST(Stats, FitLineNoisyR2BelowOne) {
 }
 
 TEST(Stats, FitLineRejectsTooFewPoints) {
-  EXPECT_THROW((void)fit_line(std::vector<double>{1.0}, std::vector<double>{2.0}),
-               std::invalid_argument);
-  EXPECT_THROW((void)fit_line(std::vector<double>{1, 2}, std::vector<double>{1}),
-               std::invalid_argument);
+  EXPECT_THROW(
+      (void)fit_line(std::vector<double>{1.0}, std::vector<double>{2.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)fit_line(std::vector<double>{1, 2}, std::vector<double>{1}),
+      std::invalid_argument);
 }
 
 TEST(Stats, FitPowerLawRecoversRentExponent) {

@@ -46,7 +46,8 @@ TEST(ThreadPoolDeterminism, StreamsIndependentOfPoolReuse) {
     for (std::size_t i = 0; i < 64; ++i) streams.push_back(root.split());
     reused.resize(64);
     ThreadPool pool(4);
-    pool.parallel_for(32, [&](std::size_t i) { reused[i] = streams[i].next(); });
+    pool.parallel_for(32,
+                      [&](std::size_t i) { reused[i] = streams[i].next(); });
     pool.parallel_for(32, [&](std::size_t i) {
       reused[32 + i] = streams[32 + i].next();
     });

@@ -1,0 +1,131 @@
+// gtl_lint — command-line driver.  See lint_core.hpp for the rule set.
+//
+//   gtl_lint [--root=<repo-root>] [--list-rules] [--quiet] <path>...
+//
+// Each <path> is a file or a directory (recursed for *.hpp/*.cpp).
+// Findings print as "file:line: [rule] message".  Exit codes: 0 clean,
+// 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Repo-relative form of `path` under `root`; empty when outside it.
+std::string relative_to(const fs::path& root, const fs::path& path) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(fs::absolute(path), root, ec);
+  if (ec) return {};
+  const std::string s = rel.generic_string();
+  if (s.rfind("..", 0) == 0) return {};
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool quiet = false;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : gtl::lint::rule_names()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "gtl_lint: unknown option " << arg << "\n"
+                << "usage: gtl_lint [--root=<repo-root>] [--list-rules] "
+                   "[--quiet] <path>...\n";
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "gtl_lint: no inputs (try: gtl_lint --root=. src)\n";
+    return 2;
+  }
+  std::error_code ec;
+  root = fs::absolute(root, ec);
+  if (ec || !fs::is_directory(root)) {
+    std::cerr << "gtl_lint: --root is not a directory: " << root << "\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& input : inputs) {
+    if (fs::is_directory(input)) {
+      for (const auto& entry : fs::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(input)) {
+      files.push_back(input);
+    } else {
+      std::cerr << "gtl_lint: no such file or directory: " << input << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t findings = 0;
+  std::size_t checked = 0;
+  for (const fs::path& file : files) {
+    const std::string rel = relative_to(root, file);
+    if (rel.empty()) {
+      std::cerr << "gtl_lint: " << file << " is outside --root " << root
+                << "\n";
+      return 2;
+    }
+    std::string text;
+    if (!read_file(file, &text)) {
+      std::cerr << "gtl_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    ++checked;
+    for (const gtl::lint::Finding& f : gtl::lint::lint_file(rel, text)) {
+      ++findings;
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+  }
+  if (!quiet) {
+    std::cerr << "gtl_lint: " << checked << " files, " << findings
+              << " finding" << (findings == 1 ? "" : "s") << "\n";
+  }
+  return findings == 0 ? 0 : 1;
+}

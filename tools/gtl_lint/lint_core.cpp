@@ -1,0 +1,544 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+
+namespace gtl::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+constexpr std::array<std::string_view, 9> kModules = {
+    "util",  "netlist", "order",  "metrics", "graphgen",
+    "place", "viz",     "finder", "serve"};
+
+// Result-affecting modules: anything here feeds the byte-identical
+// finder-result contract.
+constexpr std::array<std::string_view, 4> kDetModules = {"finder", "order",
+                                                         "metrics", "graphgen"};
+
+// The documented target DAG, as "module -> modules it may include".
+// Self-includes are always allowed and omitted.
+const std::map<std::string_view, std::set<std::string_view>>& layer_deps() {
+  static const std::map<std::string_view, std::set<std::string_view>> deps = {
+      {"util", {}},
+      {"netlist", {"util"}},
+      {"order", {"util", "netlist"}},
+      {"metrics", {"util", "netlist", "order"}},
+      {"graphgen", {"util", "netlist"}},
+      {"place", {"util", "netlist"}},
+      {"viz", {"util", "netlist", "place"}},
+      {"finder", {"util", "netlist", "order", "metrics", "graphgen", "place"}},
+      {"serve",
+       {"util", "netlist", "order", "metrics", "graphgen", "place", "finder"}},
+  };
+  return deps;
+}
+
+std::string normalize(std::string_view path) {
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  while (p.rfind("./", 0) == 0) p.erase(0, 2);
+  return p;
+}
+
+/// "src/finder/finder.cpp" -> "finder"; "" when not a known src/ module.
+std::string_view module_of(std::string_view rel_path) {
+  constexpr std::string_view kSrc = "src/";
+  if (rel_path.substr(0, kSrc.size()) != kSrc) return {};
+  std::string_view rest = rel_path.substr(kSrc.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  std::string_view mod = rest.substr(0, slash);
+  for (std::string_view known : kModules) {
+    if (mod == known) return mod;
+  }
+  return {};
+}
+
+bool is_det_module(std::string_view mod) {
+  return std::find(kDetModules.begin(), kDetModules.end(), mod) !=
+         kDetModules.end();
+}
+
+// ---------------------------------------------------------------------------
+// Lexical scan: split each line into code / code-with-strings / comment
+// ---------------------------------------------------------------------------
+
+struct LineView {
+  std::string code;          ///< comments and literal contents blanked
+  std::string code_strings;  ///< comments blanked, string contents kept
+  std::string comment;       ///< concatenated comment text
+};
+
+/// Comment- and literal-aware line splitter.  String/char literal
+/// contents are blanked in `code` (quotes kept) so token rules cannot
+/// fire inside them; include paths survive in `code_strings`.
+std::vector<LineView> scan_lines(std::string_view text) {
+  enum class State { kNormal, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  std::vector<LineView> lines;
+  lines.emplace_back();
+  State state = State::kNormal;
+  std::string raw_delim;       // ")delim" terminator for raw strings
+  char prev_code_char = '\0';  // last non-blanked char, for R" / digit '
+
+  const auto code_push = [&](char c) {
+    lines.back().code.push_back(c);
+    lines.back().code_strings.push_back(c);
+    if (!std::isspace(static_cast<unsigned char>(c))) prev_code_char = c;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kNormal;
+      // Unterminated string/char literals cannot span lines.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kNormal;
+      }
+      lines.emplace_back();
+      prev_code_char = '\0';
+      continue;
+    }
+    switch (state) {
+      case State::kNormal:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          if (prev_code_char == 'R') {
+            // R"delim( ... )delim"
+            std::string delim = ")";
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(') delim += text[j++];
+            delim += '"';
+            raw_delim = delim;
+            state = State::kRawString;
+            code_push('"');
+            i = j;  // skip past '('
+          } else {
+            state = State::kString;
+            code_push('"');
+          }
+        } else if (c == '\'') {
+          const bool digit_separator =
+              std::isalnum(static_cast<unsigned char>(prev_code_char)) != 0 ||
+              prev_code_char == '_';
+          if (digit_separator) {
+            code_push(c);  // 1'000'000
+          } else {
+            state = State::kChar;
+            code_push('\'');
+          }
+        } else {
+          code_push(c);
+        }
+        break;
+      case State::kLineComment:
+        lines.back().comment.push_back(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kNormal;
+          ++i;
+        } else {
+          lines.back().comment.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          lines.back().code.push_back(' ');
+          lines.back().code_strings.push_back(c);
+          if (next != '\0' && next != '\n') {
+            lines.back().code.push_back(' ');
+            lines.back().code_strings.push_back(next);
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kNormal;
+          code_push('"');
+          prev_code_char = '\0';  // a closing quote never prefixes R"
+        } else {
+          lines.back().code.push_back(' ');
+          lines.back().code_strings.push_back(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          lines.back().code.push_back(' ');
+          lines.back().code_strings.push_back(' ');
+          if (next != '\0' && next != '\n') {
+            lines.back().code.push_back(' ');
+            lines.back().code_strings.push_back(' ');
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kNormal;
+          code_push('\'');
+          prev_code_char = '\0';
+        } else {
+          lines.back().code.push_back(' ');
+          lines.back().code_strings.push_back(' ');
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kNormal;
+          code_push('"');
+          prev_code_char = '\0';
+        } else {
+          lines.back().code.push_back(' ');
+          lines.back().code_strings.push_back(' ');
+          if (c == '\n') {  // unreachable: newline handled above
+            lines.emplace_back();
+          }
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// allow() escape hatch
+// ---------------------------------------------------------------------------
+
+struct AllowDirective {
+  std::set<std::string> rules;
+  bool malformed = false;
+  std::string error;
+};
+
+bool known_rule(const std::string& rule) {
+  const auto& names = rule_names();
+  return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+/// Parse "gtl-lint: allow(rule-a, rule-b): justification" out of a
+/// comment.  Returns true if the directive marker is present at all.
+bool parse_allow(const std::string& comment, AllowDirective* out) {
+  static const std::regex kDirective(
+      R"(gtl-lint:\s*allow\s*\(([^)]*)\)\s*(?::|--)?\s*(.*))");
+  std::smatch m;
+  if (!std::regex_search(comment, m, kDirective)) {
+    if (comment.find("gtl-lint") != std::string::npos) {
+      out->malformed = true;
+      out->error = "unrecognized gtl-lint directive (expected "
+                   "\"gtl-lint: allow(<rule>): <justification>\")";
+      return true;
+    }
+    return false;
+  }
+  // Split the rule list on commas / whitespace.
+  const std::string list = m[1].str();
+  std::string cur;
+  std::vector<std::string> rules;
+  for (const char c : list + ",") {
+    if (c == ',' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!cur.empty()) rules.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (rules.empty()) {
+    out->malformed = true;
+    out->error = "allow() names no rule";
+    return true;
+  }
+  for (const std::string& rule : rules) {
+    if (!known_rule(rule)) {
+      out->malformed = true;
+      out->error = "allow() names unknown rule \"" + rule + "\"";
+      return true;
+    }
+    out->rules.insert(rule);
+  }
+  const std::string justification = m[2].str();
+  const bool has_word = std::any_of(
+      justification.begin(), justification.end(), [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) != 0;
+      });
+  if (!has_word) {
+    out->malformed = true;
+    out->error = "allow(" + list + ") carries no justification";
+    return true;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct PatternRule {
+  const char* rule;
+  std::regex pattern;
+  const char* message;
+};
+
+const std::vector<PatternRule>& det_patterns() {
+  static const std::vector<PatternRule> rules = [] {
+    std::vector<PatternRule> r;
+    const auto add = [&r](const char* rule, const char* re, const char* msg) {
+      r.push_back({rule, std::regex(re, std::regex::optimize), msg});
+    };
+    add("det-random", R"(\b(?:std::)?s?rand\s*\()",
+        "rand()/srand() is nondeterministic across platforms; use the "
+        "seeded gtl::Rng streams");
+    add("det-random", R"(\bstd::random_device\b)",
+        "std::random_device draws entropy at runtime; results would differ "
+        "per run");
+    add("det-random", R"(\bstd::default_random_engine\b)",
+        "std::default_random_engine is implementation-defined; use the "
+        "seeded gtl::Rng streams");
+    add("det-random", R"(\bstd::random_shuffle\b)",
+        "std::random_shuffle is implementation-defined; use a seeded "
+        "std::shuffle");
+    add("det-wall-clock", R"(\bstd::chrono\b)",
+        "wall-clock reads make results depend on machine speed");
+    add("det-wall-clock", R"(\b(?:std::)?(?:time|clock)\s*\()",
+        "time()/clock() reads make results depend on machine speed");
+    add("det-wall-clock", R"(\b(?:clock_gettime|gettimeofday)\s*\()",
+        "wall-clock reads make results depend on machine speed");
+    add("det-wall-clock", R"(\bTimer\s+[A-Za-z_]\w*)",
+        "gtl::Timer reads the wall clock; timing must never feed a result "
+        "value");
+    add("det-pointer-key", R"(\bstd::(?:multi)?(?:map|set)\s*<[^<>,]*\*)",
+        "pointer-keyed ordered containers iterate in allocation order, "
+        "which differs across runs");
+    add("det-pointer-key", R"(\bstd::less<[^<>]*\*\s*>)",
+        "ordering by raw pointer value differs across runs");
+    return r;
+  }();
+  return rules;
+}
+
+const std::vector<PatternRule>& abort_patterns() {
+  static const std::vector<PatternRule> rules = [] {
+    std::vector<PatternRule> r;
+    const auto add = [&r](const char* rule, const char* re, const char* msg) {
+      r.push_back({rule, std::regex(re, std::regex::optimize), msg});
+    };
+    add("err-system-abort", R"(\b(?:std::)?system\s*\()",
+        "no shelling out from library code");
+    add("err-system-abort", R"(\b(?:std::)?(?:abort|_Exit|quick_exit)\s*\()",
+        "library code must surface errors as gtl::Status or GTL_REQUIRE, "
+        "never kill the process");
+    add("err-system-abort", R"(\b(?:std::)?exit\s*\()",
+        "std::exit() skips destructors; library code must return errors "
+        "instead");
+    return r;
+  }();
+  return rules;
+}
+
+/// Skip a balanced <...> starting at text[pos] == '<'; returns the index
+/// one past the closing '>', or npos when unbalanced on this line.
+std::size_t skip_angles(const std::string& text, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == '<') ++depth;
+    if (text[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Names of variables/members declared with an unordered container type
+/// anywhere in the file (declaration and use may be many lines apart, so
+/// this runs over the whole code text first).
+std::set<std::string> collect_unordered_names(
+    const std::vector<LineView>& lines) {
+  static const std::regex kDecl(
+      R"(\bstd::unordered_(?:map|set|multimap|multiset)\b)",
+      std::regex::optimize);
+  std::set<std::string> names;
+  for (const LineView& lv : lines) {
+    const std::string& code = lv.code;
+    for (std::sregex_iterator it(code.begin(), code.end(), kDecl), end;
+         it != end; ++it) {
+      std::size_t pos = static_cast<std::size_t>(it->position()) +
+                        static_cast<std::size_t>(it->length());
+      while (pos < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[pos])) != 0) {
+        ++pos;
+      }
+      if (pos >= code.size() || code[pos] != '<') continue;
+      pos = skip_angles(code, pos);
+      if (pos == std::string::npos) continue;
+      while (pos < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[pos])) != 0 ||
+              code[pos] == '&')) {
+        ++pos;
+      }
+      std::string name;
+      while (pos < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[pos])) != 0 ||
+              code[pos] == '_')) {
+        name.push_back(code[pos++]);
+      }
+      if (!name.empty()) names.insert(name);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> names = {
+      "det-unordered-iter", "det-random",           "det-wall-clock",
+      "det-pointer-key",    "layer-dep",            "layer-public-include",
+      "err-serve-throw",    "err-system-abort",
+  };
+  return names;
+}
+
+std::vector<Finding> lint_file(std::string_view rel_path,
+                               std::string_view text) {
+  const std::string path = normalize(rel_path);
+  const std::string_view mod = module_of(path);
+  std::vector<Finding> findings;
+  if (mod.empty()) return findings;  // only src/<module>/ files carry rules
+
+  const std::vector<LineView> lines = scan_lines(text);
+  const bool det = is_det_module(mod);
+  const std::set<std::string> unordered_names =
+      det ? collect_unordered_names(lines) : std::set<std::string>{};
+
+  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re",
+                                   std::regex::optimize);
+  static const std::regex kRangeFor(
+      R"(\bfor\s*\([^()]*:\s*([A-Za-z_]\w*)\s*\))", std::regex::optimize);
+  // Only begin() starts an iteration; `it != seen.end()` is the find()
+  // sentinel idiom and perfectly deterministic.
+  static const std::regex kBeginEnd(R"(\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\()",
+                                    std::regex::optimize);
+  static const std::regex kThrow(R"(\bthrow\b)", std::regex::optimize);
+  static const std::regex kClockInclude(
+      R"(^\s*#\s*include\s*<(?:chrono|ctime)>)", std::regex::optimize);
+
+  // Allow directives from comment-only lines carry to the next code line.
+  std::set<std::string> carried_allows;
+
+  for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+    const LineView& lv = lines[idx];
+    const int line_no = static_cast<int>(idx) + 1;
+    const bool has_code =
+        std::any_of(lv.code.begin(), lv.code.end(), [](char c) {
+          return std::isspace(static_cast<unsigned char>(c)) == 0;
+        });
+
+    std::set<std::string> allows = carried_allows;
+    AllowDirective directive;
+    if (!lv.comment.empty() && parse_allow(lv.comment, &directive)) {
+      if (directive.malformed) {
+        findings.push_back({path, line_no, "lint-allow", directive.error});
+      } else if (has_code) {
+        allows.insert(directive.rules.begin(), directive.rules.end());
+      } else {
+        carried_allows.insert(directive.rules.begin(), directive.rules.end());
+      }
+    }
+    if (has_code) carried_allows.clear();
+
+    const auto report = [&](const char* rule, std::string message) {
+      if (allows.count(rule) != 0) return;
+      findings.push_back({path, line_no, rule, std::move(message)});
+    };
+
+    // --- layering -------------------------------------------------------
+    std::smatch m;
+    if (std::regex_search(lv.code_strings, m, kInclude)) {
+      const std::string inc = m[1].str();
+      const std::size_t slash = inc.find('/');
+      const std::string inc_top =
+          slash == std::string::npos ? std::string() : inc.substr(0, slash);
+      if (inc_top == "gtl") {
+        report("layer-public-include",
+               "src/ must include internal headers, not the public "
+               "<gtl/...> wrappers (include \"" + inc + "\")");
+      } else if (!inc_top.empty()) {
+        for (std::string_view known : kModules) {
+          if (inc_top != known || inc_top == mod) continue;
+          const auto& allowed = layer_deps().at(mod);
+          if (allowed.count(inc_top) == 0) {
+            report("layer-dep",
+                   "src/" + std::string(mod) + " may not include \"" + inc +
+                       "\": " + inc_top + " is not below " + std::string(mod) +
+                       " in the target DAG");
+          }
+        }
+      }
+    }
+
+    // --- determinism ----------------------------------------------------
+    if (det) {
+      for (const PatternRule& pr : det_patterns()) {
+        if (std::regex_search(lv.code, pr.pattern)) {
+          report(pr.rule, pr.message);
+        }
+      }
+      if (lv.code_strings.find("util/timer.hpp") != std::string::npos &&
+          std::regex_search(lv.code_strings, kInclude)) {
+        report("det-wall-clock",
+               "util/timer.hpp wraps the wall clock; timing must never feed "
+               "a result value");
+      }
+      if (std::regex_search(lv.code_strings, kClockInclude)) {
+        report("det-wall-clock",
+               "<chrono>/<ctime> must not be included from result-affecting "
+               "modules");
+      }
+      if (!unordered_names.empty()) {
+        std::smatch um;
+        std::string rest = lv.code;
+        if (std::regex_search(rest, um, kRangeFor) &&
+            unordered_names.count(um[1].str()) != 0) {
+          report("det-unordered-iter",
+                 "range-for over unordered container \"" + um[1].str() +
+                     "\": bucket order is not deterministic");
+        }
+        for (std::sregex_iterator it(rest.begin(), rest.end(), kBeginEnd), end;
+             it != end; ++it) {
+          if (unordered_names.count((*it)[1].str()) != 0) {
+            report("det-unordered-iter",
+                   "begin() on unordered container \"" + (*it)[1].str() +
+                       "\": bucket order is not deterministic");
+            break;
+          }
+        }
+      }
+    }
+
+    // --- error handling -------------------------------------------------
+    if (mod == "serve" && std::regex_search(lv.code, kThrow)) {
+      report("err-serve-throw",
+             "src/serve request paths must report gtl::Status, never throw "
+             "(GTL_REQUIRE for programmer errors is fine)");
+    }
+    for (const PatternRule& pr : abort_patterns()) {
+      if (std::regex_search(lv.code, pr.pattern)) {
+        report(pr.rule, pr.message);
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace gtl::lint

@@ -1,0 +1,52 @@
+#pragma once
+// gtl_lint — repo-specific static contracts that clang-tidy cannot express.
+//
+// Three rule families, applied by repo-relative path (see README "Code
+// quality" for the rule table and rationale):
+//
+//   determinism  (src/finder, src/order, src/metrics, src/graphgen)
+//     det-unordered-iter   iteration over std::unordered_{map,set,...}
+//     det-random           rand()/srand()/std::random_device/...
+//     det-wall-clock       std::chrono / time() / Timer reads
+//     det-pointer-key      std::map/set keyed or ordered by pointers
+//
+//   layering  (all of src/)
+//     layer-dep            #include that violates the target DAG
+//     layer-public-include src/ including the public <gtl/...> wrappers
+//
+//   error handling
+//     err-serve-throw      `throw` in src/serve request paths
+//     err-system-abort     naked system()/abort()/exit() in src/
+//
+// Escape hatch: `// gtl-lint: allow(<rule>[, <rule>...]): <justification>`
+// suppresses a rule on its own line, or — when the comment stands alone —
+// on the next line of code.  The justification is mandatory; a malformed
+// directive is itself a finding (rule "lint-allow") and cannot be
+// suppressed.
+//
+// The checker is deliberately standalone (no gtl library or libclang
+// dependency): it lints the tree that builds the libraries, so it must
+// never be part of the layering it polices.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gtl::lint {
+
+struct Finding {
+  std::string file;  ///< repo-relative path as passed to lint_file()
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Every rule name the allow() escape hatch accepts.
+const std::vector<std::string>& rule_names();
+
+/// Lint `text` as the file at repo-relative `rel_path` (e.g.
+/// "src/finder/finder.cpp").  Paths outside src/ produce no findings.
+std::vector<Finding> lint_file(std::string_view rel_path,
+                               std::string_view text);
+
+}  // namespace gtl::lint

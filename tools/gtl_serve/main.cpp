@@ -155,7 +155,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     gtl::Rng rng;
-    gtl::SyntheticCircuit circuit = gtl::generate_synthetic_circuit(demo_cfg, rng);
+    gtl::SyntheticCircuit circuit =
+        gtl::generate_synthetic_circuit(demo_cfg, rng);
     gtl::BookshelfDesign design;
     design.netlist = std::move(circuit.netlist);
     design.x = std::move(circuit.hint_x);

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""ccache-style result cache for clang-tidy invocations.
+
+CMake (GTL_CLANG_TIDY=ON) prefixes every per-TU clang-tidy run with this
+wrapper:
+
+    tidy_cache.py --cache-dir DIR --root REPO -- clang-tidy <args...> \
+        <source> -- <full compile command...>
+
+The cache key is a SHA-256 over everything that can change a finding:
+
+  * the full clang-tidy argv (which embeds the TU's compile command,
+    i.e. exactly what compile_commands.json records for the file),
+  * the clang-tidy binary identity (path + mtime + size),
+  * the .clang-tidy configuration,
+  * the source file contents,
+  * every *.hpp / *.h under <root>/{src,include,tools} — one global
+    header hash, so a header edit invalidates the whole cache instead of
+    under-invalidating dependent TUs.
+
+On a hit the recorded stdout/stderr/exit status replay verbatim; on a
+miss clang-tidy runs and the result is stored (atomic rename, so
+concurrent build jobs never observe torn entries).  Corrupt or
+unreadable cache entries are treated as misses.  Set
+GTL_TIDY_CACHE_DISABLE=1 to bypass the cache entirely.
+
+Exit codes are clang-tidy's own; wrapper-usage errors exit 3.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def _usage(msg):
+    print(f"tidy_cache.py: {msg}", file=sys.stderr)
+    print(
+        "usage: tidy_cache.py --cache-dir DIR --root DIR -- "
+        "<clang-tidy> <args...>",
+        file=sys.stderr,
+    )
+    return 3
+
+
+def _hash_file(hasher, path):
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 16), b""):
+            hasher.update(chunk)
+
+
+def _global_header_hash(root):
+    """One hash over every repo header: coarse but never stale."""
+    hasher = hashlib.sha256()
+    for top in ("src", "include", "tools"):
+        top_dir = os.path.join(root, top)
+        if not os.path.isdir(top_dir):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_dir):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith((".hpp", ".h")):
+                    continue
+                path = os.path.join(dirpath, name)
+                hasher.update(os.path.relpath(path, root).encode())
+                _hash_file(hasher, path)
+    return hasher.hexdigest()
+
+
+def main(argv):
+    cache_dir = None
+    root = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--cache-dir" and i + 1 < len(argv):
+            cache_dir = argv[i + 1]
+            i += 2
+        elif arg == "--root" and i + 1 < len(argv):
+            root = argv[i + 1]
+            i += 2
+        elif arg == "--":
+            i += 1
+            break
+        else:
+            return _usage(f"unknown argument {arg!r}")
+    command = argv[i:]
+    if not command:
+        return _usage("no clang-tidy command after --")
+    if cache_dir is None or root is None:
+        return _usage("--cache-dir and --root are required")
+
+    if os.environ.get("GTL_TIDY_CACHE_DISABLE") == "1":
+        return subprocess.call(command)
+
+    hasher = hashlib.sha256()
+    hasher.update(json.dumps(command).encode())
+    tidy_bin = command[0]
+    try:
+        st = os.stat(tidy_bin)
+        hasher.update(f"{tidy_bin}:{st.st_mtime_ns}:{st.st_size}".encode())
+    except OSError:
+        pass  # resolved via PATH by subprocess; argv already in the key
+    config = os.path.join(root, ".clang-tidy")
+    if os.path.isfile(config):
+        _hash_file(hasher, config)
+    # Source files appear verbatim in the argv; hash their contents too.
+    for arg in command[1:]:
+        if arg.endswith((".cpp", ".cc", ".hpp", ".h")) and os.path.isfile(arg):
+            _hash_file(hasher, arg)
+    hasher.update(_global_header_hash(root).encode())
+    key = hasher.hexdigest()
+
+    entry = os.path.join(cache_dir, key[:2], key + ".json")
+    try:
+        with open(entry, "r", encoding="utf-8") as f:
+            record = json.load(f)
+        sys.stdout.write(record["stdout"])
+        sys.stderr.write(record["stderr"])
+        return int(record["exit"])
+    except (OSError, ValueError, KeyError):
+        pass  # miss
+
+    proc = subprocess.run(command, capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+
+    record = {"exit": proc.returncode, "stdout": proc.stdout,
+              "stderr": proc.stderr}
+    try:
+        os.makedirs(os.path.dirname(entry), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(entry))
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(record, f)
+        os.replace(tmp, entry)
+    except OSError:
+        pass  # a failed store is a future miss, never an error
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
