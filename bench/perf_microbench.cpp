@@ -20,6 +20,7 @@
 
 #include "finder/finder.hpp"
 #include "finder/refine.hpp"
+#include "finder/score_curve.hpp"
 #include "graphgen/planted_graph.hpp"
 #include "graphgen/presets.hpp"
 #include "metrics/baselines.hpp"
@@ -29,6 +30,7 @@
 #include "order/linear_ordering.hpp"
 #include "place/congestion.hpp"
 #include "place/linear_system.hpp"
+#include "place/quadratic_placer.hpp"
 #include "util/indexed_dary_heap.hpp"
 #include "util/rng.hpp"
 
@@ -374,6 +376,32 @@ void BM_ScoreCurve(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoreCurve)->UseRealTime()->Unit(benchmark::kMillisecond);
 
+/// The Phase II kernel in isolation: fused curve + clear-minimum
+/// extraction (the simd::bounded_scores enclosure fast path) over the
+/// same 40 pre-grown 10k-cell orderings, without finder bookkeeping.
+/// Items = prefixes scored per second.
+void BM_ScoreCurveBatch(benchmark::State& state) {
+  static Finder* finder = [] {
+    auto* f = new Finder(paper_scale_graph().netlist, paper_scale_config());
+    f->grow_orderings();
+    return f;
+  }();
+  const Netlist& nl = paper_scale_graph().netlist;
+  CurveScratch scratch;
+  std::size_t prefixes = 0;
+  for (auto _ : state) {
+    for (const LinearOrdering& ord : finder->orderings().orderings) {
+      const CurveExtremum ext = extract_curve_minimum(
+          nl, ord, CurveConfig{}, ScoreKind::kGtlSd, MinimumConfig{},
+          scratch);
+      benchmark::DoNotOptimize(ext.rent_exponent);
+      prefixes += ord.cells.size();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(prefixes));
+}
+BENCHMARK(BM_ScoreCurveBatch)->UseRealTime()->Unit(benchmark::kMillisecond);
+
 /// Phase III alone: genetic refinement + pruning of the extracted
 /// candidate set (inner re-growths, family set algebra, family scoring).
 void BM_RefinePhase(benchmark::State& state) {
@@ -469,7 +497,7 @@ void BM_ClusterScoreGtl(benchmark::State& state) {
     benchmark::DoNotOptimize(s.ngtl_s);
   }
 }
-BENCHMARK(BM_ClusterScoreGtl);
+BENCHMARK(BM_ClusterScoreGtl)->UseRealTime()->Unit(benchmark::kMicrosecond);
 
 void BM_ClusterScoreAdhesion(benchmark::State& state) {
   const PlantedGraph& pg = graph_of_size(8'000);
@@ -481,7 +509,8 @@ void BM_ClusterScoreAdhesion(benchmark::State& state) {
   }
   state.SetLabel("12-cell cluster only; quadratic in cluster size");
 }
-BENCHMARK(BM_ClusterScoreAdhesion)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClusterScoreAdhesion)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 /// On-disk design corpus for the I/O benchmarks: a quarter-scale named
 /// bigblue1 stand-in written once as Bookshelf text.  Parse throughput
@@ -598,6 +627,73 @@ void BM_PcgSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PcgSolve)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+/// CSR SpMV alone — the gather-heavy product dominating every PCG
+/// iteration — on the same 2D grid Laplacian shape BM_PcgSolve solves.
+/// Items = nonzeros streamed per second.
+void BM_SpMV(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = side * side;
+  SparseMatrix a(n);
+  std::size_t nnz = 0;
+  auto id = [side](std::size_t r, std::size_t c) { return r * side + c; };
+  const auto add = [&a, &nnz](std::size_t r, std::size_t c, double v) {
+    a.add(r, c, v);
+    ++nnz;
+  };
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      double d = 1e-6;
+      const std::size_t i = id(r, c);
+      if (r > 0) { add(i, id(r - 1, c), -1.0); d += 1.0; }
+      if (r + 1 < side) { add(i, id(r + 1, c), -1.0); d += 1.0; }
+      if (c > 0) { add(i, id(r, c - 1), -1.0); d += 1.0; }
+      if (c + 1 < side) { add(i, id(r, c + 1), -1.0); d += 1.0; }
+      add(i, i, d);
+    }
+  }
+  a.assemble();
+  Rng rng(17);
+  std::vector<double> x(n), y(n);
+  for (double& v : x) v = rng.next_double() * 2.0 - 1.0;
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(nnz));
+}
+BENCHMARK(BM_SpMV)->Arg(64)->Arg(160);
+
+/// The placer end to end: clique/star assembly, anchored PCG solves
+/// through the SIMD kernels, spreading rounds, legalization.  A padded
+/// synthetic circuit supplies the fixed anchors place_quadratic needs.
+void BM_PlacerSolve(benchmark::State& state) {
+  static const SyntheticCircuit* circuit = [] {
+    SyntheticCircuitConfig cfg;
+    cfg.num_cells = 12'000;
+    cfg.num_pads = 64;
+    StructureSpec s;
+    s.size = 600;
+    s.center_x = 0.5;
+    s.center_y = 0.7;
+    cfg.structures.push_back(s);
+    Rng rng(2029);
+    return new SyntheticCircuit(generate_synthetic_circuit(cfg, rng));
+  }();
+  PlacerConfig cfg;
+  cfg.die = {circuit->die_width, circuit->die_height, 1.0};
+  cfg.spreading_iterations = 6;
+  cfg.cg_max_iterations = 200;
+  cfg.cg_tolerance = 1e-5;
+  for (auto _ : state) {
+    const Placement p = place_quadratic(circuit->netlist, circuit->hint_x,
+                                        circuit->hint_y, cfg);
+    benchmark::DoNotOptimize(p.hpwl);
+  }
+}
+BENCHMARK(BM_PlacerSolve)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -46,9 +46,10 @@ import sys
 DEFAULT_FILTER = (
     "BM_OrderingGrow|BM_Frontier|BM_GroupConnectivity|BM_GroupAssignSmall|"
     "BM_RefineCandidate|BM_LargeNetThreshold|"
-    "BM_ScoreCurve|BM_RefinePhase|BM_FinderRun|"
+    "BM_ScoreCurve|BM_ScoreCurveBatch|BM_RefinePhase|BM_FinderRun|"
     "BM_FinderColdStart|BM_FinderReuse|"
-    "BM_BookshelfParse|BM_SnapshotLoad"
+    "BM_BookshelfParse|BM_SnapshotLoad|"
+    "BM_PlacerSolve|BM_SpMV"
 )
 
 # --compare flags any tracked benchmark slower than the last recorded run

@@ -67,9 +67,11 @@ std::optional<Candidate> extract_candidate(const Netlist& nl,
                                            const MinimumConfig& min_cfg,
                                            CurveScratch& scratch) {
   if (ordering.cells.size() < min_cfg.min_size) return std::nullopt;
-  const SelectedScoreCurve curve =
-      compute_selected_curve(nl, ordering, curve_cfg, kind, scratch);
-  const auto minimum = find_clear_minimum(curve.values, min_cfg);
+  // Fused fast path: bitwise identical to compute_selected_curve +
+  // find_clear_minimum (pinned by score_curve_equivalence_test).
+  const CurveExtremum curve =
+      extract_curve_minimum(nl, ordering, curve_cfg, kind, min_cfg, scratch);
+  const auto& minimum = curve.minimum;
   if (!minimum) return std::nullopt;
 
   const std::size_t k = minimum->prefix_size;
@@ -85,13 +87,13 @@ std::optional<Candidate> extract_candidate(const Netlist& nl,
   const auto cut = static_cast<double>(c.cut);
   const auto size = static_cast<double>(k);
   if (kind == ScoreKind::kNgtlS) {
-    c.ngtl_s = curve.values[k - 1];
+    c.ngtl_s = minimum->value;
     c.gtl_sd = gtl_sd_score(cut, size, c.avg_pins, curve.context);
   } else {
     c.ngtl_s = ngtl_score(cut, size, curve.context);
-    c.gtl_sd = curve.values[k - 1];
+    c.gtl_sd = minimum->value;
   }
-  c.score = curve.values[k - 1];
+  c.score = minimum->value;
   c.seed = ordering.seed;
   c.rent_exponent_used = curve.rent_exponent;
   return c;

@@ -277,13 +277,14 @@ const CandidateSet& Finder::extract_candidates() {
     if (!orderings_.completed[i]) return;
     const LinearOrdering& ordering = orderings_.orderings[i];
     if (ordering.cells.size() < 2) return;
-    // Only the selected Φ's curve is computed, into this worker's
-    // reusable scratch; values is bound once and serves both the
-    // minimum search and the score-at-k reads below.
-    const SelectedScoreCurve curve = compute_selected_curve(
-        *nl_, ordering, cfg_.curve, cfg_.score, scratch_[w].curve);
+    // Fused fast path into this worker's reusable scratch: rent estimate
+    // plus clear minimum, bitwise identical to compute_selected_curve +
+    // find_clear_minimum but touching libm only on ambiguous prefixes.
+    const CurveExtremum curve = extract_curve_minimum(
+        *nl_, ordering, cfg_.curve, cfg_.score, cfg_.minimum,
+        scratch_[w].curve);
     rent_estimates[i] = curve.rent_exponent;
-    const auto minimum = find_clear_minimum(curve.values, cfg_.minimum);
+    const auto& minimum = curve.minimum;
     if (!minimum) return;
     const std::size_t k = minimum->prefix_size;
     Candidate c;
@@ -298,13 +299,13 @@ const CandidateSet& Finder::extract_candidates() {
     const auto cut = static_cast<double>(c.cut);
     const auto size = static_cast<double>(k);
     if (cfg_.score == ScoreKind::kNgtlS) {
-      c.ngtl_s = curve.values[k - 1];
+      c.ngtl_s = minimum->value;
       c.gtl_sd = gtl_sd_score(cut, size, c.avg_pins, curve.context);
     } else {
       c.ngtl_s = ngtl_score(cut, size, curve.context);
-      c.gtl_sd = curve.values[k - 1];
+      c.gtl_sd = minimum->value;
     }
-    c.score = curve.values[k - 1];
+    c.score = minimum->value;
     c.seed = orderings_.seeds[i];
     c.rent_exponent_used = curve.rent_exponent;
     raw[i] = std::move(c);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/require.hpp"
+#include "util/simd.hpp"
 
 namespace gtl {
 
@@ -54,6 +55,10 @@ namespace {
 /// prefix cut; larger cuts pay one live std::log.
 constexpr std::size_t kLogCutCap = 16'384;
 
+/// How many ambiguous prefixes the fused fast path re-evaluates exactly
+/// before falling back to a dense exact scan of the whole range.
+constexpr std::size_t kAmbiguousCap = 64;
+
 double memoized_log_cut(CurveScratch& scratch, std::int64_t cut) {
   if (cut >= 0 && static_cast<std::size_t>(cut) < kLogCutCap) {
     const auto c = static_cast<std::size_t>(cut);
@@ -72,6 +77,76 @@ double memoized_log_cut(CurveScratch& scratch, std::int64_t cut) {
   return std::log(std::max(static_cast<double>(cut), 1e-9));
 }
 
+void ensure_log_k(CurveScratch& scratch, std::size_t n) {
+  if (scratch.log_k.size() < n + 1) {
+    const std::size_t k0 = std::max<std::size_t>(scratch.log_k.size(), 1);
+    scratch.log_k.resize(n + 1);
+    for (std::size_t k = k0; k <= n; ++k) {
+      scratch.log_k[k] = std::log(static_cast<double>(k));
+    }
+  }
+}
+
+/// Rent pass shared by compute_selected_curve and extract_curve_minimum:
+/// the same k-order accumulation as compute_score_curve with ln k / ln T
+/// read from the memo tables and the per-prefix clamp evaluated by the
+/// rent_clamp kernel (same ops per element => same bits).  Requires
+/// scratch.a_c and scratch.log_k filled for [1, n].  Returns the clamped
+/// mean.
+double batched_rent_exponent(const LinearOrdering& ordering,
+                             const CurveConfig& cfg, CurveScratch& scratch,
+                             std::size_t n) {
+  const std::size_t start = std::max<std::size_t>(cfg.rent_min_k, 2);
+  if (start > n) return std::clamp(0.6, 0.1, 1.0);
+  const std::size_t m = n - start + 1;
+  scratch.rent_log_cut.resize(m);
+  scratch.rent_log_ac.resize(m);
+  scratch.rent_p.resize(m);
+  const double* a_c = scratch.a_c.data() + (start - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    scratch.rent_log_cut[i] =
+        memoized_log_cut(scratch, ordering.prefix_cut[start - 1 + i]);
+    // Guard lanes (a_c <= 0) never read log_ac; 0.0 keeps them defined.
+    scratch.rent_log_ac[i] = a_c[i] > 0.0 ? std::log(a_c[i]) : 0.0;
+  }
+  simd::rent_clamp(scratch.rent_log_cut.data(), scratch.rent_log_ac.data(),
+                   scratch.log_k.data() + start, a_c, m,
+                   scratch.rent_p.data());
+  double p_sum = 0.0;
+  for (std::size_t i = 0; i < m; ++i) p_sum += scratch.rent_p[i];
+  const double mean = p_sum / static_cast<double>(m);
+  return std::clamp(mean, 0.1, 1.0);
+}
+
+/// Fills scratch.expo and scratch.pow_denom so that the selected score is
+/// cutd[i] / pow_denom[i], replicating ngtl_score / gtl_sd_score
+/// operation-for-operation.  Requires scratch.a_c filled.
+void batched_denominators(ScoreKind kind, const ScoreContext& ctx,
+                          CurveScratch& scratch, std::size_t n) {
+  scratch.expo.resize(n);
+  scratch.pow_denom.resize(n);
+  const double a_g = ctx.avg_pins_per_cell;
+  const double p = ctx.rent_exponent;
+  if (kind == ScoreKind::kNgtlS) {
+    std::fill(scratch.expo.begin(), scratch.expo.end(), p);
+    for (std::size_t k = 1; k <= n; ++k) {
+      scratch.pow_denom[k - 1] = std::pow(static_cast<double>(k), p);
+    }
+    // ngtl_score divides by pow then by A_G; fold the second division
+    // into the denominator is NOT bit-safe, so callers divide twice.
+  } else {
+    // gtl_sd_score: exponent = p * (a_c / A_G); denom = A_G * pow.
+    simd::div_by_scalar(scratch.a_c.data(), n, a_g, scratch.expo.data());
+    simd::mul_by_scalar(scratch.expo.data(), n, p, scratch.expo.data());
+    for (std::size_t k = 1; k <= n; ++k) {
+      scratch.pow_denom[k - 1] =
+          std::pow(static_cast<double>(k), scratch.expo[k - 1]);
+    }
+    simd::mul_by_scalar(scratch.pow_denom.data(), n, a_g,
+                        scratch.pow_denom.data());
+  }
+}
+
 }  // namespace
 
 SelectedScoreCurve compute_selected_curve(const Netlist& nl,
@@ -88,51 +163,31 @@ SelectedScoreCurve compute_selected_curve(const Netlist& nl,
   SelectedScoreCurve out;
   out.context.avg_pins_per_cell = nl.average_pins_per_cell();
 
-  if (scratch.log_k.size() < n + 1) {
-    const std::size_t k0 = std::max<std::size_t>(scratch.log_k.size(), 1);
-    scratch.log_k.resize(n + 1);
-    for (std::size_t k = k0; k <= n; ++k) {
-      scratch.log_k[k] = std::log(static_cast<double>(k));
-    }
-  }
-
-  // Rent pass: the same k-order accumulation as compute_score_curve, with
-  // ln k and ln T read from the memo tables (same std::log call, same
-  // argument => same bits).
-  double p_sum = 0.0;
-  std::size_t p_count = 0;
-  for (std::size_t k = std::max<std::size_t>(cfg.rent_min_k, 2); k <= n; ++k) {
-    const std::int64_t cut = ordering.prefix_cut[k - 1];
-    const double a_c = static_cast<double>(ordering.prefix_pins[k - 1]) /
-                       static_cast<double>(k);
-    p_sum += group_rent_exponent_prelogged(memoized_log_cut(scratch, cut),
-                                           static_cast<double>(k), a_c,
-                                           scratch.log_k[k]);
-    ++p_count;
-  }
-  out.rent_exponent = p_count > 0 ? p_sum / static_cast<double>(p_count) : 0.6;
-  out.rent_exponent = std::clamp(out.rent_exponent, 0.1, 1.0);
+  ensure_log_k(scratch, n);
+  scratch.a_c.resize(n);
+  simd::pins_over_index(ordering.prefix_pins.data(), n, 1,
+                        scratch.a_c.data());
+  out.rent_exponent = batched_rent_exponent(ordering, cfg, scratch, n);
   out.context.rent_exponent = out.rent_exponent;
 
   // Score pass: only the curve the caller selects minima on (the other Φ
   // is needed at one k only — callers evaluate it point-wise).  This pass
   // cannot fuse with the rent pass above: it needs the final clamped mean.
   scratch.values.resize(n);
+  scratch.cutd.resize(n);
+  simd::cut_to_double(ordering.prefix_cut.data(), n, scratch.cutd.data());
+  batched_denominators(kind, out.context, scratch, n);
   if (kind == ScoreKind::kNgtlS) {
-    for (std::size_t k = 1; k <= n; ++k) {
-      scratch.values[k - 1] =
-          ngtl_score(static_cast<double>(ordering.prefix_cut[k - 1]),
-                     static_cast<double>(k), out.context);
-    }
+    // gtl = cut / pow(size, p); value = gtl / A_G — two divisions, same
+    // order as ngtl_score.
+    simd::div_elem(scratch.cutd.data(), scratch.pow_denom.data(), n,
+                   scratch.values.data());
+    simd::div_by_scalar(scratch.values.data(), n,
+                        out.context.avg_pins_per_cell,
+                        scratch.values.data());
   } else {
-    for (std::size_t k = 1; k <= n; ++k) {
-      const auto size = static_cast<double>(k);
-      const double a_c =
-          static_cast<double>(ordering.prefix_pins[k - 1]) / size;
-      scratch.values[k - 1] =
-          gtl_sd_score(static_cast<double>(ordering.prefix_cut[k - 1]), size,
-                       a_c, out.context);
-    }
+    simd::div_elem(scratch.cutd.data(), scratch.pow_denom.data(), n,
+                   scratch.values.data());
   }
   out.values = std::span<const double>(scratch.values.data(), n);
   return out;
@@ -149,13 +204,19 @@ std::optional<ClearMinimum> find_clear_minimum(std::span<const double> curve,
       std::floor(static_cast<double>(n) * (1.0 - cfg.edge_fraction)));
   if (last_valid < cfg.min_size) return std::nullopt;
 
+  // First-wins argmin over [min_size, last_valid]: the blocked min scan
+  // finds the value, the forward scan finds its first position (ties kept
+  // exactly as the sequential strict-< loop would).
+  const double* base = curve.data() + (cfg.min_size - 1);
+  const std::size_t count = last_valid - cfg.min_size + 1;
+  const double m = simd::min_value(base, count);
   std::size_t best_k = 0;
   double best_v = 0.0;
-  for (std::size_t k = cfg.min_size; k <= last_valid; ++k) {
-    const double v = curve[k - 1];
-    if (best_k == 0 || v < best_v) {
-      best_k = k;
-      best_v = v;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (base[i] == m) {
+      best_k = cfg.min_size + i;
+      best_v = base[i];
+      break;
     }
   }
   if (best_k == 0) return std::nullopt;
@@ -163,24 +224,168 @@ std::optional<ClearMinimum> find_clear_minimum(std::span<const double> curve,
 
   // Drop test: the curve must have risen well above the minimum earlier
   // (a monotone-rising background curve, Fig. 2, has no such drop).
-  double max_before = 0.0;
-  for (std::size_t k = cfg.min_size; k <= best_k; ++k) {
-    max_before = std::max(max_before, curve[k - 1]);
-  }
+  const double max_before =
+      std::max(0.0, simd::max_value(base, best_k - cfg.min_size + 1));
   if (max_before < cfg.drop_factor * std::max(best_v, 1e-12)) {
     return std::nullopt;
   }
   // Rise test: after absorbing the whole GTL, adding outside cells must
   // push the score back up (paper §3.1).  A curve still falling at its
   // end means the ordering ended inside a structure — no boundary found.
-  double max_after = 0.0;
-  for (std::size_t k = best_k; k <= n; ++k) {
-    max_after = std::max(max_after, curve[k - 1]);
-  }
+  const double max_after = std::max(
+      0.0, simd::max_value(curve.data() + (best_k - 1), n - best_k + 1));
   if (max_after < cfg.rise_factor * std::max(best_v, 1e-12)) {
     return std::nullopt;
   }
   return ClearMinimum{best_k, best_v};
+}
+
+CurveExtremum extract_curve_minimum(const Netlist& nl,
+                                    const LinearOrdering& ordering,
+                                    const CurveConfig& cfg, ScoreKind kind,
+                                    const MinimumConfig& min_cfg,
+                                    CurveScratch& scratch) {
+  GTL_REQUIRE(!ordering.cells.empty(), "ordering is empty");
+  const std::size_t n = ordering.cells.size();
+  GTL_REQUIRE(ordering.prefix_cut.size() == n &&
+                  ordering.prefix_pins.size() == n,
+              "ordering prefix arrays inconsistent");
+
+  CurveExtremum out;
+  out.context.avg_pins_per_cell = nl.average_pins_per_cell();
+  if (!(out.context.avg_pins_per_cell > 0.0)) {
+    // Degenerate netlist (no pins): scores are not finite and the
+    // enclosure argument below does not apply.  Take the exact path.
+    const SelectedScoreCurve sel =
+        compute_selected_curve(nl, ordering, cfg, kind, scratch);
+    out.rent_exponent = sel.rent_exponent;
+    out.context = sel.context;
+    out.minimum = find_clear_minimum(sel.values, min_cfg);
+    return out;
+  }
+
+  ensure_log_k(scratch, n);
+  scratch.a_c.resize(n);
+  simd::pins_over_index(ordering.prefix_pins.data(), n, 1,
+                        scratch.a_c.data());
+  out.rent_exponent = batched_rent_exponent(ordering, cfg, scratch, n);
+  out.context.rent_exponent = out.rent_exponent;
+
+  // Same domain guards as find_clear_minimum, decided before any score.
+  if (n < min_cfg.min_size || min_cfg.min_size == 0) return out;
+  const auto last_valid = static_cast<std::size_t>(
+      std::floor(static_cast<double>(n) * (1.0 - min_cfg.edge_fraction)));
+  if (last_valid < min_cfg.min_size) return out;
+
+  // Enclose every Φ(C_k) in [lo, hi] with the vectorized exp2 bound; the
+  // exact libm path below is only consulted where intervals overlap a
+  // decision.  kNgtlS uses a constant exponent p; kGtlSd uses
+  // p * (a_c / A_G) computed with the exact kernel ops (the bound needs
+  // only the value, not its rounding, but reusing the exact expo array
+  // costs nothing).
+  scratch.cutd.resize(n);
+  simd::cut_to_double(ordering.prefix_cut.data(), n, scratch.cutd.data());
+  scratch.expo.resize(n);
+  const double a_g = out.context.avg_pins_per_cell;
+  const double p = out.context.rent_exponent;
+  if (kind == ScoreKind::kNgtlS) {
+    std::fill(scratch.expo.begin(), scratch.expo.end(), p);
+  } else {
+    simd::div_by_scalar(scratch.a_c.data(), n, a_g, scratch.expo.data());
+    simd::mul_by_scalar(scratch.expo.data(), n, p, scratch.expo.data());
+  }
+  scratch.lo.resize(n);
+  scratch.hi.resize(n);
+  simd::bounded_scores(scratch.cutd.data(), scratch.expo.data(),
+                       scratch.log_k.data() + 1, n, a_g, scratch.lo.data(),
+                       scratch.hi.data());
+
+  // Exact Φ(C_k), bit-for-bit the compute_selected_curve value: same
+  // function, same operand bits (a_c and expo come from the same kernel
+  // ops).  cut == 0 shortcuts to +0.0 — the exponent is >= 0 so the
+  // denominator is >= A_G > 0 (possibly +inf), and 0/positive == +0.
+  const auto exact_at = [&](std::size_t k) {
+    const std::int64_t cut_i = ordering.prefix_cut[k - 1];
+    if (cut_i == 0) return 0.0;
+    const auto cut = static_cast<double>(cut_i);
+    const auto size = static_cast<double>(k);
+    return kind == ScoreKind::kNgtlS
+               ? ngtl_score(cut, size, out.context)
+               : gtl_sd_score(cut, size, scratch.a_c[k - 1], out.context);
+  };
+
+  // --- Minimum scan on [min_size, last_valid] -------------------------
+  // m = min(hi) bounds the true minimum from above; every k with
+  // lo[k] <= m could be (or tie) the first argmin, nothing else can.
+  // Evaluating those candidates exactly in ascending k reproduces the
+  // sequential strict-< scan: all minimum achievers are candidates, so
+  // the first exact achiever wins, and non-candidates are strictly
+  // greater than the minimum.
+  const double* lo = scratch.lo.data() + (min_cfg.min_size - 1);
+  const double* hi = scratch.hi.data() + (min_cfg.min_size - 1);
+  const std::size_t count = last_valid - min_cfg.min_size + 1;
+  const double m = simd::min_value(hi, count);
+  scratch.idx.resize(kAmbiguousCap);
+  std::size_t best_k = 0;
+  double best_v = 0.0;
+  const std::size_t got =
+      simd::collect_not_above(lo, count, m, scratch.idx.data(),
+                              kAmbiguousCap);
+  if (got > kAmbiguousCap) {
+    // Overly flat curve: bounds cannot separate candidates, run the
+    // reference scan densely.
+    for (std::size_t k = min_cfg.min_size; k <= last_valid; ++k) {
+      const double v = exact_at(k);
+      if (best_k == 0 || v < best_v) {
+        best_k = k;
+        best_v = v;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < got; ++i) {
+      const std::size_t k = min_cfg.min_size + scratch.idx[i];
+      const double v = exact_at(k);
+      if (best_k == 0 || v < best_v) {
+        best_k = k;
+        best_v = v;
+      }
+    }
+  }
+  if (best_k == 0) return out;
+  if (best_v >= min_cfg.accept_threshold) return out;
+
+  // --- Drop / rise tests ---------------------------------------------
+  // Each is an existence test "does some Φ in the range reach t?"
+  // (scores are >= 0, so the reference's max-against-0 seed cannot
+  // change the outcome).  Bounds decide all lanes with hi < t (no) or
+  // lo >= t (yes); ambiguous lanes re-evaluate exactly.
+  const auto range_reaches = [&](std::size_t ka, std::size_t kb, double t) {
+    const double* l = scratch.lo.data() + (ka - 1);
+    const double* h = scratch.hi.data() + (ka - 1);
+    const std::size_t c = kb - ka + 1;
+    if (!simd::any_not_below(h, c, t)) return false;
+    if (simd::any_not_below(l, c, t)) return true;
+    const std::size_t amb =
+        simd::collect_not_below(h, c, t, scratch.idx.data(), kAmbiguousCap);
+    if (amb > kAmbiguousCap) {
+      for (std::size_t k = ka; k <= kb; ++k) {
+        if (exact_at(k) >= t) return true;
+      }
+      return false;
+    }
+    for (std::size_t i = 0; i < amb; ++i) {
+      if (exact_at(ka + scratch.idx[i]) >= t) return true;
+    }
+    return false;
+  };
+
+  const double drop_at = min_cfg.drop_factor * std::max(best_v, 1e-12);
+  if (!range_reaches(min_cfg.min_size, best_k, drop_at)) return out;
+  const double rise_at = min_cfg.rise_factor * std::max(best_v, 1e-12);
+  if (!range_reaches(best_k, n, rise_at)) return out;
+
+  out.minimum = ClearMinimum{best_k, best_v};
+  return out;
 }
 
 }  // namespace gtl

@@ -15,6 +15,7 @@
 // ordering ran out of length before leaving the structure).
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -74,6 +75,21 @@ struct CurveScratch {
   /// std::log(1e-9), the T = 0 guard value.  Capped (large cuts fall back
   /// to a live std::log).
   std::vector<double> log_cut;
+  /// Batch buffers for the SIMD kernels (util/simd.hpp): per-prefix
+  /// average pins a_c(k), double(cut), pow exponents, pow/denominator
+  /// values, and the fused fast path's score enclosures.
+  std::vector<double> a_c;
+  std::vector<double> cutd;
+  std::vector<double> expo;
+  std::vector<double> pow_denom;
+  std::vector<double> lo;
+  std::vector<double> hi;
+  /// Rent-pass batch buffers over prefixes k >= max(rent_min_k, 2).
+  std::vector<double> rent_log_cut;
+  std::vector<double> rent_log_ac;
+  std::vector<double> rent_p;
+  /// Ambiguous-lane indices of the fused fast path.
+  std::vector<std::uint32_t> idx;
 };
 
 /// One score curve instead of three: the Φ the finder actually selects
@@ -117,8 +133,33 @@ struct ClearMinimum {
 
 /// Find the clear minimum of `curve` (one of ScoreCurve's value vectors
 /// or a SelectedScoreCurve's values), or nullopt if no prefix passes the
-/// three checks.
+/// three checks.  The curve must be NaN-free (every Φ is).
 [[nodiscard]] std::optional<ClearMinimum> find_clear_minimum(
     std::span<const double> curve, const MinimumConfig& cfg = {});
+
+/// Result of the fused curve + clear-minimum extraction fast path.
+struct CurveExtremum {
+  /// Identical bits to SelectedScoreCurve::rent_exponent.
+  double rent_exponent = 0.6;
+  /// A_G plus the rent estimate — what every score was computed with.
+  ScoreContext context;
+  /// Bitwise identical to
+  /// find_clear_minimum(compute_selected_curve(...).values, min_cfg).
+  std::optional<ClearMinimum> minimum;
+};
+
+/// Fused fast path for the finder's hot loop: equivalent to
+/// compute_selected_curve followed by find_clear_minimum, without fully
+/// materializing the exact curve.  A vectorized exp2 approximation
+/// (simd::bounded_scores) encloses every Φ(C_k) in a guaranteed
+/// [lo, hi] interval; the min scan and the drop/rise tests run on the
+/// enclosures and re-evaluate only the few ambiguous prefixes with the
+/// exact libm-backed score functions.  Every comparison that decides the
+/// result is therefore made on exact values, so the outcome — k*, its
+/// score bits, and the rent estimate — is identical to the slow path by
+/// construction (pinned by tests/finder/score_curve_equivalence_test).
+[[nodiscard]] CurveExtremum extract_curve_minimum(
+    const Netlist& nl, const LinearOrdering& ordering, const CurveConfig& cfg,
+    ScoreKind kind, const MinimumConfig& min_cfg, CurveScratch& scratch);
 
 }  // namespace gtl

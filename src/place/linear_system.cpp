@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/require.hpp"
+#include "util/simd.hpp"
 
 namespace gtl {
 
@@ -15,6 +17,9 @@ void SparseMatrix::add(std::size_t r, std::size_t c, double v) {
 
 void SparseMatrix::assemble() {
   GTL_REQUIRE(!assembled_, "matrix already assembled");
+  GTL_REQUIRE(n_ <= static_cast<std::size_t>(
+                        std::numeric_limits<std::int32_t>::max()),
+              "matrix dimension exceeds the 32-bit column-id limit");
   std::sort(triplets_.begin(), triplets_.end(),
             [](const Triplet& a, const Triplet& b) {
               return a.r != b.r ? a.r < b.r : a.c < b.c;
@@ -34,8 +39,12 @@ void SparseMatrix::assemble() {
         v += triplets_[i].v;
         ++i;
       }
-      if (v != 0.0) {
-        col_.push_back(c);
+      // Keep structurally-present diagonals even when their terms cancel
+      // to exactly zero: add_to_diagonal() re-weights anchors through
+      // diag_pos_ later, and dropping the entry would turn a legitimate
+      // zero-sum assembly into a hard abort there.
+      if (v != 0.0 || c == r) {
+        col_.push_back(static_cast<std::uint32_t>(c));
         val_.push_back(v);
       }
     }
@@ -70,13 +79,8 @@ void SparseMatrix::multiply(std::span<const double> x,
                             std::span<double> y) const {
   GTL_REQUIRE(assembled_, "assemble() first");
   GTL_REQUIRE(x.size() == n_ && y.size() == n_, "dimension mismatch");
-  for (std::size_t r = 0; r < n_; ++r) {
-    double s = 0.0;
-    for (std::size_t k = row_offset_[r]; k < row_offset_[r + 1]; ++k) {
-      s += val_[k] * x[col_[k]];
-    }
-    y[r] = s;
-  }
+  simd::spmv_csr(n_, row_offset_.data(), col_.data(), val_.data(), x.data(),
+                 y.data());
 }
 
 CgResult solve_pcg(const SparseMatrix& a, std::span<const double> b,
@@ -86,13 +90,7 @@ CgResult solve_pcg(const SparseMatrix& a, std::span<const double> b,
   GTL_REQUIRE(b.size() == n && x.size() == n, "dimension mismatch");
   CgResult out;
 
-  auto dot = [n](std::span<const double> u, std::span<const double> v) {
-    double s = 0.0;
-    for (std::size_t i = 0; i < n; ++i) s += u[i] * v[i];
-    return s;
-  };
-
-  const double b_norm = std::sqrt(dot(b, b));
+  const double b_norm = std::sqrt(simd::dot_blocked(b.data(), b.data(), n));
   if (b_norm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     out.converged = true;
@@ -101,21 +99,19 @@ CgResult solve_pcg(const SparseMatrix& a, std::span<const double> b,
 
   std::vector<double> r(n), z(n), p(n), ap(n);
   a.multiply(x, ap);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  simd::sub_elem(b.data(), ap.data(), n, r.data());
 
   const auto& diag = a.diagonal();
-  auto precondition = [&] {
-    for (std::size_t i = 0; i < n; ++i) {
-      z[i] = diag[i] > 1e-12 ? r[i] / diag[i] : r[i];
-    }
-  };
-
-  precondition();
+  // |diag| guard: spreading anchors can legitimately drive a diagonal
+  // negative mid-iteration; preconditioning with a wrong-signed or
+  // near-zero divisor must degrade to the identity, not amplify.
+  simd::jacobi_precondition(n, diag.data(), r.data(), z.data());
   p.assign(z.begin(), z.end());
-  double rz = dot(r, z);
+  double rz = simd::dot_blocked(r.data(), z.data(), n);
 
   for (std::size_t it = 0; it < max_iterations; ++it) {
-    const double res = std::sqrt(dot(r, r)) / b_norm;
+    const double res =
+        std::sqrt(simd::dot_blocked(r.data(), r.data(), n)) / b_norm;
     out.residual = res;
     out.iterations = it;
     if (res < tolerance) {
@@ -123,20 +119,17 @@ CgResult solve_pcg(const SparseMatrix& a, std::span<const double> b,
       return out;
     }
     a.multiply(p, ap);
-    const double pap = dot(p, ap);
+    const double pap = simd::dot_blocked(p.data(), ap.data(), n);
     if (pap <= 0.0) break;  // matrix not SPD on this subspace
     const double alpha = rz / pap;
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
-    }
-    precondition();
-    const double rz_new = dot(r, z);
+    simd::axpy2(n, alpha, p.data(), ap.data(), x.data(), r.data());
+    simd::jacobi_precondition(n, diag.data(), r.data(), z.data());
+    const double rz_new = simd::dot_blocked(r.data(), z.data(), n);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    simd::xpay(n, z.data(), beta, p.data());
   }
-  out.residual = std::sqrt(dot(r, r)) / b_norm;
+  out.residual = std::sqrt(simd::dot_blocked(r.data(), r.data(), n)) / b_norm;
   out.converged = out.residual < tolerance;
   return out;
 }

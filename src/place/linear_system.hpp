@@ -6,13 +6,16 @@
 // connection or anchor exists per connected component.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 namespace gtl {
 
 /// Compressed-sparse-row symmetric matrix built from (row, col, value)
-/// triplets; duplicate entries are summed.
+/// triplets; duplicate entries are summed.  Dimensions are capped at
+/// INT32_MAX so column ids fit the 32-bit gather lanes of the SIMD
+/// kernel layer (util/simd.hpp).
 class SparseMatrix {
  public:
   explicit SparseMatrix(std::size_t n) : n_(n) {}
@@ -47,7 +50,7 @@ class SparseMatrix {
   };
   std::vector<Triplet> triplets_;
   std::vector<std::size_t> row_offset_;
-  std::vector<std::size_t> col_;
+  std::vector<std::uint32_t> col_;
   std::vector<double> val_;
   std::vector<double> diag_;
   std::vector<std::size_t> diag_pos_;  // index into val_ per row, or npos

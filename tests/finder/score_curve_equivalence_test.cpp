@@ -301,6 +301,71 @@ TEST(ExtractEquivalence, ScratchOverloadMatchesReference) {
   }
 }
 
+TEST(ExtractEquivalence, FusedMinimumMatchesSlowPathBitwise) {
+  // extract_curve_minimum is the finder's fused fast path: its rent
+  // estimate, context, and (k*, Φ(k*)) must be bit-identical to the
+  // compute_selected_curve + find_clear_minimum composition on every
+  // ordering and under configs tuned to sit close to the decision
+  // boundaries (forcing the interval bounds into their exact-fallback
+  // branches).
+  const Workload w = make_workload(107, 4'000, 300, 1'200);
+  CurveScratch fast_scratch;
+  CurveScratch slow_scratch;
+  std::vector<MinimumConfig> configs = {
+      MinimumConfig{},
+      MinimumConfig{.min_size = 2, .edge_fraction = 0.0},
+      MinimumConfig{.min_size = 30,
+                    .accept_threshold = 1e9,
+                    .drop_factor = 1.0,
+                    .rise_factor = 1.0},
+      MinimumConfig{.drop_factor = 50.0},
+      MinimumConfig{.rise_factor = 50.0},
+      MinimumConfig{.min_size = 100'000},
+      MinimumConfig{.edge_fraction = 1.0},
+  };
+  for (const CurveConfig ccfg :
+       {CurveConfig{.rent_min_k = 10}, CurveConfig{.rent_min_k = 2}}) {
+    for (const ScoreKind kind : {ScoreKind::kGtlSd, ScoreKind::kNgtlS}) {
+      for (std::size_t oi = 0; oi < w.orderings.size(); ++oi) {
+        const LinearOrdering& ord = w.orderings[oi];
+        const SelectedScoreCurve sel = compute_selected_curve(
+            w.pg.netlist, ord, ccfg, kind, slow_scratch);
+        // Thresholds derived from the true minimum stress the ambiguous
+        // paths: the drop/rise existence tests then hinge on values the
+        // enclosures cannot separate.
+        std::vector<MinimumConfig> local = configs;
+        if (const auto base = find_clear_minimum(sel.values)) {
+          const double mb =
+              *std::max_element(sel.values.begin(),
+                                sel.values.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        base->prefix_size));
+          MinimumConfig tight;
+          tight.drop_factor = mb / std::max(base->value, 1e-12);
+          local.push_back(tight);
+        }
+        for (const MinimumConfig& mcfg : local) {
+          const auto want = find_clear_minimum(sel.values, mcfg);
+          const CurveExtremum got = extract_curve_minimum(
+              w.pg.netlist, ord, ccfg, kind, mcfg, fast_scratch);
+          EXPECT_EQ(got.rent_exponent, sel.rent_exponent) << "ordering " << oi;
+          EXPECT_EQ(got.context.rent_exponent, sel.context.rent_exponent);
+          EXPECT_EQ(got.context.avg_pins_per_cell,
+                    sel.context.avg_pins_per_cell);
+          ASSERT_EQ(got.minimum.has_value(), want.has_value())
+              << "ordering " << oi << " kind " << static_cast<int>(kind)
+              << " min_size " << mcfg.min_size;
+          if (want) {
+            EXPECT_EQ(got.minimum->prefix_size, want->prefix_size)
+                << "ordering " << oi;
+            EXPECT_EQ(got.minimum->value, want->value) << "ordering " << oi;
+          }
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // Refine equivalence
 // ---------------------------------------------------------------------

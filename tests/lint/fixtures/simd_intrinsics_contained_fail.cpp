@@ -1,0 +1,13 @@
+// lint-fixture: path=src/metrics/fixture.cpp expect=simd-intrinsics-contained:2,simd-intrinsics-contained:5,simd-intrinsics-contained:6,simd-intrinsics-contained:11
+#include <immintrin.h>
+
+double sum4(const double* v) {
+  __m256d acc = _mm256_loadu_pd(v);
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  (void)lo;
+  double out[4];
+  // Strings and comments never trip the rule: "_mm256_add_pd".
+  const char* label = "_mm256_add_pd";  // _mm_prefetch
+  _mm256_storeu_pd(out, acc);
+  return out[0] + (label != nullptr ? 0.0 : 1.0);
+}

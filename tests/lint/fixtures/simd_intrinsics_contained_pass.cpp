@@ -1,0 +1,10 @@
+// lint-fixture: path=src/util/simd_avx2.cpp expect=none
+#include <immintrin.h>
+
+// The SIMD kernel layer itself is the one place intrinsics belong.
+double sum4(const double* v) {
+  const __m256d acc = _mm256_loadu_pd(v);
+  double out[4];
+  _mm256_storeu_pd(out, acc);
+  return ((out[0] + out[1]) + (out[2] + out[3]));
+}

@@ -124,7 +124,7 @@ TEST(GtlLint, RuleNamesAreUniqueAndStable) {
   const std::set<std::string> expected = {
       "det-unordered-iter", "det-random",           "det-wall-clock",
       "det-pointer-key",    "layer-dep",            "layer-public-include",
-      "err-serve-throw",    "err-system-abort",
+      "err-serve-throw",    "err-system-abort",     "simd-intrinsics-contained",
   };
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
 }

@@ -1,0 +1,207 @@
+// Embedded-reference equivalence for the placer solver (the
+// ordering_frontier_equivalence pattern): the blocked-scalar PCG below
+// is the production solve_pcg transcribed verbatim onto the
+// simd::scalar_ref kernels.  Production must match it BITWISE — every
+// iterate, the final x, the iteration count — under whichever backend
+// this binary was built with.  In a GTL_SIMD=scalar build the comparison
+// is the identity; in an avx2 build it proves the vector port, and the
+// CI backend matrix runs both.
+
+#include "place/linear_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace gtl {
+namespace {
+
+// --- embedded reference: solve_pcg on scalar_ref kernels -----------------
+
+struct RefCsr {
+  std::size_t n = 0;
+  std::vector<std::size_t> row_offset;
+  std::vector<std::uint32_t> col;
+  std::vector<double> val;
+  std::vector<double> diag;
+};
+
+void ref_multiply(const RefCsr& a, const double* x, double* y) {
+  simd::scalar_ref::spmv_csr(a.n, a.row_offset.data(), a.col.data(),
+                             a.val.data(), x, y);
+}
+
+CgResult ref_solve_pcg(const RefCsr& a, std::span<const double> b,
+                       std::span<double> x, double tolerance,
+                       std::size_t max_iterations) {
+  namespace k = simd::scalar_ref;
+  const std::size_t n = a.n;
+  CgResult out;
+
+  const double b_norm = std::sqrt(k::dot_blocked(b.data(), b.data(), n));
+  if (b_norm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    out.converged = true;
+    return out;
+  }
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  ref_multiply(a, x.data(), ap.data());
+  k::sub_elem(b.data(), ap.data(), n, r.data());
+
+  k::jacobi_precondition(n, a.diag.data(), r.data(), z.data());
+  p.assign(z.begin(), z.end());
+  double rz = k::dot_blocked(r.data(), z.data(), n);
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    const double res =
+        std::sqrt(k::dot_blocked(r.data(), r.data(), n)) / b_norm;
+    out.residual = res;
+    out.iterations = it;
+    if (res < tolerance) {
+      out.converged = true;
+      return out;
+    }
+    ref_multiply(a, p.data(), ap.data());
+    const double pap = k::dot_blocked(p.data(), ap.data(), n);
+    if (pap <= 0.0) break;
+    const double alpha = rz / pap;
+    k::axpy2(n, alpha, p.data(), ap.data(), x.data(), r.data());
+    k::jacobi_precondition(n, a.diag.data(), r.data(), z.data());
+    const double rz_new = k::dot_blocked(r.data(), z.data(), n);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    k::xpay(n, z.data(), beta, p.data());
+  }
+  out.residual = std::sqrt(k::dot_blocked(r.data(), r.data(), n)) / b_norm;
+  out.converged = out.residual < tolerance;
+  return out;
+}
+
+// --- random SPD test systems ---------------------------------------------
+
+struct System {
+  SparseMatrix matrix;
+  RefCsr ref;
+  std::vector<double> b;
+};
+
+/// Random graph-Laplacian-plus-anchors system of dimension n — the shape
+/// quadratic placement assembles.  `anchor_every` rows get a diagonal
+/// anchor; 0 anchors leaves the matrix singular on purpose.
+System make_system(std::size_t n, std::uint64_t seed,
+                   std::size_t anchor_every) {
+  System s{SparseMatrix(n), {}, {}};
+  Rng rng(seed);
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    // ~3 random neighbors per row, symmetric.
+    for (int e = 0; e < 3; ++e) {
+      const auto j = static_cast<std::size_t>(rng.next_below(n));
+      if (j == i) continue;
+      const double w =
+          0.25 + static_cast<double>(rng.next_below(1000)) / 500.0;
+      dense[i][j] -= w;
+      dense[j][i] -= w;
+      dense[i][i] += w;
+      dense[j][j] += w;
+    }
+    if (anchor_every != 0 && i % anchor_every == 0) {
+      dense[i][i] += 1.0 + static_cast<double>(rng.next_below(100)) / 50.0;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (dense[i][j] != 0.0 || i == j) s.matrix.add(i, j, dense[i][j]);
+    }
+  }
+  s.matrix.assemble();
+
+  // Mirror CSR for the reference (same dense source, same layout rules).
+  s.ref.n = n;
+  s.ref.row_offset.assign(1, 0);
+  s.ref.diag.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (dense[i][j] != 0.0 || i == j) {
+        s.ref.col.push_back(static_cast<std::uint32_t>(j));
+        s.ref.val.push_back(dense[i][j]);
+        if (i == j) s.ref.diag[i] = dense[i][j];
+      }
+    }
+    s.ref.row_offset.push_back(s.ref.col.size());
+  }
+
+  s.b.resize(n);
+  for (double& v : s.b) {
+    v = static_cast<double>(rng.next_int(-500, 500)) / 100.0;
+  }
+  return s;
+}
+
+void expect_bitwise_equal(std::span<const double> got,
+                          std::span<const double> want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // memcmp, not ==: NaN payloads and signed zeros must agree too.
+    ASSERT_EQ(std::memcmp(&got[i], &want[i], sizeof(double)), 0)
+        << what << " diverges at " << i << ": " << got[i] << " vs "
+        << want[i];
+  }
+}
+
+TEST(PcgEquivalence, SpmvMatchesEmbeddedReferenceBitwise) {
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 31u, 64u, 97u}) {
+    const System s = make_system(n, 0xA0 + n, 4);
+    Rng rng(0xBEEF + n);
+    std::vector<double> x(n), got(n), want(n);
+    for (double& v : x) {
+      v = static_cast<double>(rng.next_int(-1000, 1000)) / 64.0;
+    }
+    s.matrix.multiply(x, got);
+    ref_multiply(s.ref, x.data(), want.data());
+    expect_bitwise_equal(got, want, "spmv");
+  }
+}
+
+TEST(PcgEquivalence, SolveMatchesEmbeddedReferenceBitwise) {
+  for (const std::size_t n : {1u, 2u, 5u, 16u, 33u, 100u}) {
+    const System s = make_system(n, 0xC0DE + n, 3);
+    std::vector<double> x_got(n, 0.0), x_want(n, 0.0);
+    const CgResult got = solve_pcg(s.matrix, s.b, x_got, 1e-9, 200);
+    const CgResult want = ref_solve_pcg(s.ref, s.b, x_want, 1e-9, 200);
+    EXPECT_EQ(got.iterations, want.iterations) << "n=" << n;
+    EXPECT_EQ(got.converged, want.converged) << "n=" << n;
+    ASSERT_EQ(std::memcmp(&got.residual, &want.residual, sizeof(double)), 0)
+        << "n=" << n;
+    expect_bitwise_equal(x_got, x_want, "pcg solution");
+  }
+}
+
+TEST(PcgEquivalence, WarmStartAndSingularSystemsStayBitwiseEqual) {
+  // No anchors: the Laplacian is singular; CG may stall or break on
+  // pap <= 0, and both implementations must do so identically.
+  for (const std::size_t n : {4u, 9u, 40u}) {
+    const System s = make_system(n, 0xD1CE + n, 0);
+    Rng rng(0xF00D + n);
+    std::vector<double> x_got(n), x_want(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_got[i] = static_cast<double>(rng.next_int(-100, 100)) / 8.0;
+      x_want[i] = x_got[i];
+    }
+    const CgResult got = solve_pcg(s.matrix, s.b, x_got, 1e-8, 64);
+    const CgResult want = ref_solve_pcg(s.ref, s.b, x_want, 1e-8, 64);
+    EXPECT_EQ(got.iterations, want.iterations) << "n=" << n;
+    EXPECT_EQ(got.converged, want.converged) << "n=" << n;
+    expect_bitwise_equal(x_got, x_want, "singular-system solution");
+  }
+}
+
+}  // namespace
+}  // namespace gtl

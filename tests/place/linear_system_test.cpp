@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace gtl {
@@ -27,6 +28,72 @@ TEST(SparseMatrix, DuplicateTripletsSum) {
   a.add(0, 0, 2.5);
   a.assemble();
   EXPECT_DOUBLE_EQ(a.diagonal()[0], 3.5);
+}
+
+TEST(SparseMatrix, CancelledDiagonalSurvivesAssembly) {
+  // Regression: terms that sum to exactly zero used to be dropped from
+  // the CSR arrays even on the diagonal, so a later add_to_diagonal —
+  // the anchor re-weighting path — aborted with "no diagonal entry".
+  SparseMatrix a(2);
+  a.add(0, 0, 3.0);
+  a.add(0, 0, -3.0);  // cancels structurally-present diagonal
+  a.add(1, 1, 1.0);
+  a.assemble();
+  EXPECT_DOUBLE_EQ(a.diagonal()[0], 0.0);
+  a.add_to_diagonal(0, 4.0);  // must not abort
+  EXPECT_DOUBLE_EQ(a.diagonal()[0], 4.0);
+  std::vector<double> x = {1.0, 2.0}, y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(SparseMatrix, CancelledOffDiagonalIsStillDropped) {
+  SparseMatrix a(2);
+  a.add(0, 0, 1.0);
+  a.add(1, 1, 1.0);
+  a.add(0, 1, 2.0);
+  a.add(0, 1, -2.0);
+  a.assemble();
+  // y = A x must ignore the cancelled off-diagonal entirely.
+  std::vector<double> x = {5.0, 7.0}, y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(SolvePcg, NegativeDiagonalDoesNotPoisonPreconditioner) {
+  // The Jacobi guard is on |diag|: a negative diagonal preconditions
+  // with its true (negative) value instead of falling into the
+  // tiny-positive branch that used to divide by it anyway.  The system
+  // [ -2 0; 0 4 ] x = b is symmetric (not SPD) but diagonal, so CG's
+  // first step already solves it exactly when preconditioning is sane.
+  SparseMatrix a(2);
+  a.add(0, 0, -2.0);
+  a.add(1, 1, 4.0);
+  a.assemble();
+  std::vector<double> b = {2.0, 8.0}, x(2, 0.0);
+  const CgResult res = solve_pcg(a, b, x, 1e-10, 50);
+  // With sane preconditioning z = D^{-1} r is the exact solution, so the
+  // very first CG step lands on it (pAp = 14 > 0 keeps the loop alive).
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(x[0], -1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(SolvePcg, ZeroDiagonalRowFallsBackToIdentityPreconditioning) {
+  // A structurally-present but cancelled diagonal row: |0| <= 1e-12, so
+  // z = r on that row instead of r / 0 = inf.
+  SparseMatrix a(2);
+  a.add(0, 0, 1.0);
+  a.add(0, 0, -1.0);
+  a.add(1, 1, 2.0);
+  a.assemble();
+  std::vector<double> b = {0.0, 4.0}, x(2, 0.0);
+  const CgResult res = solve_pcg(a, b, x, 1e-10, 50);
+  EXPECT_TRUE(std::isfinite(x[0]));
+  EXPECT_NEAR(x[1], 2.0, 1e-8);
+  EXPECT_TRUE(std::isfinite(res.residual));
 }
 
 TEST(SparseMatrix, AddAfterAssembleThrows) {

@@ -404,7 +404,7 @@ const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> names = {
       "det-unordered-iter", "det-random",           "det-wall-clock",
       "det-pointer-key",    "layer-dep",            "layer-public-include",
-      "err-serve-throw",    "err-system-abort",
+      "err-serve-throw",    "err-system-abort",     "simd-intrinsics-contained",
   };
   return names;
 }
@@ -432,6 +432,15 @@ std::vector<Finding> lint_file(std::string_view rel_path,
   static const std::regex kThrow(R"(\bthrow\b)", std::regex::optimize);
   static const std::regex kClockInclude(
       R"(^\s*#\s*include\s*<(?:chrono|ctime)>)", std::regex::optimize);
+  // SIMD containment: intrinsic headers and raw _mm*/__m256 tokens stay
+  // inside src/util/simd* — everywhere else goes through gtl::simd's
+  // kernel API, so the scalar/AVX2 backend switch covers the whole tree.
+  static const std::regex kIntrinInclude(
+      R"(^\s*#\s*include\s*<(?:\w*intrin\.h|arm_neon\.h|arm_sve\.h)>)",
+      std::regex::optimize);
+  static const std::regex kIntrinToken(
+      R"(\b(?:_mm\d*_\w+|__m(?:128|256|512)[di]?)\b)", std::regex::optimize);
+  const bool simd_layer = path.rfind("src/util/simd", 0) == 0;
 
   // Allow directives from comment-only lines carry to the next code line.
   std::set<std::string> carried_allows;
@@ -523,6 +532,20 @@ std::vector<Finding> lint_file(std::string_view rel_path,
             break;
           }
         }
+      }
+    }
+
+    // --- SIMD containment -------------------------------------------------
+    if (!simd_layer) {
+      if (std::regex_search(lv.code_strings, kIntrinInclude)) {
+        report("simd-intrinsics-contained",
+               "intrinsic headers are confined to src/util/simd*; call the "
+               "gtl::simd kernel API so the scalar backend stays equivalent");
+      }
+      if (std::regex_search(lv.code, kIntrinToken)) {
+        report("simd-intrinsics-contained",
+               "raw vector intrinsics are confined to src/util/simd*; add a "
+               "kernel to gtl::simd (with a scalar_ref twin) instead");
       }
     }
 
