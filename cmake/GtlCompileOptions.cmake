@@ -8,6 +8,16 @@ set_target_properties(gtl_compile_options PROPERTIES
 
 if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
   target_compile_options(gtl_compile_options INTERFACE -Wall -Wextra)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    # Thread Safety Analysis over the capability-annotated sync layer
+    # (src/util/sync.hpp): guarded-field access without the lock,
+    # REQUIRES/EXCLUDES violations, double-acquire, and (via the beta
+    # set) ACQUIRED_BEFORE/AFTER lock-order violations all diagnose at
+    # compile time.  With GTL_WERROR (every CI leg) they fail the build;
+    # the lint job's gate-is-live smoke asserts the flags really bite.
+    target_compile_options(gtl_compile_options INTERFACE
+                           -Wthread-safety -Wthread-safety-beta)
+  endif()
   if(GTL_WERROR)
     target_compile_options(gtl_compile_options INTERFACE -Werror)
   endif()

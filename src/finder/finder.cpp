@@ -142,13 +142,13 @@ void Finder::notify_phase_start(FinderPhase phase, std::size_t work_items) {
   // cannot race with the per-item increments below.
   progress_counter_.store(0, std::memory_order_relaxed);
   if (observer_ == nullptr) return;
-  std::lock_guard<std::mutex> lk(observer_mu_);
+  MutexLock lk(observer_mu_);
   observer_->on_phase_start(phase, work_items);
 }
 
 void Finder::notify_phase_end(FinderPhase phase, double seconds) {
   if (observer_ == nullptr) return;
-  std::lock_guard<std::mutex> lk(observer_mu_);
+  MutexLock lk(observer_mu_);
   observer_->on_phase_end(phase, seconds);
 }
 
@@ -164,7 +164,7 @@ void Finder::notify_ordering_grown(std::size_t total) {
     progress_counter_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  std::lock_guard<std::mutex> lk(observer_mu_);
+  MutexLock lk(observer_mu_);
   const std::size_t done =
       progress_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   observer_->on_ordering_grown(done, total);
@@ -175,7 +175,7 @@ void Finder::notify_candidate_refined(std::size_t total) {
     progress_counter_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  std::lock_guard<std::mutex> lk(observer_mu_);
+  MutexLock lk(observer_mu_);
   const std::size_t done =
       progress_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   observer_->on_candidate_refined(done, total);
@@ -351,7 +351,7 @@ const CandidateSet& Finder::extract_candidates() {
   candidates_.seconds = timer.seconds();
   stage_ = Stage::kExtracted;
   if (observer_ != nullptr) {
-    std::lock_guard<std::mutex> lk(observer_mu_);
+    MutexLock lk(observer_mu_);
     observer_->on_candidates_extracted(candidates_.extracted,
                                        candidates_.candidates.size());
   }
@@ -426,7 +426,7 @@ const FinderResult& Finder::refine_and_prune() {
   result_.total_seconds = result_.phase1_2_seconds + result_.phase3_seconds;
   stage_ = Stage::kDone;
   if (observer_ != nullptr) {
-    std::lock_guard<std::mutex> lk(observer_mu_);
+    MutexLock lk(observer_mu_);
     observer_->on_pruned(result_.gtls.size(), refined_count);
   }
   notify_phase_end(FinderPhase::kRefineAndPrune, result_.phase3_seconds);

@@ -36,7 +36,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "finder/candidate.hpp"
@@ -45,6 +44,7 @@
 #include "netlist/netlist.hpp"
 #include "order/linear_ordering.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gtl {
@@ -234,10 +234,12 @@ class Finder {
   void dispatch_items(std::size_t n,
                       const std::function<void(std::size_t, std::size_t)>& fn);
 
-  void notify_phase_start(FinderPhase phase, std::size_t work_items);
-  void notify_phase_end(FinderPhase phase, double seconds);
-  void notify_ordering_grown(std::size_t total);
-  void notify_candidate_refined(std::size_t total);
+  void notify_phase_start(FinderPhase phase, std::size_t work_items)
+      GTL_EXCLUDES(observer_mu_);
+  void notify_phase_end(FinderPhase phase, double seconds)
+      GTL_EXCLUDES(observer_mu_);
+  void notify_ordering_grown(std::size_t total) GTL_EXCLUDES(observer_mu_);
+  void notify_candidate_refined(std::size_t total) GTL_EXCLUDES(observer_mu_);
 
   const Netlist* nl_;
   FinderConfig cfg_;
@@ -261,7 +263,10 @@ class Finder {
   // progress counter is atomic so the no-observer fast path never takes
   // the mutex; with an observer attached, count-and-callback happen
   // under the lock, keeping the delivered counts strictly increasing.
-  std::mutex observer_mu_;
+  // observer_mu_ is a serialization capability, not a data guard:
+  // observer_ itself is only written between runs (set_observer contract)
+  // and so carries no GTL_GUARDED_BY.
+  Mutex observer_mu_;
   std::atomic<std::size_t> progress_counter_{0};
 };
 

@@ -15,9 +15,11 @@
 //
 // Threading contract: observer callbacks may fire on Finder worker
 // threads but are serialized (never concurrent with each other), so an
-// observer needs no internal locking.  Callbacks must not re-enter the
-// Finder.  CancelToken is safe to trip from any thread, including from
-// inside an observer callback.
+// observer needs no internal locking.  The serialization is a
+// gtl::Mutex in the Finder (observer_mu_, see finder.hpp) under the
+// capability layer of util/sync.hpp.  Callbacks must not re-enter the
+// Finder.  CancelToken is all-atomic (release/acquire) and safe to trip
+// from any thread, including from inside an observer callback.
 
 #include <atomic>
 #include <cstddef>

@@ -4,7 +4,10 @@
 // flight — callers wanting concurrency open one Client per thread (as
 // bench/serve_load.py and the stress test do), which also keeps the
 // response-matching trivial: the next line on the stream answers the
-// last request, and the echoed id is verified anyway.
+// last request, and the echoed id is verified anyway.  Because of the
+// one-owner contract the class carries no gtl::Mutex and sits outside
+// the capability layer (util/sync.hpp) on purpose — adding a lock here
+// would only hide misuse the contract forbids.
 //
 // Every method maps a wire error onto the closest Status (see
 // protocol.hpp response_status): "overloaded" -> kUnavailable,

@@ -32,7 +32,7 @@ Status DesignRegistry::load(const std::string& name,
     return Status::invalid_argument("design name must not be empty");
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (entries_.count(name) != 0) {
       return Status::invalid_argument("design \"" + name +
                                       "\" is already loaded");
@@ -73,7 +73,7 @@ Status DesignRegistry::load(const std::string& name,
         std::to_string(hard_bytes_));
   }
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (entries_.count(name) != 0) {
     return Status::invalid_argument("design \"" + name +
                                     "\" is already loaded");
@@ -103,7 +103,7 @@ Status DesignRegistry::insert(const std::string& name, BookshelfDesign design,
         std::to_string(hard_bytes_));
   }
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (entries_.count(name) != 0) {
     return Status::invalid_argument("design \"" + name +
                                     "\" is already loaded");
@@ -133,7 +133,7 @@ std::vector<std::string> DesignRegistry::insert_locked(EntryPtr entry) {
 }
 
 DesignRegistry::EntryPtr DesignRegistry::find(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
@@ -141,7 +141,7 @@ DesignRegistry::EntryPtr DesignRegistry::find(const std::string& name) {
 }
 
 bool DesignRegistry::erase(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return false;
   total_bytes_ -= it->second.entry->resident_bytes;
@@ -151,7 +151,7 @@ bool DesignRegistry::erase(const std::string& name) {
 }
 
 std::vector<DesignRegistry::DesignInfo> DesignRegistry::list() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<DesignInfo> out;
   out.reserve(entries_.size());
   for (const std::string& name : lru_) {
@@ -168,12 +168,12 @@ std::vector<DesignRegistry::DesignInfo> DesignRegistry::list() const {
 }
 
 std::size_t DesignRegistry::total_resident_bytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return total_bytes_;
 }
 
 std::size_t DesignRegistry::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return entries_.size();
 }
 

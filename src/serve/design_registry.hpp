@@ -23,13 +23,13 @@
 #include <filesystem>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "netlist/bookshelf.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace gtl::serve {
 
@@ -72,18 +72,18 @@ class DesignRegistry {
   [[nodiscard]] Status load(const std::string& name,
                             const std::filesystem::path& aux,
                             const std::filesystem::path& snapshot,
-                            LoadInfo* info);
+                            LoadInfo* info) GTL_EXCLUDES(mu_);
 
   /// Register an already-built design (preload / demo / tests).
   [[nodiscard]] Status insert(const std::string& name, BookshelfDesign design,
-                              LoadInfo* info);
+                              LoadInfo* info) GTL_EXCLUDES(mu_);
 
   /// Look up by name; bumps the entry to most-recently-used.  Null when
   /// absent.
-  [[nodiscard]] EntryPtr find(const std::string& name);
+  [[nodiscard]] EntryPtr find(const std::string& name) GTL_EXCLUDES(mu_);
 
   /// Drop the registry's reference.  True if the name was present.
-  bool erase(const std::string& name);
+  bool erase(const std::string& name) GTL_EXCLUDES(mu_);
 
   struct DesignInfo {
     std::string name;
@@ -93,30 +93,32 @@ class DesignRegistry {
     std::size_t resident_bytes = 0;
   };
   /// Snapshot of the current entries, most recently used first.
-  [[nodiscard]] std::vector<DesignInfo> list() const;
+  [[nodiscard]] std::vector<DesignInfo> list() const GTL_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t total_resident_bytes() const;
+  [[nodiscard]] std::size_t total_resident_bytes() const GTL_EXCLUDES(mu_);
   [[nodiscard]] std::size_t max_resident_bytes() const { return max_bytes_; }
   [[nodiscard]] std::size_t hard_resident_bytes() const { return hard_bytes_; }
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const GTL_EXCLUDES(mu_);
 
  private:
   /// Register `entry`, evicting LRU entries until the total fits (the
   /// new entry itself is never evicted).  Returns names evicted.
-  std::vector<std::string> insert_locked(EntryPtr entry);
+  std::vector<std::string> insert_locked(EntryPtr entry) GTL_REQUIRES(mu_);
 
   struct Slot {
     EntryPtr entry;
     std::list<std::string>::iterator lru_pos;
   };
 
-  mutable std::mutex mu_;
-  std::size_t max_bytes_;
-  std::size_t hard_bytes_;
-  std::size_t total_bytes_ = 0;
+  mutable Mutex mu_;
+  // Watermarks are fixed at construction; only the guarded state below
+  // is shared.
+  const std::size_t max_bytes_;
+  const std::size_t hard_bytes_;
+  std::size_t total_bytes_ GTL_GUARDED_BY(mu_) = 0;
   /// Front = most recently used.
-  std::list<std::string> lru_;
-  std::unordered_map<std::string, Slot> entries_;
+  std::list<std::string> lru_ GTL_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Slot> entries_ GTL_GUARDED_BY(mu_);
 };
 
 /// Approximate heap bytes of a loaded design (netlist + placement +

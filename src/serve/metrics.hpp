@@ -6,7 +6,10 @@
 // computed only when stats is requested — the hot path pays one ring
 // store).  Counters are plain integers; the Server guards the whole
 // block with one mutex since every touch is O(1) and the finder run it
-// brackets is milliseconds at minimum.
+// brackets is milliseconds at minimum.  That guard is a compile-time
+// contract: the owning field is `Server::metrics_` with
+// GTL_GUARDED_BY(metrics_mu_) (rank 6, the leaf of the lock order — see
+// server.hpp), so under Clang any unlocked touch fails the build.
 
 #include <cstddef>
 #include <cstdint>
@@ -53,7 +56,8 @@ struct DesignMetrics {
   LatencyReservoir latency;
 };
 
-/// Whole-server metrics block (guard externally).
+/// Whole-server metrics block (guard externally — in the Server via
+/// GTL_GUARDED_BY(metrics_mu_)).
 struct ServerMetrics {
   std::uint64_t received = 0;           ///< request lines seen
   std::uint64_t rejected_invalid = 0;   ///< parse/validation rejections

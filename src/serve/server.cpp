@@ -34,11 +34,11 @@ Status Server::preload(const std::string& name, BookshelfDesign design) {
   DesignRegistry::LoadInfo info;
   GTL_RETURN_IF_ERROR(registry_.insert(name, std::move(design), &info));
   {
-    std::lock_guard<std::mutex> lk(pools_mu_);
+    MutexLock lk(pools_mu_);
     for (const std::string& evicted : info.evicted) pools_.erase(evicted);
   }
   (void)manifest_apply("", nullptr, info.evicted);
-  std::lock_guard<std::mutex> lk(metrics_mu_);
+  MutexLock lk(metrics_mu_);
   ++metrics_.designs_loaded;
   metrics_.designs_evicted += info.evicted.size();
   return Status::ok();
@@ -48,7 +48,7 @@ Status Server::manifest_apply(const std::string& record_name,
                               const ManifestEntry* record,
                               const std::vector<std::string>& forget) {
   if (cfg_.manifest_path.empty()) return Status::ok();
-  std::lock_guard<std::mutex> lk(manifest_mu_);
+  MutexLock lk(manifest_mu_);
   bool changed = false;
   for (const std::string& name : forget) {
     changed = manifest_.erase(name) != 0 || changed;
@@ -64,7 +64,7 @@ Status Server::manifest_apply(const std::string& record_name,
   // truth the next (hopefully successful) write will persist.
   const Status st = write_manifest_atomic(manifest_, cfg_.manifest_path);
   if (!st.is_ok()) {
-    std::lock_guard<std::mutex> mlk(metrics_mu_);
+    MutexLock mlk(metrics_mu_);
     ++metrics_.manifest_write_failures;
   }
   return st;
@@ -95,13 +95,13 @@ Status Server::recover_from_manifest(RecoveryReport* report) {
       continue;
     }
     {
-      std::lock_guard<std::mutex> lk(pools_mu_);
+      MutexLock lk(pools_mu_);
       for (const std::string& evicted : info.evicted) pools_.erase(evicted);
     }
     for (const std::string& evicted : info.evicted) survivors.erase(evicted);
     survivors[name] = entry;
     ++report->recovered;
-    std::lock_guard<std::mutex> lk(metrics_mu_);
+    MutexLock lk(metrics_mu_);
     ++metrics_.designs_loaded;
     ++metrics_.designs_recovered;
     if (info.snapshot_hit) ++metrics_.snapshot_hits;
@@ -109,12 +109,12 @@ Status Server::recover_from_manifest(RecoveryReport* report) {
     metrics_.designs_evicted += info.evicted.size();
   }
 
-  std::lock_guard<std::mutex> lk(manifest_mu_);
+  MutexLock lk(manifest_mu_);
   manifest_ = std::move(survivors);
   const Status st = write_manifest_atomic(manifest_, cfg_.manifest_path);
   if (!st.is_ok()) {
     {
-      std::lock_guard<std::mutex> mlk(metrics_mu_);
+      MutexLock mlk(metrics_mu_);
       ++metrics_.manifest_write_failures;
     }
     report->notes.push_back("warning: " + st.to_string());
@@ -124,7 +124,7 @@ Status Server::recover_from_manifest(RecoveryReport* report) {
 
 void Server::submit(std::string line, ResponseFn reply) {
   {
-    std::lock_guard<std::mutex> lk(metrics_mu_);
+    MutexLock lk(metrics_mu_);
     ++metrics_.received;
   }
 
@@ -134,7 +134,7 @@ void Server::submit(std::string line, ResponseFn reply) {
   if (const Status st = parse_request(line, &req, &code, &has_id);
       !st.is_ok()) {
     {
-      std::lock_guard<std::mutex> lk(metrics_mu_);
+      MutexLock lk(metrics_mu_);
       ++metrics_.rejected_invalid;
     }
     // The op is only trustworthy once field validation started.
@@ -157,7 +157,7 @@ void Server::submit(std::string line, ResponseFn reply) {
       failpoint::check("serve.admit", &fp) &&
       fp.kind == failpoint::Action::Kind::kFail) {
     {
-      std::lock_guard<std::mutex> lk(metrics_mu_);
+      MutexLock lk(metrics_mu_);
       ++metrics_.rejected_overload;
     }
     reply(error_line(true, req.id, true, req.op, ErrorCode::kOverloaded,
@@ -170,9 +170,9 @@ void Server::submit(std::string line, ResponseFn reply) {
   if (req.op == Op::kRunFinder) {
     inflight = std::make_shared<InFlight>();
     {
-      std::lock_guard<std::mutex> lk(inflight_mu_);
+      MutexLock lk(inflight_mu_);
       if (!inflight_.emplace(req.id, inflight).second) {
-        std::lock_guard<std::mutex> mlk(metrics_mu_);
+        MutexLock mlk(metrics_mu_);
         ++metrics_.rejected_invalid;
         reply(error_line(true, req.id, true, req.op,
                          ErrorCode::kInvalidRequest,
@@ -195,7 +195,7 @@ void Server::submit(std::string line, ResponseFn reply) {
   job.enqueued = Clock::now();
 
   {
-    std::unique_lock<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     if (stopping_) {
       lk.unlock();
       if (job.inflight != nullptr) finish_inflight(job.req.id);
@@ -206,7 +206,7 @@ void Server::submit(std::string line, ResponseFn reply) {
       lk.unlock();
       if (job.inflight != nullptr) finish_inflight(job.req.id);
       {
-        std::lock_guard<std::mutex> mlk(metrics_mu_);
+        MutexLock mlk(metrics_mu_);
         ++metrics_.rejected_overload;
       }
       reply_error(job, ErrorCode::kOverloaded,
@@ -223,17 +223,17 @@ void Server::submit(std::string line, ResponseFn reply) {
 
 std::string Server::handle_line(std::string_view line) {
   std::string response;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool done = false;
   submit(std::string(line), [&](const std::string& resp) {
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     response = resp;
     done = true;
     cv.notify_one();
   });
-  std::unique_lock<std::mutex> lk(mu);
-  cv.wait(lk, [&] { return done; });
+  MutexLock lk(mu);
+  while (!done) cv.wait(mu);
   return response;
 }
 
@@ -241,8 +241,8 @@ void Server::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lk(queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.wait(queue_mu_);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -302,7 +302,7 @@ void Server::execute_run(Job& job) {
   if (reason != InFlight::kNone) {
     finish_inflight(job.req.id);
     {
-      std::lock_guard<std::mutex> lk(metrics_mu_);
+      MutexLock lk(metrics_mu_);
       DesignMetrics& dm = metrics_.design(design);
       ++dm.errors;
       if (reason == InFlight::kDeadline) {
@@ -333,7 +333,7 @@ void Server::execute_run(Job& job) {
   if (const Status st = pool->acquire(cfg, &lease, &reused); !st.is_ok()) {
     finish_inflight(job.req.id);
     {
-      std::lock_guard<std::mutex> lk(metrics_mu_);
+      MutexLock lk(metrics_mu_);
       ++metrics_.design(design).errors;
       ++metrics_.rejected_invalid;
     }
@@ -341,7 +341,7 @@ void Server::execute_run(Job& job) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(metrics_mu_);
+    MutexLock lk(metrics_mu_);
     DesignMetrics& dm = metrics_.design(design);
     if (reused) {
       ++dm.sessions_reused;
@@ -361,7 +361,7 @@ void Server::execute_run(Job& job) {
     reason = job.inflight->reason.load();
     const bool deadline = reason == InFlight::kDeadline;
     {
-      std::lock_guard<std::mutex> lk(metrics_mu_);
+      MutexLock lk(metrics_mu_);
       DesignMetrics& dm = metrics_.design(design);
       ++dm.errors;
       if (deadline) {
@@ -378,7 +378,7 @@ void Server::execute_run(Job& job) {
   }
 
   {
-    std::lock_guard<std::mutex> lk(metrics_mu_);
+    MutexLock lk(metrics_mu_);
     DesignMetrics& dm = metrics_.design(design);
     ++dm.queries;
     dm.latency.add(timing.queue_seconds + timing.run_seconds);
@@ -406,7 +406,7 @@ void Server::execute_load(Job& job) {
     if (has_sources && existing->source_aux == job.req.aux &&
         existing->source_snapshot == job.req.snapshot) {
       {
-        std::lock_guard<std::mutex> lk(metrics_mu_);
+        MutexLock lk(metrics_mu_);
         ++metrics_.loads_idempotent;
         ++metrics_.completed_ok;
       }
@@ -442,7 +442,7 @@ void Server::execute_load(Job& job) {
     if (st.code() == StatusCode::kUnavailable) {
       // Hard watermark shed: same wire contract as a full queue.
       {
-        std::lock_guard<std::mutex> lk(metrics_mu_);
+        MutexLock lk(metrics_mu_);
         ++metrics_.loads_shed;
         ++metrics_.rejected_overload;
       }
@@ -457,11 +457,11 @@ void Server::execute_load(Job& job) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(pools_mu_);
+    MutexLock lk(pools_mu_);
     for (const std::string& evicted : info.evicted) pools_.erase(evicted);
   }
   {
-    std::lock_guard<std::mutex> lk(metrics_mu_);
+    MutexLock lk(metrics_mu_);
     ++metrics_.designs_loaded;
     if (info.snapshot_hit) ++metrics_.snapshot_hits;
     if (info.fill_failed) ++metrics_.snapshot_fill_failures;
@@ -506,7 +506,7 @@ void Server::run_inline(const Request& req, const ResponseFn& reply) {
     case Op::kStatus: {
       JsonValue result = status_json();
       {
-        std::lock_guard<std::mutex> lk(metrics_mu_);
+        MutexLock lk(metrics_mu_);
         ++metrics_.completed_ok;
       }
       reply(ok_line(req.id, req.op, std::move(result), nullptr));
@@ -515,7 +515,7 @@ void Server::run_inline(const Request& req, const ResponseFn& reply) {
     case Op::kStats: {
       JsonValue result;
       {
-        std::lock_guard<std::mutex> lk(metrics_mu_);
+        MutexLock lk(metrics_mu_);
         result = metrics_.to_json();
         ++metrics_.completed_ok;
       }
@@ -533,12 +533,12 @@ void Server::run_inline(const Request& req, const ResponseFn& reply) {
     case Op::kCancel: {
       InFlightPtr target;
       {
-        std::lock_guard<std::mutex> lk(inflight_mu_);
+        MutexLock lk(inflight_mu_);
         const auto it = inflight_.find(req.target_id);
         if (it != inflight_.end()) target = it->second;
       }
       {
-        std::lock_guard<std::mutex> lk(metrics_mu_);
+        MutexLock lk(metrics_mu_);
         ++metrics_.cancel_requests;
       }
       if (target == nullptr) {
@@ -553,7 +553,7 @@ void Server::run_inline(const Request& req, const ResponseFn& reply) {
       // False when a deadline (or an earlier cancel) got there first.
       result.emplace("delivered", JsonValue(won));
       {
-        std::lock_guard<std::mutex> lk(metrics_mu_);
+        MutexLock lk(metrics_mu_);
         ++metrics_.completed_ok;
       }
       reply(ok_line(req.id, req.op, JsonValue(std::move(result)), nullptr));
@@ -562,7 +562,7 @@ void Server::run_inline(const Request& req, const ResponseFn& reply) {
     case Op::kUnloadDesign: {
       std::shared_ptr<SessionPool> dropped;
       {
-        std::lock_guard<std::mutex> lk(pools_mu_);
+        MutexLock lk(pools_mu_);
         const auto it = pools_.find(req.design);
         if (it != pools_.end()) {
           dropped = std::move(it->second);
@@ -581,7 +581,7 @@ void Server::run_inline(const Request& req, const ResponseFn& reply) {
       JsonValue::Object result;
       result.emplace("design", JsonValue(req.design));
       {
-        std::lock_guard<std::mutex> lk(metrics_mu_);
+        MutexLock lk(metrics_mu_);
         ++metrics_.completed_ok;
       }
       reply(ok_line(req.id, req.op, JsonValue(std::move(result)), nullptr));
@@ -607,12 +607,12 @@ JsonValue Server::status_json() {
   }
   std::size_t queue_depth = 0;
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     queue_depth = queue_.size();
   }
   std::size_t in_flight = 0;
   {
-    std::lock_guard<std::mutex> lk(inflight_mu_);
+    MutexLock lk(inflight_mu_);
     in_flight = inflight_.size();
   }
   JsonValue::Object obj;
@@ -635,7 +635,7 @@ JsonValue Server::status_json() {
 
 std::shared_ptr<SessionPool> Server::pool_for(
     const DesignRegistry::EntryPtr& entry) {
-  std::lock_guard<std::mutex> lk(pools_mu_);
+  MutexLock lk(pools_mu_);
   const auto it = pools_.find(entry->name);
   // Pointer identity matters: a reloaded design must not reuse sessions
   // bound to its previous incarnation's netlist.
@@ -656,23 +656,23 @@ void Server::reply_error(const Job& job, ErrorCode code,
 
 void Server::arm_deadline(Clock::time_point when, const InFlightPtr& target) {
   {
-    std::lock_guard<std::mutex> lk(watchdog_mu_);
+    MutexLock lk(watchdog_mu_);
     deadlines_.push(DeadlineEntry{when, target});
   }
   watchdog_cv_.notify_one();
 }
 
 void Server::finish_inflight(std::uint64_t id) {
-  std::lock_guard<std::mutex> lk(inflight_mu_);
+  MutexLock lk(inflight_mu_);
   inflight_.erase(id);
 }
 
 void Server::watchdog_loop() {
-  std::unique_lock<std::mutex> lk(watchdog_mu_);
+  MutexLock lk(watchdog_mu_);
   for (;;) {
     if (watchdog_stop_) return;
     if (deadlines_.empty()) {
-      watchdog_cv_.wait(lk);
+      watchdog_cv_.wait(watchdog_mu_);
       continue;
     }
     const Clock::time_point when = deadlines_.top().when;
@@ -686,7 +686,7 @@ void Server::watchdog_loop() {
       }
       lk.lock();
     } else {
-      watchdog_cv_.wait_until(lk, when);
+      watchdog_cv_.wait_until(watchdog_mu_, when);
     }
   }
 }
@@ -698,7 +698,9 @@ Status Server::serve(const std::atomic<bool>& stop_flag) {
 
   struct Conn {
     UnixStream stream;
-    std::mutex write_mu;
+    /// Serializes writes from workers and the reader; reads stay on the
+    /// single reader thread, so the stream itself is not guarded.
+    Mutex write_mu;
   };
   std::vector<std::thread> readers;
   std::vector<std::weak_ptr<Conn>> conns;
@@ -706,7 +708,7 @@ Status Server::serve(const std::atomic<bool>& stop_flag) {
   Status accept_status = Status::ok();
   while (!stop_flag.load(std::memory_order_relaxed)) {
     {
-      std::lock_guard<std::mutex> lk(queue_mu_);
+      MutexLock lk(queue_mu_);
       if (stopping_) break;
     }
     UnixStream stream;
@@ -737,14 +739,14 @@ Status Server::serve(const std::atomic<bool>& stop_flag) {
             const std::string resp =
                 error_line(false, 0, false, Op::kStatus,
                            ErrorCode::kParseError, st.message());
-            std::lock_guard<std::mutex> wlk(conn->write_mu);
+            MutexLock wlk(conn->write_mu);
             (void)conn->stream.write_line(resp);
           }
           break;
         }
         if (!line.empty()) {
           submit(std::move(line), [conn](const std::string& resp) {
-            std::lock_guard<std::mutex> wlk(conn->write_mu);
+            MutexLock wlk(conn->write_mu);
             (void)conn->stream.write_line(resp);
           });
           line.clear();
@@ -769,13 +771,13 @@ void Server::stop() {
   std::call_once(stop_once_, [this] {
     std::deque<Job> drained;
     {
-      std::lock_guard<std::mutex> lk(queue_mu_);
+      MutexLock lk(queue_mu_);
       stopping_ = true;
       drained.swap(queue_);
     }
     queue_cv_.notify_all();
     {
-      std::lock_guard<std::mutex> lk(inflight_mu_);
+      MutexLock lk(inflight_mu_);
       for (const auto& [id, inflight] : inflight_) {
         inflight->cancel(InFlight::kClient);
       }
@@ -786,7 +788,7 @@ void Server::stop() {
     }
     for (std::thread& t : workers_) t.join();
     {
-      std::lock_guard<std::mutex> lk(watchdog_mu_);
+      MutexLock lk(watchdog_mu_);
       watchdog_stop_ = true;
     }
     watchdog_cv_.notify_all();

@@ -22,10 +22,26 @@
 // The Server is usable without a socket (submit()/handle_line(), as the
 // tests do) or as a daemon via serve(), which owns the Unix-socket
 // accept loop and one reader thread per connection.
+//
+// Lock ordering (enforced by GTL_ACQUIRED_AFTER under Clang
+// -Wthread-safety-beta; see README "Code quality"):
+//
+//   rank 1  pools_mu_     — session-pool map
+//   rank 2  queue_mu_     — admission queue + stopping flag
+//   rank 3  inflight_mu_  — in-flight run table
+//   rank 4  watchdog_mu_  — deadline heap
+//   rank 5  manifest_mu_  — manifest mirror + file write
+//   rank 6  metrics_mu_   — counters/latency (leaf: nested by
+//                           manifest_apply and submit)
+//
+// A thread may only acquire a mutex of HIGHER rank than any it already
+// holds.  In practice almost every path holds a single lock at a time;
+// the two real nestings are manifest_mu_ -> metrics_mu_ (recording a
+// manifest write failure) and inflight_mu_ -> metrics_mu_ (stamping
+// queue-depth gauges while admitting a run).
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -46,6 +62,7 @@
 #include "serve/protocol.hpp"
 #include "serve/session_pool.hpp"
 #include "util/socket.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace gtl::serve {
@@ -98,8 +115,8 @@ class Server {
   /// the wire protocol.  Same registry semantics as load_design, but the
   /// design records no sources (so it is neither manifested nor
   /// idempotently reloadable).
-  [[nodiscard]] Status preload(const std::string& name,
-                               BookshelfDesign design);
+  [[nodiscard]] Status preload(const std::string& name, BookshelfDesign design)
+      GTL_EXCLUDES(pools_mu_, manifest_mu_, metrics_mu_);
 
   /// What a manifest replay did.
   struct RecoveryReport {
@@ -114,23 +131,32 @@ class Server {
   /// fatal).  A missing manifest is a fresh server (OK, zero attempted);
   /// a corrupt one is reported as an error and otherwise ignored — the
   /// next successful load overwrites it.  Call before serving traffic.
-  [[nodiscard]] Status recover_from_manifest(RecoveryReport* report);
+  [[nodiscard]] Status recover_from_manifest(RecoveryReport* report)
+      GTL_EXCLUDES(pools_mu_, manifest_mu_, metrics_mu_);
 
-  /// Feed one request line into the server.
-  void submit(std::string line, ResponseFn reply);
+  /// Feed one request line into the server.  Inline-lane entry point:
+  /// must be called with NO server lock held — inline ops (cancel in
+  /// particular) acquire locks of their own and must never wait behind
+  /// the worker lane.
+  void submit(std::string line, ResponseFn reply)
+      GTL_EXCLUDES(pools_mu_, queue_mu_, inflight_mu_, watchdog_mu_,
+                   manifest_mu_, metrics_mu_);
 
   /// Blocking convenience: submit and wait for the response line.
-  [[nodiscard]] std::string handle_line(std::string_view line);
+  [[nodiscard]] std::string handle_line(std::string_view line)
+      GTL_EXCLUDES(pools_mu_, queue_mu_, inflight_mu_, watchdog_mu_,
+                   manifest_mu_, metrics_mu_);
 
   /// Bind `cfg.socket_path` and serve connections until `stop_flag`
   /// becomes true (checked ~10x/second) or stop() is called.  Prints
   /// nothing; the caller owns logging.
-  [[nodiscard]] Status serve(const std::atomic<bool>& stop_flag);
+  [[nodiscard]] Status serve(const std::atomic<bool>& stop_flag)
+      GTL_EXCLUDES(queue_mu_);
 
   /// Shut down: reject new work, cancel in-flight runs, drain the queue
   /// (each waiting job answered "cancelled"), join all threads.
   /// Idempotent; also called by the destructor.
-  void stop();
+  void stop() GTL_EXCLUDES(queue_mu_, inflight_mu_, watchdog_mu_);
 
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
   [[nodiscard]] DesignRegistry& registry() { return registry_; }
@@ -168,15 +194,34 @@ class Server {
     }
   };
 
-  void worker_loop();
-  void watchdog_loop();
-  void execute(Job job);
-  void execute_run(Job& job);
-  void execute_load(Job& job);
-  void run_inline(const Request& req, const ResponseFn& reply);
-  JsonValue status_json();
+  /// Worker lane: drains the admission queue; acquires every lock rank
+  /// in turn while executing, so it must start with none held.
+  void worker_loop()
+      GTL_EXCLUDES(pools_mu_, queue_mu_, inflight_mu_, watchdog_mu_,
+                   manifest_mu_, metrics_mu_);
+  /// Watchdog lane: owns watchdog_mu_ while sleeping, but always drops
+  /// it before tripping a CancelToken — a token trip may race a worker
+  /// calling finish_inflight, and holding rank-4 there would deadlock
+  /// against nothing today but forbids the worker lane ever notifying
+  /// the watchdog under inflight_mu_ tomorrow.
+  void watchdog_loop() GTL_EXCLUDES(inflight_mu_, watchdog_mu_);
+  void execute(Job job)
+      GTL_EXCLUDES(pools_mu_, queue_mu_, inflight_mu_, watchdog_mu_,
+                   manifest_mu_, metrics_mu_);
+  void execute_run(Job& job)
+      GTL_EXCLUDES(pools_mu_, inflight_mu_, watchdog_mu_, metrics_mu_);
+  void execute_load(Job& job)
+      GTL_EXCLUDES(pools_mu_, manifest_mu_, metrics_mu_);
+  /// Inline lane: status/stats/cancel/unload on the calling thread.
+  /// `cancel` must never wait behind the worker queue, so the inline
+  /// lane as a whole is contracted lock-free on entry.
+  void run_inline(const Request& req, const ResponseFn& reply)
+      GTL_EXCLUDES(pools_mu_, queue_mu_, inflight_mu_, manifest_mu_,
+                   metrics_mu_);
+  JsonValue status_json() GTL_EXCLUDES(pools_mu_, queue_mu_, inflight_mu_);
 
-  std::shared_ptr<SessionPool> pool_for(const DesignRegistry::EntryPtr& e);
+  std::shared_ptr<SessionPool> pool_for(const DesignRegistry::EntryPtr& e)
+      GTL_EXCLUDES(pools_mu_);
   void reply_error(const Job& job, ErrorCode code, const std::string& msg,
                    std::uint64_t retry_after_ms = 0);
   /// Record (`record` non-null) and/or forget manifest entries, then
@@ -185,43 +230,55 @@ class Server {
   /// notes — availability beats durability, the op still succeeds.
   [[nodiscard]] Status manifest_apply(const std::string& record_name,
                                       const ManifestEntry* record,
-                                      const std::vector<std::string>& forget);
+                                      const std::vector<std::string>& forget)
+      GTL_EXCLUDES(manifest_mu_, metrics_mu_);
   void arm_deadline(std::chrono::steady_clock::time_point when,
-                    const InFlightPtr& target);
-  void finish_inflight(std::uint64_t id);
+                    const InFlightPtr& target) GTL_EXCLUDES(watchdog_mu_);
+  void finish_inflight(std::uint64_t id) GTL_EXCLUDES(inflight_mu_);
 
   ServerConfig cfg_;
   DesignRegistry registry_;
   Timer uptime_;
 
-  std::mutex pools_mu_;
-  std::unordered_map<std::string, std::shared_ptr<SessionPool>> pools_;
+  // --- rank 1 -------------------------------------------------------------
+  Mutex pools_mu_;
+  std::unordered_map<std::string, std::shared_ptr<SessionPool>> pools_
+      GTL_GUARDED_BY(pools_mu_);
 
-  std::mutex metrics_mu_;
-  ServerMetrics metrics_;
-
-  /// In-memory mirror of the manifest file (guard: manifest_mu_, held
-  /// across the map update *and* the file write so the file always
-  /// serializes a consistent state).
-  std::mutex manifest_mu_;
-  Manifest manifest_;
-
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
-  bool stopping_ = false;
+  // --- rank 2 -------------------------------------------------------------
+  Mutex queue_mu_ GTL_ACQUIRED_AFTER(pools_mu_);
+  CondVar queue_cv_;
+  std::deque<Job> queue_ GTL_GUARDED_BY(queue_mu_);
+  bool stopping_ GTL_GUARDED_BY(queue_mu_) = false;
+  /// Spawned in the constructor, joined by stop(); not itself guarded.
   std::vector<std::thread> workers_;
 
-  std::mutex inflight_mu_;
-  std::unordered_map<std::uint64_t, InFlightPtr> inflight_;
+  // --- rank 3 -------------------------------------------------------------
+  Mutex inflight_mu_ GTL_ACQUIRED_AFTER(pools_mu_, queue_mu_);
+  std::unordered_map<std::uint64_t, InFlightPtr> inflight_
+      GTL_GUARDED_BY(inflight_mu_);
 
-  std::mutex watchdog_mu_;
-  std::condition_variable watchdog_cv_;
+  // --- rank 4 -------------------------------------------------------------
+  Mutex watchdog_mu_ GTL_ACQUIRED_AFTER(pools_mu_, queue_mu_, inflight_mu_);
+  CondVar watchdog_cv_;
   std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
                       std::greater<DeadlineEntry>>
-      deadlines_;
-  bool watchdog_stop_ = false;
+      deadlines_ GTL_GUARDED_BY(watchdog_mu_);
+  bool watchdog_stop_ GTL_GUARDED_BY(watchdog_mu_) = false;
   std::thread watchdog_;
+
+  // --- rank 5 -------------------------------------------------------------
+  /// In-memory mirror of the manifest file; the lock is held across the
+  /// map update *and* the file write so the file always serializes a
+  /// consistent state.
+  Mutex manifest_mu_
+      GTL_ACQUIRED_AFTER(pools_mu_, queue_mu_, inflight_mu_, watchdog_mu_);
+  Manifest manifest_ GTL_GUARDED_BY(manifest_mu_);
+
+  // --- rank 6 (leaf) ------------------------------------------------------
+  Mutex metrics_mu_ GTL_ACQUIRED_AFTER(pools_mu_, queue_mu_, inflight_mu_,
+                                       watchdog_mu_, manifest_mu_);
+  ServerMetrics metrics_ GTL_GUARDED_BY(metrics_mu_);
 
   std::once_flag stop_once_;
 };

@@ -40,7 +40,7 @@ Status SessionPool::acquire(const FinderConfig& cfg, SessionLease* out,
   *reused = false;
   std::string fp = config_fingerprint(cfg);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     const auto it = idle_.find(fp);
     if (it != idle_.end()) {
       std::unique_ptr<Finder> finder = std::move(it->second);
@@ -59,13 +59,13 @@ Status SessionPool::acquire(const FinderConfig& cfg, SessionLease* out,
 }
 
 std::size_t SessionPool::idle_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return idle_total_;
 }
 
 void SessionPool::put_back(std::unique_ptr<Finder> finder,
                            std::string fingerprint) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (idle_total_ >= max_idle_) return;  // destroys the session
   idle_.emplace(std::move(fingerprint), std::move(finder));
   ++idle_total_;

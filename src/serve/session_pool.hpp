@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "finder/finder.hpp"
 #include "serve/design_registry.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace gtl::serve {
 
@@ -78,28 +78,31 @@ class SessionPool : public std::enable_shared_from_this<SessionPool> {
   /// (kInvalidArgument) when the config does not validate — the
   /// service rejection path; nothing is constructed on failure.
   [[nodiscard]] Status acquire(const FinderConfig& cfg, SessionLease* out,
-                               bool* reused);
+                               bool* reused) GTL_EXCLUDES(mu_);
 
   [[nodiscard]] const DesignRegistry::EntryPtr& entry() const {
     return entry_;
   }
 
   /// Warm sessions currently parked (for status/tests).
-  [[nodiscard]] std::size_t idle_count() const;
+  [[nodiscard]] std::size_t idle_count() const GTL_EXCLUDES(mu_);
 
  private:
   friend class SessionLease;
   SessionPool(DesignRegistry::EntryPtr entry, std::size_t max_idle)
       : entry_(std::move(entry)), max_idle_(max_idle) {}
 
-  void put_back(std::unique_ptr<Finder> finder, std::string fingerprint);
+  void put_back(std::unique_ptr<Finder> finder, std::string fingerprint)
+      GTL_EXCLUDES(mu_);
 
+  // entry_ and max_idle_ are fixed at construction; only the parked
+  // sessions are shared between serving threads.
   DesignRegistry::EntryPtr entry_;
-  std::size_t max_idle_;
-  mutable std::mutex mu_;
+  const std::size_t max_idle_;
+  mutable Mutex mu_;
   /// fingerprint -> parked sessions for that exact config.
-  std::multimap<std::string, std::unique_ptr<Finder>> idle_;
-  std::size_t idle_total_ = 0;
+  std::multimap<std::string, std::unique_ptr<Finder>> idle_ GTL_GUARDED_BY(mu_);
+  std::size_t idle_total_ GTL_GUARDED_BY(mu_) = 0;
 };
 
 /// The pooling key: key-sorted compact JSON of the config, so two

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
 
 #include "util/fileio.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace gtl::failpoint {
 namespace {
@@ -142,9 +142,9 @@ struct PointState {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::uint64_t seed = 0;
-  std::unordered_map<std::string, PointState> points;
+  Mutex mu;
+  std::uint64_t seed GTL_GUARDED_BY(mu) = 0;
+  std::unordered_map<std::string, PointState> points GTL_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -162,7 +162,7 @@ bool any_armed() { return g_armed.load(std::memory_order_relaxed) != 0; }
 
 bool check_slow(std::string_view name, Action* out) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   const auto it = r.points.find(std::string(name));
   if (it == r.points.end()) return false;
   PointState& state = it->second;
@@ -182,7 +182,7 @@ bool check_slow(std::string_view name, Action* out) {
 
 void arm(std::string name, Spec spec) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   PointState state;
   state.spec = std::move(spec);
   state.rng.reseed(r.seed ^ name_hash(name));
@@ -193,7 +193,7 @@ void arm(std::string name, Spec spec) {
 
 bool disarm(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   if (r.points.erase(std::string(name)) == 0) return false;
   g_armed.fetch_sub(1, std::memory_order_relaxed);
   return true;
@@ -201,27 +201,27 @@ bool disarm(std::string_view name) {
 
 void disarm_all() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   r.points.clear();
   g_armed.store(0, std::memory_order_relaxed);
 }
 
 void reseed(std::uint64_t seed) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   r.seed = seed;
 }
 
 std::uint64_t hit_count(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   const auto it = r.points.find(std::string(name));
   return it == r.points.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t trigger_count(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   const auto it = r.points.find(std::string(name));
   return it == r.points.end() ? 0 : it->second.triggers;
 }
@@ -230,7 +230,7 @@ std::vector<std::pair<std::string, std::uint64_t>> trigger_counts() {
   Registry& r = registry();
   std::vector<std::pair<std::string, std::uint64_t>> out;
   {
-    std::lock_guard<std::mutex> lk(r.mu);
+    MutexLock lk(r.mu);
     out.reserve(r.points.size());
     for (const auto& [name, state] : r.points) {
       out.emplace_back(name, state.triggers);

@@ -13,6 +13,13 @@
 // All errors are reported through gtl::Status (no exceptions): a server
 // must survive malformed peers, and a client must surface "server not
 // running" as a value, not a crash.
+//
+// Concurrency: a stream is single-owner and carries no lock of its own.
+// The one sanctioned sharing pattern is the server's per-connection
+// split — one reader thread, writers serialized by a gtl::Mutex around
+// write_line (Server::serve's Conn::write_mu) — plus shutdown(), which
+// is safe to call from another thread to unblock a reader (it only
+// reads the fd and issues the syscall).
 
 #include <cstddef>
 #include <filesystem>

@@ -6,14 +6,14 @@
 // reproduce that structure with a std::thread pool; all tanglefind phases
 // I-III run as independent tasks per seed.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace gtl {
 
@@ -36,7 +36,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -64,13 +64,15 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() GTL_EXCLUDES(mu_);
 
+  // workers_ is written once in the constructor and joined in the
+  // destructor; no worker touches it, so it needs no guard.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ GTL_GUARDED_BY(mu_);
+  bool stop_ GTL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gtl

@@ -1,0 +1,16 @@
+// lint-fixture: path=src/serve/fixture.cpp expect=sync-raw-mutex:6,sync-raw-mutex:9,sync-raw-mutex:10,sync-raw-mutex:15
+#include <condition_variable>
+#include <mutex>
+
+// The declaration alone is a finding — a bare mutex is invisible to TSA.
+std::mutex g_mu;
+// Strings and comments never trip the rule: "std::mutex".  // std::lock_guard
+const char* label = "std::unique_lock";
+std::condition_variable g_cv;
+std::unique_lock<std::mutex> hold() { return std::unique_lock<std::mutex>(g_mu); }
+
+// std::once_flag carries no lock discipline and stays legal.
+#include <cstddef>
+void touch() {
+  std::scoped_lock lk(g_mu);
+}

@@ -1,0 +1,22 @@
+// lint-fixture: path=src/util/sync.hpp expect=none
+// The capability layer itself is the one place the raw primitives live.
+#include <condition_variable>
+#include <mutex>
+
+namespace gtl {
+
+class Mutex {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+class CondVar {
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gtl

@@ -1,0 +1,9 @@
+// lint-fixture: path=src/serve/fixture.cpp expect=sync-unjustified-escape:5
+#include "util/sync.hpp"
+
+// No justification: the escape hatch is a finding.
+void hot_path() GTL_NO_THREAD_SAFETY_ANALYSIS;
+
+// Mentioning GTL_NO_THREAD_SAFETY_ANALYSIS in a comment is fine, and so
+// is the string "GTL_NO_THREAD_SAFETY_ANALYSIS".
+const char* doc = "GTL_NO_THREAD_SAFETY_ANALYSIS";

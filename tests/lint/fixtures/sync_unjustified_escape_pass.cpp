@@ -1,0 +1,8 @@
+// lint-fixture: path=src/serve/fixture.cpp expect=none
+#include "util/sync.hpp"
+
+// gtl-lint: allow(sync-unjustified-escape): lock-free epoch-guarded read path, benchmarked in PR 10
+void hot_path() GTL_NO_THREAD_SAFETY_ANALYSIS;
+
+void also_inline()
+    GTL_NO_THREAD_SAFETY_ANALYSIS;  // gtl-lint: allow(sync-unjustified-escape): destructor runs single-threaded

@@ -125,6 +125,7 @@ TEST(GtlLint, RuleNamesAreUniqueAndStable) {
       "det-unordered-iter", "det-random",           "det-wall-clock",
       "det-pointer-key",    "layer-dep",            "layer-public-include",
       "err-serve-throw",    "err-system-abort",     "simd-intrinsics-contained",
+      "sync-raw-mutex",     "sync-unjustified-escape",
   };
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
 }

@@ -1,0 +1,47 @@
+// Positive control for the thread-safety negative-compile harness: a
+// correctly annotated class that MUST compile clean under
+// -Wthread-safety -Wthread-safety-beta -Werror.  It exists so the
+// harness cannot pass vacuously (a broken include path would fail this
+// case, not silently "fail" the negative ones).
+//
+// The CI gate-is-live smoke step also compiles a copy of this file with
+// the GTL_REQUIRES annotation stripped and asserts THAT fails — proving
+// the warning flags are actually live in the toolchain.
+
+#include "util/sync.hpp"
+
+class Box {
+ public:
+  int get() GTL_EXCLUDES(mu_) {
+    gtl::MutexLock lk(mu_);
+    return locked_get();
+  }
+
+  void set(int v) GTL_EXCLUDES(mu_) {
+    gtl::MutexLock lk(mu_);
+    value_ = v;
+  }
+
+  // Exercises the mid-scope unlock()/lock() pattern the server's
+  // watchdog relies on.
+  int get_with_gap() GTL_EXCLUDES(mu_) {
+    gtl::MutexLock lk(mu_);
+    int v = locked_get();
+    lk.unlock();
+    v += 1;
+    lk.lock();
+    v += locked_get();
+    return v;
+  }
+
+ private:
+  int locked_get() GTL_REQUIRES(mu_) { return value_; }
+
+  gtl::Mutex mu_;
+  int value_ GTL_GUARDED_BY(mu_) = 0;
+};
+
+int use(Box& b) {
+  b.set(1);
+  return b.get() + b.get_with_gap();
+}

@@ -1,0 +1,15 @@
+// Negative-compile case: acquiring a mutex already held by the same
+// scope must fail under -Wthread-safety -Werror (std::mutex deadlocks
+// at runtime on relock; the analysis rejects it statically).
+// Expected diagnostic: "acquiring mutex 'mu' that is already held".
+
+#include "util/sync.hpp"
+
+gtl::Mutex mu;
+int value GTL_GUARDED_BY(mu) = 0;
+
+int double_acquire() {
+  gtl::MutexLock outer(mu);
+  gtl::MutexLock inner(mu);  // BAD: relock of a held mutex
+  return value;
+}

@@ -1,0 +1,25 @@
+// Negative-compile case: reading a GTL_GUARDED_BY field without holding
+// its mutex must fail under -Wthread-safety -Werror.
+// Expected diagnostic: "requires holding mutex 'mu_'".
+
+#include "util/sync.hpp"
+
+class Counter {
+ public:
+  void bump() GTL_EXCLUDES(mu_) {
+    gtl::MutexLock lk(mu_);
+    ++value_;
+  }
+
+  // BAD: unlocked read of a guarded field.
+  int read() const { return value_; }
+
+ private:
+  mutable gtl::Mutex mu_;
+  int value_ GTL_GUARDED_BY(mu_) = 0;
+};
+
+int use(Counter& c) {
+  c.bump();
+  return c.read();
+}

@@ -1,0 +1,24 @@
+// Negative-compile case: a private helper that touches guarded state
+// but lacks GTL_REQUIRES must fail under -Wthread-safety -Werror — the
+// analysis sees the unlocked access inside the helper body even though
+// every current caller happens to hold the lock.
+// Expected diagnostic: "requires holding mutex 'mu_'".
+
+#include "util/sync.hpp"
+
+class Box {
+ public:
+  int get() GTL_EXCLUDES(mu_) {
+    gtl::MutexLock lk(mu_);
+    return locked_get();
+  }
+
+ private:
+  // BAD: missing GTL_REQUIRES(mu_).
+  int locked_get() { return value_; }
+
+  gtl::Mutex mu_;
+  int value_ GTL_GUARDED_BY(mu_) = 0;
+};
+
+int use(Box& b) { return b.get(); }

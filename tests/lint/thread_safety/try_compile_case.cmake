@@ -1,0 +1,53 @@
+# Compile one thread-safety case and assert the expected outcome.
+#
+#   cmake -DCOMPILER=<clang++> -DSOURCE=<case.cpp> -DINCLUDE_DIR=<src>
+#         -DEXPECT=PASS|FAIL [-DPATTERN=<regex>] -P try_compile_case.cmake
+#
+# EXPECT=PASS: the case must compile clean (positive control — proves the
+# harness itself is wired correctly).
+# EXPECT=FAIL: the case must fail AND the diagnostics must match PATTERN,
+# so an unrelated error (typo, missing header) cannot masquerade as the
+# thread-safety diagnostic the case documents.
+#
+# Registered from tests/CMakeLists.txt only when the compiler is Clang —
+# GCC accepts the annotations as unknown attributes and would "pass"
+# every negative case.
+
+foreach(var COMPILER SOURCE INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "try_compile_case.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only
+          -I${INCLUDE_DIR}
+          -Wthread-safety -Wthread-safety-beta -Werror
+          ${SOURCE}
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "PASS")
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+      "expected ${SOURCE} to compile clean, but it failed (${rv}):\n"
+      "${out}\n${err}")
+  endif()
+elseif(EXPECT STREQUAL "FAIL")
+  if(rv EQUAL 0)
+    message(FATAL_ERROR
+      "expected ${SOURCE} to FAIL under -Wthread-safety -Werror, "
+      "but it compiled clean — the gate is not live")
+  endif()
+  if(NOT DEFINED PATTERN)
+    set(PATTERN "thread-safety")
+  endif()
+  if(NOT "${out}${err}" MATCHES "${PATTERN}")
+    message(FATAL_ERROR
+      "${SOURCE} failed to compile, but not with the expected "
+      "thread-safety diagnostic (wanted \"${PATTERN}\"):\n${out}\n${err}")
+  endif()
+else()
+  message(FATAL_ERROR "EXPECT must be PASS or FAIL, got \"${EXPECT}\"")
+endif()

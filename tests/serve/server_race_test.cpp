@@ -1,0 +1,207 @@
+// Race-window stress regression for the server's concurrent core, meant
+// to run under TSan (the CI tsan job runs the full suite).  The thread
+// safety annotations in serve/ are compile-time contracts; this test is
+// the runtime counterpart that hammers the documented race windows:
+//
+//   * inline lane (status/stats/cancel/unload) against the worker lane
+//     (run_finder churn) against the watchdog (tiny deadlines), and
+//   * stop() landing mid-storm while submitters are still pushing.
+//
+// The observable contract under all of it: every submitted request gets
+// exactly one reply — never zero (lost), never two (double-send).
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "finder/finder_json.hpp"
+#include "graphgen/planted_graph.hpp"
+#include "util/rng.hpp"
+
+namespace gtl::serve {
+namespace {
+
+BookshelfDesign small_design() {
+  PlantedGraphConfig cfg;
+  cfg.num_cells = 800;
+  cfg.gtls.push_back({80, 1});
+  Rng rng(17);
+  BookshelfDesign design;
+  design.netlist = generate_planted_graph(cfg, rng).netlist;
+  return design;
+}
+
+/// Fast enough that runs churn; slow enough that cancels and 1-3 ms
+/// deadlines land mid-run often.
+FinderConfig storm_config() {
+  FinderConfig cfg;
+  cfg.num_seeds = 6;
+  cfg.max_ordering_length = 300;
+  cfg.num_threads = 1;
+  return cfg;
+}
+
+std::string run_line(std::uint64_t id, const std::string& design,
+                     std::uint64_t deadline_ms) {
+  JsonValue::Object obj;
+  obj.emplace("id", JsonValue(id));
+  obj.emplace("op", JsonValue("run_finder"));
+  obj.emplace("design", JsonValue(design));
+  obj.emplace("config", to_json(storm_config()));
+  if (deadline_ms != 0) {
+    obj.emplace("deadline_ms", JsonValue(deadline_ms));
+  }
+  return JsonValue(std::move(obj)).dump();
+}
+
+/// One slot per submitted request; each reply bumps its slot and the
+/// previous value must have been zero.
+class ReplyLedger {
+ public:
+  explicit ReplyLedger(std::size_t n) : counts_(n) {}
+
+  Server::ResponseFn sink(std::size_t slot) {
+    return [this, slot](const std::string& line) {
+      EXPECT_FALSE(line.empty());
+      const int prev = counts_[slot].fetch_add(1, std::memory_order_acq_rel);
+      EXPECT_EQ(prev, 0) << "request slot " << slot << " replied twice";
+    };
+  }
+
+  void expect_exactly_one_each() const {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      EXPECT_EQ(counts_[i].load(std::memory_order_acquire), 1)
+          << "request slot " << i;
+    }
+  }
+
+ private:
+  std::vector<std::atomic<int>> counts_;
+};
+
+// Inline lane vs worker lane vs watchdog vs registry churn, all at once.
+// Submitters fire run_finder with a mix of no-deadline and 1-3 ms
+// deadlines (so the watchdog trips mid-run constantly); inline threads
+// hammer status/stats and cancel random in-storm ids; a churn thread
+// loads and unloads a design some runs target.
+TEST(ServerRace, InlineWorkerWatchdogStorm) {
+  ServerConfig cfg;
+  cfg.workers = 3;
+  cfg.queue_capacity = 256;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", small_design()).is_ok());
+
+  constexpr int kSubmitters = 3;
+  constexpr int kPerThread = 25;
+  constexpr std::size_t kTotal = kSubmitters * kPerThread;
+  ReplyLedger ledger(kTotal);
+  std::atomic<bool> quit{false};
+
+  std::vector<std::thread> inline_threads;
+  for (int t = 0; t < 2; ++t) {
+    inline_threads.emplace_back([&server, &quit, t] {
+      std::mt19937 rng(100u + static_cast<unsigned>(t));
+      while (!quit.load(std::memory_order_acquire)) {
+        switch (rng() % 3u) {
+          case 0:
+            (void)server.handle_line(R"({"id":900000,"op":"status"})");
+            break;
+          case 1:
+            (void)server.handle_line(R"({"id":900001,"op":"stats"})");
+            break;
+          default: {
+            // Cancel a random storm id: sometimes mid-run, sometimes
+            // already finished (not_found) — both replies are fine, the
+            // point is racing cancel against execute_run/watchdog.
+            const std::uint64_t target = 1 + rng() % kTotal;
+            (void)server.handle_line(
+                R"({"id":900002,"op":"cancel","target_id":)" +
+                std::to_string(target) + "}");
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  std::thread churn([&server, &quit] {
+    while (!quit.load(std::memory_order_acquire)) {
+      (void)server.preload("churn", small_design());
+      (void)server.handle_line(
+          R"({"id":900003,"op":"unload_design","design":"churn"})");
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&server, &ledger, t] {
+      std::mt19937 rng(200u + static_cast<unsigned>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t slot =
+            static_cast<std::size_t>(t) * kPerThread + static_cast<std::size_t>(i);
+        // Request ids are 1-based slots, unique across threads.
+        const std::uint64_t id = slot + 1;
+        const char* design = (rng() % 4u == 0) ? "churn" : "d";
+        const std::uint64_t deadline = (rng() % 2u == 0) ? 1 + rng() % 3u : 0;
+        server.submit(run_line(id, design, deadline), ledger.sink(slot));
+      }
+    });
+  }
+
+  for (auto& th : submitters) th.join();
+  quit.store(true, std::memory_order_release);
+  for (auto& th : inline_threads) th.join();
+  churn.join();
+
+  // stop() cancels in-flight runs and drains the queue; when it returns
+  // every submitted request has been answered.
+  server.stop();
+  ledger.expect_exactly_one_each();
+}
+
+// stop() racing active submitters: requests landing before, during, and
+// after shutdown must each get exactly one reply (completed, cancelled,
+// or refused — but never silence, never a duplicate).
+TEST(ServerRace, StopMidStormStillRepliesExactlyOnce) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  Server server(cfg);
+  ASSERT_TRUE(server.preload("d", small_design()).is_ok());
+
+  constexpr int kSubmitters = 3;
+  constexpr int kPerThread = 20;
+  ReplyLedger ledger(kSubmitters * kPerThread);
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&server, &ledger, t] {
+      std::mt19937 rng(300u + static_cast<unsigned>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t slot =
+            static_cast<std::size_t>(t) * kPerThread + static_cast<std::size_t>(i);
+        const std::uint64_t deadline = (rng() % 2u == 0) ? 1 + rng() % 3u : 0;
+        server.submit(run_line(slot + 1, "d", deadline), ledger.sink(slot));
+      }
+    });
+  }
+
+  // Let the storm build, then pull the plug while submitters still push.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.stop();
+
+  for (auto& th : submitters) th.join();
+  // Post-stop submissions reply "cancelled" inline, so by here every
+  // slot is settled.
+  ledger.expect_exactly_one_each();
+}
+
+}  // namespace
+}  // namespace gtl::serve

@@ -405,6 +405,7 @@ const std::vector<std::string>& rule_names() {
       "det-unordered-iter", "det-random",           "det-wall-clock",
       "det-pointer-key",    "layer-dep",            "layer-public-include",
       "err-serve-throw",    "err-system-abort",     "simd-intrinsics-contained",
+      "sync-raw-mutex",     "sync-unjustified-escape",
   };
   return names;
 }
@@ -441,6 +442,19 @@ std::vector<Finding> lint_file(std::string_view rel_path,
   static const std::regex kIntrinToken(
       R"(\b(?:_mm\d*_\w+|__m(?:128|256|512)[di]?)\b)", std::regex::optimize);
   const bool simd_layer = path.rfind("src/util/simd", 0) == 0;
+  // Sync containment: the raw std primitives live only in the capability
+  // layer (src/util/sync.hpp); the rest of src/ uses the annotated
+  // gtl::Mutex/MutexLock/CondVar wrappers so Clang Thread Safety
+  // Analysis sees every acquisition.  std::once_flag/call_once and the
+  // <mutex> include itself stay legal — they carry no lock discipline.
+  static const std::regex kRawSync(
+      R"(\bstd::(?:(?:recursive|timed|recursive_timed|shared|shared_timed)_)?mutex\b)"
+      R"(|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b)"
+      R"(|\bstd::condition_variable(?:_any)?\b)",
+      std::regex::optimize);
+  static const std::regex kTsaEscape(R"(\bGTL_NO_THREAD_SAFETY_ANALYSIS\b)",
+                                     std::regex::optimize);
+  const bool sync_layer = path == "src/util/sync.hpp";
 
   // Allow directives from comment-only lines carry to the next code line.
   std::set<std::string> carried_allows;
@@ -546,6 +560,22 @@ std::vector<Finding> lint_file(std::string_view rel_path,
         report("simd-intrinsics-contained",
                "raw vector intrinsics are confined to src/util/simd*; add a "
                "kernel to gtl::simd (with a scalar_ref twin) instead");
+      }
+    }
+
+    // --- synchronization --------------------------------------------------
+    if (!sync_layer) {
+      if (std::regex_search(lv.code, kRawSync)) {
+        report("sync-raw-mutex",
+               "bare std sync primitives are confined to src/util/sync.hpp; "
+               "use gtl::Mutex/MutexLock/CondVar so the lock contract is "
+               "visible to Clang Thread Safety Analysis");
+      }
+      if (std::regex_search(lv.code, kTsaEscape)) {
+        report("sync-unjustified-escape",
+               "GTL_NO_THREAD_SAFETY_ANALYSIS needs a justification: "
+               "\"// gtl-lint: allow(sync-unjustified-escape): <why>\" on "
+               "the same or the preceding line");
       }
     }
 

@@ -1,7 +1,7 @@
 #pragma once
 // gtl_lint — repo-specific static contracts that clang-tidy cannot express.
 //
-// Three rule families, applied by repo-relative path (see README "Code
+// Rule families, applied by repo-relative path (see README "Code
 // quality" for the rule table and rationale):
 //
 //   determinism  (src/finder, src/order, src/metrics, src/graphgen)
@@ -17,6 +17,18 @@
 //   error handling
 //     err-serve-throw      `throw` in src/serve request paths
 //     err-system-abort     naked system()/abort()/exit() in src/
+//
+//   SIMD containment  (all of src/ except src/util/simd*)
+//     simd-intrinsics-contained  intrinsic headers / _mm* tokens outside
+//                                the gtl::simd kernel layer
+//
+//   synchronization  (all of src/ except src/util/sync.hpp)
+//     sync-raw-mutex          bare std::mutex/lock_guard/unique_lock/
+//                             scoped_lock/condition_variable outside the
+//                             capability layer (use gtl::Mutex & co. so
+//                             Clang Thread Safety Analysis sees locks)
+//     sync-unjustified-escape GTL_NO_THREAD_SAFETY_ANALYSIS without an
+//                             allow(sync-unjustified-escape) justification
 //
 // Escape hatch: `// gtl-lint: allow(<rule>[, <rule>...]): <justification>`
 // suppresses a rule on its own line, or — when the comment stands alone —
