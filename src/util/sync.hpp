@@ -86,9 +86,11 @@
 #define GTL_RELEASE(...) \
   GTL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
 
-// Function acquires the capability iff it returns `ret`.
-#define GTL_TRY_ACQUIRE(ret, ...) \
-  GTL_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+// Function acquires the capability iff it returns the given value; the
+// first argument is the success return value, any further arguments
+// name the capability (defaults to `this` when omitted).
+#define GTL_TRY_ACQUIRE(...) \
+  GTL_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
 
 // Function contract: caller must NOT hold the capability (the function
 // acquires it itself, or must never run under it).  This is how the
